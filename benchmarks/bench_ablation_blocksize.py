@@ -1,0 +1,11 @@
+"""Ablation — ECC block size vs parity overhead (section 2 critique)."""
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_ablation_blocksize(benchmark, suite):
+    result = run_once(benchmark, suite.run_ablation_blocksize)
+    save_report(result)
+    rows = {row[0]: row for row in result.data["rows"]}
+    assert rows[4096][4] == "yes", "the paper's 4 KiB block must fit"
+    assert rows[512][3] > rows[4096][3], "small blocks need more parity/page"

@@ -1,0 +1,14 @@
+"""Ablation — Chien parallelism / multiplier budget (section 4)."""
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_ablation_chien(benchmark, suite):
+    result = run_once(benchmark, suite.run_ablation_chien)
+    save_report(result)
+    rows = result.data["rows"]
+    # The default design point (budget 260, h_max 8) yields h(65)=4, h(14)=8.
+    default = next(r for r in rows if r[0] == 260 and r[1] == 8)
+    assert default[2] == 4 and default[3] == 8
+    # And an end-of-life read gain near the paper's 30%.
+    assert 25 < default[6] < 38

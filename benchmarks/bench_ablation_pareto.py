@@ -1,0 +1,14 @@
+"""Ablation — operating-point space and Pareto front (section 6.3)."""
+
+from benchmarks.conftest import run_once, save_report
+from repro.nand.ispp import IsppAlgorithm
+
+
+def test_ablation_pareto(benchmark, suite):
+    result = run_once(benchmark, suite.run_ablation_pareto)
+    save_report(result)
+    for age, front in result.data.items():
+        assert front, f"Pareto front empty at N={age}"
+        assert any(p.algorithm is IsppAlgorithm.DV for p in front), (
+            "cross-layer (ISPP-DV) points must appear on the front"
+        )

@@ -1,0 +1,20 @@
+"""Ablation — boot-time SLC/MLC partitioning vs runtime cross-layer."""
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_ablation_partition(benchmark, suite):
+    result = run_once(benchmark, suite.run_ablation_partition)
+    save_report(result)
+    rows = result.data["rows"]
+    eol = [r for r in rows if r[0] == 1e5]
+    by_scheme = {r[1]: r for r in eol}
+    slc = by_scheme["static slc"]
+    mlc_sv = by_scheme["static mlc-sv"]
+    runtime = by_scheme["runtime max-read-throughput"]
+    # SLC: best RBER, half the capacity.
+    assert slc[3] < mlc_sv[3]
+    assert slc[2] == mlc_sv[2] / 2
+    # Runtime cross-layer keeps full MLC capacity with faster reads than SV.
+    assert runtime[2] == mlc_sv[2]
+    assert runtime[5] > mlc_sv[5]

@@ -1,0 +1,17 @@
+"""Ablation — data retention x cycling x program algorithm (section 1)."""
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_ablation_retention(benchmark, suite):
+    result = run_once(benchmark, suite.run_ablation_retention)
+    save_report(result)
+    rows = result.data["rows"]
+    for pe, hours, rber_sv, t_sv, rber_dv, t_dv in rows:
+        assert rber_dv < rber_sv, "ISPP-DV must retain its margin advantage"
+    # Storage time must degrade RBER monotonically at fixed wear.
+    by_pe = {}
+    for pe, hours, rber_sv, *_ in rows:
+        by_pe.setdefault(pe, []).append(rber_sv)
+    for series in by_pe.values():
+        assert series == sorted(series)

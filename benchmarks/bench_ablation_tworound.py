@@ -1,0 +1,11 @@
+"""Ablation — two-round data-load write mitigation (section 6.3.3)."""
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_ablation_tworound(benchmark, suite):
+    result = run_once(benchmark, suite.run_ablation_tworound)
+    save_report(result)
+    for _, serial_wt, pipelined_wt, recovered in result.data["rows"]:
+        assert pipelined_wt >= serial_wt
+        assert 0 <= recovered < 20

@@ -1,0 +1,12 @@
+"""Fig. 3 — MLC threshold-voltage distributions with R/VFY/OP levels."""
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig03_distributions(benchmark, suite):
+    result = run_once(benchmark, suite.run_fig03)
+    save_report(result)
+    stats = result.data["stats"]
+    means = [s.mean for s in stats]
+    assert means == sorted(means), "levels L0..L3 must be ordered"
+    assert all(s.count > 3000 for s in stats)

@@ -1,0 +1,10 @@
+"""Fig. 4 — compact-model fit of the experimental ISPP staircase."""
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig04_model_fit(benchmark, suite):
+    result = run_once(benchmark, suite.run_fig04)
+    save_report(result)
+    fit = result.data["fit"]
+    assert fit.rmse < 0.1, "fit must overlay the measurement (Fig. 4)"

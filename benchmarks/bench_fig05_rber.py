@@ -1,0 +1,17 @@
+"""Fig. 5 — RBER vs P/E cycles, ISPP-SV vs ISPP-DV (canonical + MC)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig05_rber(benchmark, suite):
+    result = run_once(benchmark, suite.run_fig05)
+    save_report(result)
+    sv, dv = result.data["sv"], result.data["dv"]
+    assert np.all(sv > dv), "ISPP-DV must sit below ISPP-SV"
+    assert np.allclose(sv / dv, 12.5), "order-of-magnitude gap"
+    # Monte-Carlo cross-check within a factor ~3.5 of the model.
+    for _, mc_sv, model_sv, mc_dv, model_dv in result.data["mc_rows"]:
+        assert abs(np.log10(mc_sv / model_sv)) < 0.55
+        assert abs(np.log10(mc_dv / model_dv)) < 0.55

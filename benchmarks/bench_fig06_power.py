@@ -1,0 +1,17 @@
+"""Fig. 6 — program power, {ISPP-SV, ISPP-DV} x {L1, L2, L3} patterns."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig06_power(benchmark, suite):
+    result = run_once(benchmark, suite.run_fig06)
+    save_report(result)
+    series = result.data["series"]
+    sv = np.mean([series.columns[f"ispp-sv-L{l}"] for l in (1, 2, 3)])
+    dv = np.mean([series.columns[f"ispp-dv-L{l}"] for l in (1, 2, 3)])
+    delta_mw = (dv - sv) * 1e3
+    assert 4.0 < delta_mw < 12.0, f"DV-SV shift {delta_mw:.1f} mW (paper ~7.5)"
+    for label, values in series.columns.items():
+        assert np.all((values > 0.12) & (values < 0.20)), label

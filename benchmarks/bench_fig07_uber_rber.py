@@ -1,0 +1,11 @@
+"""Fig. 7 (and the mislabelled 'Fig. ??') — UBER vs RBER per capability."""
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig07_uber_rber(benchmark, suite):
+    result = run_once(benchmark, suite.run_fig07)
+    save_report(result)
+    assert result.data["t_min"] == 3, "paper: tMIN = 3"
+    assert result.data["t_sv_max"] == 65, "paper: tMAX = 65 for ISPP-SV"
+    assert result.data["t_dv_max"] == 14, "paper: tMAX = 14 for ISPP-DV"

@@ -1,0 +1,14 @@
+"""Fig. 9 — write-throughput loss of the cross-layer (ISPP-DV) modes."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig09_write_loss(benchmark, suite):
+    result = run_once(benchmark, suite.run_fig09)
+    save_report(result)
+    losses = result.data["losses"]
+    assert losses.min() > 30.0, "loss floor (paper band starts ~40%)"
+    assert losses.max() < 55.0, "loss ceiling (paper band ends ~48%)"
+    assert np.mean(losses) == np.clip(np.mean(losses), 38, 50)

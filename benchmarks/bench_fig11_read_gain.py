@@ -1,0 +1,14 @@
+"""Fig. 11 — read-throughput gain of the max-read cross-layer mode."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig11_read_gain(benchmark, suite):
+    result = run_once(benchmark, suite.run_fig11)
+    save_report(result)
+    gains = result.data["gains"]
+    assert gains[0] < 3.0, "fresh device: both configs decode alike"
+    assert 26 < gains[-1] < 37, "end of life: ~30% gain (paper Fig. 11)"
+    assert np.all(np.diff(gains) >= -0.5), "gain grows with aging"

@@ -1,0 +1,16 @@
+"""System bench — end-to-end discrete-event controller simulation."""
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_system_des(benchmark, suite):
+    result = run_once(benchmark, suite.run_system_des)
+    save_report(result)
+    rows = result.data["rows"]
+    by_key = {(r[0], r[1]): r for r in rows}
+    baseline_mm = by_key[("baseline", "multimedia")]
+    maxread_mm = by_key[("max-read-throughput", "multimedia")]
+    # No uncorrectable pages anywhere on a fresh device.
+    assert all(r[5] == 0 for r in rows)
+    # Writes pay the ISPP-DV penalty in max-read mode.
+    assert maxread_mm[3] < baseline_mm[3]

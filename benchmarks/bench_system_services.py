@@ -1,0 +1,17 @@
+"""System bench — differentiated storage services (paper future work)."""
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_system_services(benchmark, suite):
+    result = run_once(benchmark, suite.run_system_services)
+    save_report(result)
+    rows = {r[0]: r for r in result.data["rows"]}
+    # Streaming namespace reads faster than the baseline namespace.
+    assert rows["media"][3] < rows["misc"][3]
+    # Mission-critical (ISPP-DV) collects far fewer raw bit errors than the
+    # SV baseline namespace under identical traffic.
+    assert rows["vault"][5] < rows["misc"][5]
+    # Both DV classes pay the write penalty.
+    assert rows["vault"][4] > rows["misc"][4]
+    assert rows["media"][4] > rows["misc"][4]

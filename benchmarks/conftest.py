@@ -1,0 +1,41 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one paper figure through
+:mod:`repro.analysis.experiments`, records its runtime via
+pytest-benchmark, prints the same rows/series the paper reports and saves
+the rendered report under ``benchmarks/out/<exp_id>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult, ExperimentSuite
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    """One shared model suite (caches codes and program timings)."""
+    return ExperimentSuite(seed=2012)
+
+
+def save_report(result: ExperimentResult) -> None:
+    """Persist and print the rendered figure report."""
+    OUT_DIR.mkdir(exist_ok=True)
+    text = result.render() + "\n"
+    (OUT_DIR / f"{result.exp_id}.txt").write_text(text)
+    print("\n" + text)
+
+
+def run_once(benchmark, runner, *args, **kwargs) -> ExperimentResult:
+    """Benchmark an experiment with a single timed round.
+
+    Figure regenerations run Monte-Carlo sweeps; one round keeps the whole
+    harness fast while still reporting wall-clock cost per figure.
+    """
+    return benchmark.pedantic(runner, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

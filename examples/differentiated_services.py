@@ -1,0 +1,82 @@
+"""Differentiated storage services — the paper's future work, running.
+
+The conclusion of the paper: "In future work we intend to implement the
+memory controller taking advantage of the new trade-offs, thus exposing
+differentiated storage services to applications."  This example does that:
+three applications share one mid-life NAND device through the FTL, each
+with its own namespace bound to a service class:
+
+* ``vault``  (mission-critical) -> min-UBER mode (ISPP-DV, baseline t);
+* ``media``  (streaming)        -> max-read mode (ISPP-DV, relaxed t);
+* ``misc``   (default)          -> baseline (ISPP-SV).
+
+Run:  python examples/differentiated_services.py
+"""
+
+import numpy as np
+
+from repro import NandController
+from repro.analysis.ascii_plot import format_table
+from repro.ftl.service import DifferentiatedStorage, ServiceClass
+from repro.nand.geometry import NandGeometry
+from repro.workloads.patterns import random_page
+
+DEVICE_AGE = 6e4
+
+
+def main() -> None:
+    rng = np.random.default_rng(2012)
+    controller = NandController(
+        NandGeometry(blocks=12, pages_per_block=8), rng=rng
+    )
+    controller.device.array._wear[:] = int(DEVICE_AGE)
+
+    storage = DifferentiatedStorage(controller)
+    storage.create_namespace("vault", ServiceClass.MISSION_CRITICAL, blocks=4)
+    storage.create_namespace("media", ServiceClass.STREAMING, blocks=4)
+    storage.create_namespace("misc", ServiceClass.DEFAULT, blocks=4)
+    storage.refresh_configs(pe_reference=DEVICE_AGE)
+
+    # Each application writes its working set, then reads it repeatedly
+    # (with overwrites in the vault, exercising the FTL + GC underneath).
+    payloads: dict[tuple[str, int], bytes] = {}
+    for name in ("vault", "media", "misc"):
+        for lpn in range(8):
+            payloads[(name, lpn)] = random_page(4096, rng)
+            storage.write(name, lpn, payloads[(name, lpn)])
+    for _ in range(4):  # vault log rollovers: overwrites -> garbage collection
+        for lpn in range(8):
+            payloads[("vault", lpn)] = random_page(4096, rng)
+            storage.write("vault", lpn, payloads[("vault", lpn)])
+    read_us: dict[str, float] = {}
+    for name in ("vault", "media", "misc"):
+        total = 0.0
+        for _ in range(4):
+            for lpn in range(8):
+                data, latency = storage.read(name, lpn)
+                assert data == payloads[(name, lpn)], f"{name}/{lpn} corrupted"
+                total += latency
+        read_us[name] = total / 32 * 1e6
+
+    rows = []
+    for entry in storage.report():
+        rows.append([
+            entry["namespace"], entry["class"], entry["config"],
+            read_us[entry["namespace"]], entry["corrected_bits"],
+            entry["write_amplification"],
+        ])
+    print(format_table(
+        ["namespace", "class", "configuration", "avg read [us]",
+         "corrected bits", "write amp."],
+        rows,
+    ))
+    print(
+        "\nOne chip, three service levels: the streaming namespace reads "
+        "fastest,\nthe vault sees an order of magnitude fewer raw errors, "
+        "and the default\nnamespace keeps full write speed. All data "
+        "verified bit-exact through the FTL."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""High-voltage subsystem characterisation (paper section 5.1).
+
+Runs the transient solver on the three Dickson pumps (ramp to regulation),
+then expands one ISPP-SV and one ISPP-DV program operation into its HV
+enable-signal waveform and prints the FlashPower energy breakdown — the
+machinery behind Fig. 6.
+
+Run:  python examples/hv_characterisation.py
+"""
+
+import numpy as np
+
+from repro.analysis.ascii_plot import format_table
+from repro.hv import HighVoltageSubsystem, build_program_waveform
+from repro.hv.waveform import PhaseKind
+from repro.nand.ispp import IsppAlgorithm
+from repro.nand.program import PageProgrammer
+
+
+def main() -> None:
+    hv = HighVoltageSubsystem()
+
+    print("pump ramp characterisation (transient solver):")
+    rows = []
+    for name in ("program", "inhibit", "verify"):
+        c = hv.characterise_pump(name)
+        rows.append([
+            name, c.target_v, c.settle_time_s * 1e6, c.ripple_v,
+            c.average_supply_power_w * 1e3,
+        ])
+    print(format_table(
+        ["pump", "target [V]", "settle [us]", "ripple [V]", "supply [mW]"],
+        rows,
+    ))
+
+    programmer = PageProgrammer(rng=np.random.default_rng(3))
+    print("\nprogram-operation power (FlashPower breakdown):")
+    rows = []
+    for algorithm in IsppAlgorithm:
+        outcome = programmer.program_random_page(16384, algorithm)
+        waveform = build_program_waveform(outcome.ispp)
+        breakdown = hv.program_power(outcome.ispp)
+        rows.append([
+            algorithm.value,
+            outcome.ispp.pulses,
+            outcome.ispp.verify_ops + outcome.ispp.preverify_ops,
+            waveform.time_in(PhaseKind.VERIFY) * 1e6,
+            breakdown.total_energy_j * 1e6,
+            breakdown.average_power_w * 1e3,
+        ])
+    print(format_table(
+        ["algorithm", "pulses", "verify ops", "verify time [us]",
+         "energy [uJ]", "avg power [mW]"],
+        rows,
+    ))
+    print("\nISPP-DV pays ~2x the verify ops; its power sits ~7 mW above "
+          "ISPP-SV (paper Fig. 6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: write, corrupt, read and reconfigure an MLC NAND sub-system.
+
+Demonstrates the library's top-level API in ~40 lines:
+
+* build a :class:`NandController` (device + adaptive BCH + policies);
+* write and read a page in the baseline mode;
+* switch to the paper's two cross-layer modes and observe the knobs move.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import NandController, OperatingMode
+from repro.nand.geometry import NandGeometry
+from repro.workloads.patterns import random_page
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    controller = NandController(
+        NandGeometry(blocks=8, pages_per_block=16), rng=rng
+    )
+    print("initial status:", controller.status())
+
+    # -- write + read one page in the baseline mode -------------------------
+    data = random_page(4096, rng)
+    write = controller.write(block=0, page=0, data=data)
+    print(
+        f"write: algorithm={write.algorithm.value}, t={write.ecc_t}, "
+        f"latency={write.latencies.total_s * 1e6:.0f} us"
+    )
+    out, read = controller.read(block=0, page=0)
+    assert out == data
+    print(
+        f"read:  corrected {read.corrected_bits} bit(s), "
+        f"latency={read.latencies.total_s * 1e6:.0f} us"
+    )
+
+    # -- cross-layer mode switches ------------------------------------------
+    for mode in (OperatingMode.MIN_UBER, OperatingMode.MAX_READ_THROUGHPUT):
+        controller.set_mode(mode)
+        status = controller.status()
+        print(
+            f"mode={status['mode']:<22s} -> program algorithm="
+            f"{status['program_algorithm']}, BCH t={status['ecc_t']}"
+        )
+
+    # Pages written earlier still decode (per-page codeword bookkeeping).
+    out, _ = controller.read(block=0, page=0)
+    assert out == data
+    print("baseline-written page still decodes after reconfiguration: OK")
+
+
+if __name__ == "__main__":
+    main()

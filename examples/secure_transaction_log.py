@@ -1,0 +1,64 @@
+"""Mission-critical storage with the min-UBER mode (paper section 6.3.1).
+
+An append-only transaction log demands an UBER far below the 1e-11
+datasheet figure.  The cross-layer min-UBER mode switches the physical
+layer to ISPP-DV while keeping the baseline ECC configuration: the
+achieved UBER drops by orders of magnitude, read latency is untouched, and
+only writes slow down — exactly the trade the paper proposes for secure
+transactions, OS upgrades and backups.
+
+Run:  python examples/secure_transaction_log.py
+"""
+
+import numpy as np
+
+from repro import NandController, OperatingMode
+from repro.bch.uber import log10_achieved_uber
+from repro.nand.geometry import NandGeometry
+from repro.workloads.patterns import random_page
+
+DEVICE_AGE = 1e4  # a mid-life device
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    controller = NandController(
+        NandGeometry(blocks=8, pages_per_block=16),
+        rng=rng,
+    )
+    controller.device.array._wear[:] = int(DEVICE_AGE)
+
+    print("appending the transaction log in both service levels:\n")
+    for mode in (OperatingMode.BASELINE, OperatingMode.MIN_UBER):
+        controller.set_mode(mode, pe_reference=DEVICE_AGE)
+        status = controller.status()
+        config = controller.policy.config_for(mode, DEVICE_AGE)
+        rber = controller.policy.rber_for(config, DEVICE_AGE)
+        log_uber = log10_achieved_uber(rber, config.ecc_t)
+
+        # Append a few records (one page each) and verify them back.
+        block = 0 if mode is OperatingMode.BASELINE else 1
+        write_us = read_us = 0.0
+        for page in range(4):
+            record = random_page(4096, rng)
+            report = controller.write(block, page, record)
+            write_us += report.latencies.total_s * 1e6
+            out, read = controller.read(block, page)
+            assert out == record
+            read_us += read.latencies.total_s * 1e6
+
+        print(
+            f"{mode.value:<10s} algo={status['program_algorithm']} "
+            f"t={status['ecc_t']:<3d} RBER={rber:.2e} "
+            f"log10(UBER)={log_uber:7.1f}  "
+            f"avg write={write_us / 4:7.0f} us  avg read={read_us / 4:6.0f} us"
+        )
+
+    print(
+        "\nmin-UBER mode: same t, same read path, UBER improved by orders of"
+        " magnitude; writes pay the ISPP-DV time (paper section 6.3.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

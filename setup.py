@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires building an editable wheel (PEP 660); on
+offline machines without `wheel` installed, `python setup.py develop`
+provides the equivalent editable install through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — cross-layer reliability/performance trade-offs in MLC NAND flash.
+
+A production-quality reproduction of Zambelli et al., "A Cross-Layer
+Approach for New Reliability-Performance Trade-Offs in MLC NAND Flash
+Memories" (DATE 2012).
+
+Quick start
+-----------
+>>> from repro import NandController, OperatingMode
+>>> controller = NandController()
+>>> controller.set_mode(OperatingMode.MAX_READ_THROUGHPUT)
+>>> report = controller.write(block=0, page=0, data=bytes(4096))
+>>> data, read_report = controller.read(block=0, page=0)
+
+Layers
+------
+* :mod:`repro.gf` / :mod:`repro.bch` — GF(2^m) arithmetic and the adaptive
+  BCH codec (architecture layer, paper section 4);
+* :mod:`repro.nand` / :mod:`repro.hv` — MLC cell physics, ISPP-SV/DV
+  programming and the high-voltage subsystem (physical layer, section 5);
+* :mod:`repro.controller` — the advanced memory controller (section 3);
+* :mod:`repro.core` — the cross-layer policies and trade-off analysis
+  (section 6.3, the paper's contribution);
+* :mod:`repro.analysis.experiments` — one runner per paper figure.
+"""
+
+from repro.bch import AdaptiveBCHCodec, BCHDecoder, BCHEncoder, design_code
+from repro.controller import NandController
+from repro.core import (
+    CrossLayerConfig,
+    CrossLayerPolicy,
+    OperatingMode,
+    TradeoffAnalyzer,
+)
+from repro.ftl import DifferentiatedStorage, FlashTranslationLayer, ServiceClass
+from repro.nand import (
+    IsppAlgorithm,
+    LifetimeRberModel,
+    NandFlashDevice,
+    PageProgrammer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveBCHCodec",
+    "BCHEncoder",
+    "BCHDecoder",
+    "design_code",
+    "NandController",
+    "OperatingMode",
+    "CrossLayerConfig",
+    "CrossLayerPolicy",
+    "TradeoffAnalyzer",
+    "IsppAlgorithm",
+    "PageProgrammer",
+    "LifetimeRberModel",
+    "NandFlashDevice",
+    "FlashTranslationLayer",
+    "DifferentiatedStorage",
+    "ServiceClass",
+    "__version__",
+]

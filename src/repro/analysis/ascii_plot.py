@@ -1,0 +1,106 @@
+"""Terminal rendering: ASCII charts and tables for the bench output.
+
+The benches "print the same rows/series the paper reports"; these helpers
+make the printed output directly comparable with the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Plot symbols assigned to series in order.
+_SYMBOLS = "ox+*#%@&"
+
+
+def _transform(values: np.ndarray, log: bool) -> np.ndarray:
+    if not log:
+        return values.astype(np.float64)
+    safe = np.asarray(values, dtype=np.float64)
+    if np.any(safe <= 0):
+        raise ConfigurationError("log axis requires strictly positive values")
+    return np.log10(safe)
+
+
+def ascii_chart(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render series as a character grid with a legend.
+
+    Good enough to eyeball curve shapes (the reproduction criterion) right
+    in the pytest-benchmark output.
+    """
+    if not series:
+        raise ConfigurationError("no series to plot")
+    x_t = _transform(np.asarray(x), logx)
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    y_t_all = _transform(all_y, logy)
+    x_min, x_max = float(x_t.min()), float(x_t.max())
+    y_min, y_max = float(y_t_all.min()), float(y_t_all.max())
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for symbol, (label, values) in zip(_SYMBOLS, series.items()):
+        y_t = _transform(np.asarray(values), logy)
+        for xi, yi in zip(x_t, y_t):
+            col = int(round((xi - x_min) / x_span * (width - 1)))
+            row = int(round((y_max - yi) / y_span * (height - 1)))
+            grid[row][col] = symbol
+
+    lines = []
+    top = f"{y_max:.3g}"
+    bottom = f"{y_min:.3g}"
+    margin = max(len(top), len(bottom)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * margin + "+" + "-" * width)
+    lines.append(
+        " " * margin
+        + f" {x_label}: {x_min:.3g} .. {x_max:.3g}"
+        + ("  (log10)" if logx else "")
+        + (f"   {y_label} (log10)" if logy else f"   {y_label}")
+    )
+    legend = "   ".join(
+        f"{symbol}={label}" for symbol, label in zip(_SYMBOLS, series.keys())
+    )
+    lines.append(" " * margin + " " + legend)
+    return "\n".join(lines)
+
+
+def format_table(headers: list[str], rows: list[list], precision: int = 4) -> str:
+    """Fixed-width table from heterogeneous rows."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+                return f"{value:.{precision}e}"
+            return f"{value:.{precision}g}"
+        return str(value)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.rjust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

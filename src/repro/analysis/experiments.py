@@ -1,0 +1,718 @@
+"""Experiment registry: one runner per paper figure plus ablations.
+
+Each ``run_figNN`` regenerates the corresponding figure's data — same axes,
+same sweep, same configurations — and returns an :class:`ExperimentResult`
+with a printable table/chart and the raw arrays.  The benchmark harness
+(`benchmarks/`) and EXPERIMENTS.md generation both consume this module, so
+the reproduction has a single source of truth.
+
+Fast defaults keep a full-suite run to tens of seconds; every runner takes
+explicit grids/sizes for higher fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import params as canon
+from repro.analysis.ascii_plot import ascii_chart, format_table
+from repro.analysis.fitting import fit_cell_model
+from repro.analysis.series import LifetimeSeries
+from repro.bch.hardware import EccLatencyModel
+from repro.bch.params import design_code
+from repro.bch.uber import log10_uber_eq1, required_t
+from repro.controller.spare import SpareAreaLayout
+from repro.controller.controller import NandController
+from repro.core.modes import OperatingMode
+from repro.core.pareto import enumerate_operating_points, pareto_front
+from repro.core.policy import CrossLayerPolicy
+from repro.core.tradeoff import TradeoffAnalyzer
+from repro.hv.subsystem import HighVoltageSubsystem
+from repro.nand.distributions import distribution_report, level_statistics
+from repro.nand.ispp import IsppAlgorithm
+from repro.nand.program import PageProgrammer
+from repro.nand.rber import LifetimeRberModel, MonteCarloRber
+from repro.params import EccHardwareParams
+from repro.sim.host import HostWorkload, run_host_workload
+from repro.workloads.traces import (
+    mixed_trace,
+    multimedia_playback_trace,
+    os_upgrade_trace,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment runner."""
+
+    exp_id: str
+    title: str
+    table: str
+    data: dict = field(default_factory=dict)
+    chart: str | None = None
+    notes: str = ""
+
+    def render(self) -> str:
+        """Full printable report."""
+        parts = [f"== {self.exp_id}: {self.title} ==", self.table]
+        if self.chart:
+            parts.append(self.chart)
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n\n".join(parts)
+
+
+class ExperimentSuite:
+    """Shared models + all figure runners."""
+
+    def __init__(self, seed: int = 2012):
+        self.rng = np.random.default_rng(seed)
+        self.rber_model = LifetimeRberModel()
+        self.policy = CrossLayerPolicy(rber_model=self.rber_model)
+        self.programmer = PageProgrammer(rng=self.rng)
+        self.analyzer = TradeoffAnalyzer(
+            policy=self.policy, programmer=self.programmer
+        )
+        self.hv = HighVoltageSubsystem()
+        self.mc = MonteCarloRber(self.programmer)
+
+    # -- default sweep axes ---------------------------------------------------
+
+    def lifetime_grid(self, points: int = 11) -> np.ndarray:
+        """1..1e5 P/E cycles, log-spaced (Figs. 6, 8-11 x-axis)."""
+        return np.logspace(0, 5, points)
+
+    def extended_grid(self, points: int = 9) -> np.ndarray:
+        """1e2..1e6 P/E cycles (Fig. 5 x-axis)."""
+        return np.logspace(2, 6, points)
+
+    # -- Fig. 3: threshold-voltage distributions --------------------------------
+
+    def run_fig03(self, n_cells: int = 16384) -> ExperimentResult:
+        """L0-L3 VTH distributions with read/verify levels marked."""
+        outcome = self.programmer.program_random_page(
+            n_cells, IsppAlgorithm.SV, pe_cycles=0.0
+        )
+        vth_read = self.programmer.read_vth(outcome)
+        table = distribution_report(outcome.levels, vth_read, self.programmer.levels)
+        stats = level_statistics(outcome.levels, vth_read)
+        return ExperimentResult(
+            exp_id="fig03",
+            title="MLC threshold-voltage distributions (ISPP-SV, fresh device)",
+            table=table,
+            data={"stats": stats},
+            notes=(
+                "four well-separated levels; read levels R1-R3 sit in the "
+                "gaps and verify levels at the lower edges, as in Fig. 3"
+            ),
+        )
+
+    # -- Fig. 4: compact model fit ------------------------------------------------
+
+    def run_fig04(self) -> ExperimentResult:
+        """Compact-model fit of the experimental ISPP staircase."""
+        fit = fit_cell_model()
+        rows = [
+            [float(v), float(e), float(p), float(p - e)]
+            for v, e, p in zip(fit.dataset.vcg, fit.dataset.vth, fit.predicted)
+        ]
+        table = format_table(
+            ["VCG [V]", "experimental VTH [V]", "simulated VTH [V]", "error [V]"],
+            rows,
+        )
+        summary = (
+            f"fitted onset={fit.params.onset:.2f} V, "
+            f"softness={fit.params.softness:.2f} V, "
+            f"VTH0={fit.params.vth_initial:.2f} V | "
+            f"RMSE={fit.rmse * 1e3:.1f} mV, max |err|={fit.max_abs_error * 1e3:.1f} mV"
+        )
+        return ExperimentResult(
+            exp_id="fig04",
+            title="Compact-model fit, VTH vs VCG during ISPP (7 us, 1 V step)",
+            table=table + "\n" + summary,
+            data={"fit": fit},
+            notes="paper reports visual overlay; we quantify the fit error",
+        )
+
+    # -- Fig. 5: RBER over lifetime --------------------------------------------------
+
+    def run_fig05(
+        self,
+        grid: np.ndarray | None = None,
+        mc_points: tuple[float, ...] = (1e2, 1e4, 1e5),
+        mc_cells: int = 16384,
+    ) -> ExperimentResult:
+        """RBER vs P/E cycles for ISPP-SV and ISPP-DV, canonical + MC."""
+        grid = self.extended_grid() if grid is None else grid
+        sv = np.array([self.rber_model.rber_sv(n) for n in grid])
+        dv = np.array([self.rber_model.rber_dv(n) for n in grid])
+        series = LifetimeSeries("fig05", "pe_cycles", grid)
+        series.add("rber_sv", sv).add("rber_dv", dv)
+        mc_rows = []
+        for n in mc_points:
+            mc_sv = self.mc.estimate(n, IsppAlgorithm.SV, mc_cells).rber
+            mc_dv = self.mc.estimate(n, IsppAlgorithm.DV, mc_cells).rber
+            mc_rows.append([
+                float(n), mc_sv, self.rber_model.rber_sv(n),
+                mc_dv, self.rber_model.rber_dv(n),
+            ])
+        mc_table = format_table(
+            ["pe_cycles", "MC rber_sv", "model rber_sv", "MC rber_dv",
+             "model rber_dv"],
+            mc_rows,
+        )
+        chart = ascii_chart(
+            grid, {"SV": sv, "DV": dv}, logx=True, logy=True,
+            x_label="P/E cycles", y_label="RBER",
+        )
+        gap = float(np.mean(sv / dv))
+        return ExperimentResult(
+            exp_id="fig05",
+            title="RBER characterisation, ISPP-SV vs ISPP-DV",
+            table=series.to_table() + "\n\nMonte-Carlo cross-check:\n" + mc_table,
+            chart=chart,
+            data={"grid": grid, "sv": sv, "dv": dv, "mc_rows": mc_rows},
+            notes=(
+                f"ISPP-DV improves RBER by {gap:.1f}x across the lifetime "
+                "(paper: about one order of magnitude)"
+            ),
+        )
+
+    # -- Fig. 6: program power --------------------------------------------------------
+
+    def run_fig06(
+        self,
+        grid: np.ndarray | None = None,
+        n_cells: int = 8192,
+    ) -> ExperimentResult:
+        """Program power vs P/E cycles for {SV, DV} x {L1, L2, L3}."""
+        grid = self.lifetime_grid(6) if grid is None else grid
+        series = LifetimeSeries("fig06", "pe_cycles", grid)
+        columns: dict[str, list[float]] = {}
+        for algorithm in IsppAlgorithm:
+            for level in (1, 2, 3):
+                label = f"{algorithm.value}-L{level}"
+                powers = []
+                for n in grid:
+                    targets = self.programmer.uniform_pattern_levels(level, n_cells)
+                    outcome = self.programmer.program_levels(
+                        targets, algorithm, float(n)
+                    )
+                    powers.append(self.hv.program_power(outcome.ispp).average_power_w)
+                columns[label] = powers
+                series.add(label, np.asarray(powers))
+        sv_mean = np.mean([columns[f"ispp-sv-L{l}"] for l in (1, 2, 3)])
+        dv_mean = np.mean([columns[f"ispp-dv-L{l}"] for l in (1, 2, 3)])
+        delta_mw = (dv_mean - sv_mean) * 1e3
+        return ExperimentResult(
+            exp_id="fig06",
+            title="Program power, ISPP-SV vs ISPP-DV, L1/L2/L3 patterns",
+            table=series.to_table(),
+            data={"series": series},
+            notes=(
+                f"DV-SV average power shift = {delta_mw:+.1f} mW "
+                "(paper: ~7.5 mW); pattern ordering L1 < L2 < L3 holds"
+            ),
+        )
+
+    # -- Fig. 7 (+ the mislabelled 'Fig. ??'): UBER vs RBER -----------------------------
+
+    def run_fig07(self) -> ExperimentResult:
+        """UBER vs RBER for the paper's correction capabilities."""
+        k, m = self.policy.k, self.policy.m
+        sv_checkpoints = [2.5e-6, 5e-6, 1e-5, 2.75e-4, 3.35e-4, 1e-3]
+        dv_checkpoints = [8e-7, 1e-6, 2.5e-6, 2.75e-5, 5e-5, 8e-5]
+        rows = []
+        for label, checkpoints in (("ISPP-SV", sv_checkpoints),
+                                   ("ISPP-DV", dv_checkpoints)):
+            for rber in checkpoints:
+                t = required_t(rber, k=k, m=m)
+                n = k + m * t
+                rows.append([label, rber, t, log10_uber_eq1(rber, n, t)])
+        table = format_table(
+            ["algorithm range", "RBER", "required t", "log10 UBER at t"], rows
+        )
+        t_sv_max = required_t(self.rber_model.rber_sv(canon.RATED_PE_CYCLES), k=k, m=m)
+        t_dv_max = required_t(self.rber_model.rber_dv(canon.RATED_PE_CYCLES), k=k, m=m)
+        t_min = required_t(self.rber_model.rber_dv(0.0), k=k, m=m)
+        return ExperimentResult(
+            exp_id="fig07",
+            title="UBER-RBER relation of the adaptive BCH (target 1e-11)",
+            table=table,
+            data={"t_sv_max": t_sv_max, "t_dv_max": t_dv_max, "t_min": t_min},
+            notes=(
+                f"tMIN={t_min} (paper: 3), tMAX ISPP-SV={t_sv_max} (paper: 65), "
+                f"tMAX ISPP-DV={t_dv_max} (paper: 14)"
+            ),
+        )
+
+    # -- Fig. 8: ECC latency over lifetime --------------------------------------------
+
+    def run_fig08(self, grid: np.ndarray | None = None) -> ExperimentResult:
+        """Encode/decode latency under the constant-UBER policy."""
+        grid = self.lifetime_grid() if grid is None else grid
+        data = self.analyzer.latency_series(grid)
+        series = LifetimeSeries("fig08", "pe_cycles", grid)
+        for key in ("sv_encode_s", "dv_encode_s", "sv_decode_s", "dv_decode_s"):
+            series.add(key.replace("_s", "_us"), data[key] * 1e6)
+        chart = ascii_chart(
+            grid,
+            {
+                "SV dec": data["sv_decode_s"] * 1e6,
+                "DV dec": data["dv_decode_s"] * 1e6,
+                "SV enc": data["sv_encode_s"] * 1e6,
+                "DV enc": data["dv_encode_s"] * 1e6,
+            },
+            logx=True, x_label="P/E cycles", y_label="latency [us]",
+        )
+        return ExperimentResult(
+            exp_id="fig08",
+            title="ECC encode/decode latency at 80 MHz, constant UBER 1e-11",
+            table=series.to_table(),
+            chart=chart,
+            data={"grid": grid, **data},
+            notes=(
+                "SV decoding grows with the reconfigured t (up to "
+                f"{float(data['sv_decode_s'][-1] * 1e6):.0f} us); DV stays near "
+                f"{float(data['dv_decode_s'][-1] * 1e6):.0f} us — paper shows the "
+                "same divergence with ~160 us worst case"
+            ),
+        )
+
+    # -- Fig. 9: write-throughput loss ---------------------------------------------------
+
+    def run_fig09(self, grid: np.ndarray | None = None) -> ExperimentResult:
+        """Write-throughput penalty of the cross-layer (DV) configuration."""
+        grid = self.lifetime_grid() if grid is None else grid
+        grid, losses = self.analyzer.write_loss_series(grid)
+        series = LifetimeSeries("fig09", "pe_cycles", grid)
+        series.add("write_loss_percent", losses)
+        chart = ascii_chart(
+            grid, {"loss%": losses}, logx=True,
+            x_label="P/E cycles", y_label="write loss [%]",
+        )
+        return ExperimentResult(
+            exp_id="fig09",
+            title="Write-throughput loss vs baseline (ISPP-DV switch)",
+            table=series.to_table(),
+            chart=chart,
+            data={"grid": grid, "losses": losses},
+            notes=(
+                f"loss spans {losses.min():.1f}%..{losses.max():.1f}% "
+                "(paper Fig. 9: ~40-48%)"
+            ),
+        )
+
+    # -- Fig. 10: UBER improvement --------------------------------------------------------
+
+    def run_fig10(self, grid: np.ndarray | None = None) -> ExperimentResult:
+        """Nominal vs physical-layer-modified UBER (min-UBER mode)."""
+        grid = self.lifetime_grid() if grid is None else grid
+        grid, nominal, improved = self.analyzer.uber_series(grid)
+        series = LifetimeSeries("fig10", "pe_cycles", grid)
+        series.add("log10_uber_nominal", nominal)
+        series.add("log10_uber_min_uber_mode", improved)
+        series.add("improvement_orders", nominal - improved)
+        chart = ascii_chart(
+            grid,
+            {"nominal": nominal, "min-UBER": improved},
+            logx=True, x_label="P/E cycles", y_label="log10 UBER",
+        )
+        return ExperimentResult(
+            exp_id="fig10",
+            title="UBER improvement from the physical-layer switch (same ECC)",
+            table=series.to_table(),
+            chart=chart,
+            data={"grid": grid, "nominal": nominal, "improved": improved},
+            notes=(
+                "nominal holds just under the 1e-11 target; switching to "
+                "ISPP-DV with unchanged t drops UBER by "
+                f"{float((nominal - improved).min()):.0f}.."
+                f"{float((nominal - improved).max()):.0f} orders of magnitude "
+                "(paper text claims 2-4 orders; Eq. (1) with its own t "
+                "schedule yields far more — see EXPERIMENTS.md)"
+            ),
+        )
+
+    # -- Fig. 11: read-throughput gain ------------------------------------------------------
+
+    def run_fig11(self, grid: np.ndarray | None = None) -> ExperimentResult:
+        """Read-throughput gain of the max-read cross-layer mode."""
+        grid = self.lifetime_grid() if grid is None else grid
+        grid, gains = self.analyzer.read_gain_series(grid)
+        series = LifetimeSeries("fig11", "pe_cycles", grid)
+        series.add("read_gain_percent", gains)
+        chart = ascii_chart(
+            grid, {"gain%": gains}, logx=True,
+            x_label="P/E cycles", y_label="read gain [%]",
+        )
+        return ExperimentResult(
+            exp_id="fig11",
+            title="Read-throughput gain at constant UBER (max-read mode)",
+            table=series.to_table(),
+            chart=chart,
+            data={"grid": grid, "gains": gains},
+            notes=(
+                f"gain grows from {gains[0]:.1f}% to {gains[-1]:.1f}% at end "
+                "of life (paper Fig. 11: up to ~30%)"
+            ),
+        )
+
+    # -- ablations ----------------------------------------------------------------------
+
+    def run_ablation_blocksize(self) -> ExperimentResult:
+        """ECC block size vs parity overhead (section 2's Chen critique)."""
+        spare = SpareAreaLayout()
+        eol_rber = self.rber_model.rber_sv(canon.RATED_PE_CYCLES)
+        latency = EccLatencyModel()
+        rows = []
+        for block_bytes in (512, 1024, 2048, 4096):
+            k = block_bytes * 8
+            blocks_per_page = 4096 // block_bytes
+            t = required_t(eol_rber, k=k, m=None or _min_m(k), t_max=200)
+            spec = design_code(k, t)
+            parity_page = spec.parity_bytes * blocks_per_page
+            decode_page = latency.decode_latency_s(spec) * blocks_per_page
+            rows.append([
+                block_bytes, spec.m, t, parity_page,
+                "yes" if spare.fits(parity_page) else "NO",
+                decode_page * 1e6,
+            ])
+        table = format_table(
+            ["ECC block [B]", "GF degree m", "required t", "parity/page [B]",
+             "fits 224 B spare", "page decode [us]"],
+            rows,
+        )
+        return ExperimentResult(
+            exp_id="abl_blocksize",
+            title="ECC block-size ablation at end-of-life RBER",
+            table=table,
+            data={"rows": rows},
+            notes=(
+                "small blocks need more parity bits per page and saturate "
+                "the spare area — the paper's argument for 4 KiB blocks"
+            ),
+        )
+
+    def run_ablation_chien(self) -> ExperimentResult:
+        """Chien parallelism / multiplier-budget sweep (section 4)."""
+        rows = []
+        for budget in (65, 130, 260, 520):
+            for h_max in (2, 4, 8):
+                hw = EccHardwareParams(
+                    chien_max_parallelism=h_max,
+                    chien_multiplier_budget=max(budget, h_max),
+                )
+                latency = EccLatencyModel(hw)
+                dec_sv = latency.decode_latency_s(self.analyzer.spec(65))
+                dec_dv = latency.decode_latency_s(self.analyzer.spec(14))
+                rows.append([
+                    budget, h_max,
+                    hw.chien_parallelism(65), hw.chien_parallelism(14),
+                    dec_sv * 1e6, dec_dv * 1e6,
+                    100.0 * ((canon.T_READ_ARRAY + dec_sv)
+                             / (canon.T_READ_ARRAY + dec_dv) - 1.0),
+                ])
+        table = format_table(
+            ["mult budget", "h_max", "h(t=65)", "h(t=14)",
+             "decode t=65 [us]", "decode t=14 [us]", "EOL read gain [%]"],
+            rows,
+        )
+        return ExperimentResult(
+            exp_id="abl_chien",
+            title="Chien-search parallelism ablation",
+            table=table,
+            data={"rows": rows},
+            notes=(
+                "the multiplier budget sets how much decode latency grows "
+                "with t, and therefore the size of the Fig. 11 gain"
+            ),
+        )
+
+    def run_ablation_tworound(self, grid: np.ndarray | None = None) -> ExperimentResult:
+        """Two-round data-load mitigation of the write loss (section 6.3.3)."""
+        grid = self.lifetime_grid(6) if grid is None else grid
+        rows = []
+        for n in grid:
+            new = self.analyzer.point(OperatingMode.MAX_READ_THROUGHPUT, float(n))
+            serial_wt = new.throughput.write_bytes_per_s / 1e6
+            pipe = self.analyzer.throughput_model.pipelined_point(
+                new.read_array_s, new.decode_s, new.encode_s, new.program_s
+            )
+            pipe_wt = pipe.write_bytes_per_s / 1e6
+            rows.append([
+                float(n), serial_wt, pipe_wt,
+                100.0 * (pipe_wt / serial_wt - 1.0),
+            ])
+        table = format_table(
+            ["pe_cycles", "DV write serial [MB/s]", "DV write two-round [MB/s]",
+             "recovered [%]"],
+            rows,
+        )
+        return ExperimentResult(
+            exp_id="abl_tworound",
+            title="Write-throughput mitigation by two-round (overlapped) data load",
+            table=table,
+            data={"rows": rows},
+            notes=(
+                "overlapping the data load + encode of the next page with "
+                "the ISPP-DV program of the current one recovers part of "
+                "the section 6.3.3 write penalty"
+            ),
+        )
+
+    def run_ablation_pareto(
+        self, ages: tuple[float, ...] = (1.0, 1e4, 1e5)
+    ) -> ExperimentResult:
+        """Cross-layer operating-point space and its Pareto front."""
+        rows = []
+        data = {}
+        t_probe = sorted({3, 6, 10, 14, 20, 27, 33, 40, 53, 65})
+        for age in ages:
+            points = enumerate_operating_points(self.analyzer, age, t_probe)
+            feasible = [
+                p for p in points
+                if p.log10_uber <= np.log10(self.policy.uber_target)
+            ]
+            front = pareto_front(feasible)
+            dv_on_front = sum(
+                1 for p in front if p.algorithm is IsppAlgorithm.DV
+            )
+            rows.append([
+                age, len(points), len(feasible), len(front), dv_on_front,
+            ])
+            data[age] = front
+        table = format_table(
+            ["pe_cycles", "points", "UBER-feasible", "Pareto front",
+             "ISPP-DV on front"],
+            rows,
+        )
+        return ExperimentResult(
+            exp_id="abl_pareto",
+            title="Operating-point enumeration and Pareto analysis",
+            table=table,
+            data=data,
+            notes=(
+                "cross-layer (ISPP-DV) points populate the Pareto front "
+                "wherever read throughput or UBER is prioritised — the "
+                "'new trade-offs' of the title"
+            ),
+        )
+
+    def run_ablation_partition(
+        self, ages: tuple[float, ...] = (1.0, 1e4, 1e5)
+    ) -> ExperimentResult:
+        """Boot-time SLC/MLC partitioning vs runtime cross-layer (section 2).
+
+        The related-work alternative ([20], [21]) buys reliability by
+        *statically* dedicating SLC segments at boot, permanently halving
+        their capacity; the cross-layer approach reaches comparable
+        operating points at runtime with no capacity loss.
+        """
+        from repro.core.partition import CellMode, PartitionPlanner, PartitionSpec
+
+        planner = PartitionPlanner(analyzer=self.analyzer)
+        blocks = planner.geometry.blocks
+        rows = []
+        for age in ages:
+            for mode in CellMode:
+                m = planner.evaluate(PartitionSpec("seg", blocks, mode), age)
+                rows.append([
+                    age, f"static {mode.value}", m.capacity_bytes / 2**30,
+                    m.rber, m.required_t if m.required_t is not None else ">65",
+                    m.read_mb_s, m.write_mb_s,
+                ])
+            # Runtime cross-layer: full MLC capacity, mode per workload.
+            for om in (OperatingMode.BASELINE, OperatingMode.MAX_READ_THROUGHPUT):
+                p = self.analyzer.point(om, age)
+                full_capacity = (
+                    blocks * planner.geometry.pages_per_block
+                    * planner.geometry.page_data_bytes / 2**30
+                )
+                rows.append([
+                    age, f"runtime {om.value}", full_capacity,
+                    p.rber, p.config.ecc_t, p.read_mb_s, p.write_mb_s,
+                ])
+        table = format_table(
+            ["pe_cycles", "scheme", "capacity [GiB]", "RBER", "t",
+             "read MB/s", "write MB/s"],
+            rows,
+        )
+        return ExperimentResult(
+            exp_id="abl_partition",
+            title="Boot-time SLC/MLC partitioning vs runtime cross-layer",
+            table=table,
+            data={"rows": rows},
+            notes=(
+                "static SLC wins raw RBER but permanently halves capacity "
+                "and fixes the choice at boot; the cross-layer modes retune "
+                "per workload at runtime with full MLC density"
+            ),
+        )
+
+    def run_ablation_retention(
+        self,
+        pe_points: tuple[float, ...] = (1e3, 1e4, 1e5),
+        retention_hours: tuple[float, ...] = (0.0, 1e3, 5e3, 2e4),
+        n_cells: int = 8192,
+    ) -> ExperimentResult:
+        """Data retention x cycling x program algorithm (section 1 [4]).
+
+        Shows the cross-layer consequence of storage time: the ISPP-DV RBER
+        headroom keeps the adaptive ECC inside its t range for roughly an
+        order of magnitude more shelf time than ISPP-SV on a worn device.
+        """
+        rows = []
+        for pe in pe_points:
+            for hours in retention_hours:
+                row = [pe, hours]
+                for algorithm in IsppAlgorithm:
+                    rber = self.mc.estimate(
+                        pe, algorithm, n_cells, retention_h=hours
+                    ).rber
+                    try:
+                        t = required_t(rber)
+                        t_text = str(t)
+                    except Exception:
+                        t_text = ">65"
+                    row.extend([rber, t_text])
+                rows.append(row)
+        table = format_table(
+            ["pe_cycles", "storage [h]", "RBER SV", "t(SV)", "RBER DV", "t(DV)"],
+            rows,
+        )
+        return ExperimentResult(
+            exp_id="abl_retention",
+            title="Retention loss vs cycling vs program algorithm",
+            table=table,
+            data={"rows": rows},
+            notes=(
+                "charge loss erodes the sensing margins with log(time), "
+                "accelerated by wear; ISPP-DV's compacted distributions "
+                "keep the ECC in range markedly longer"
+            ),
+        )
+
+    def run_system_services(self) -> ExperimentResult:
+        """Differentiated storage services (the paper's future work).
+
+        Three namespaces with distinct service classes share one mid-life
+        device through the FTL; each transparently gets its own
+        cross-layer configuration.
+        """
+        from repro.ftl.service import DifferentiatedStorage, ServiceClass
+        from repro.nand.geometry import NandGeometry
+        from repro.workloads.patterns import random_page
+
+        rng = np.random.default_rng(404)
+        controller = NandController(
+            NandGeometry(blocks=12, pages_per_block=8),
+            policy=self.policy,
+            rng=rng,
+        )
+        controller.device.array._wear[:] = 10_000
+        storage = DifferentiatedStorage(controller)
+        storage.create_namespace("vault", ServiceClass.MISSION_CRITICAL, 4)
+        storage.create_namespace("media", ServiceClass.STREAMING, 4)
+        storage.create_namespace("misc", ServiceClass.DEFAULT, 4)
+        storage.refresh_configs(pe_reference=1e4)
+
+        latencies: dict[str, dict[str, float]] = {}
+        for name in ("vault", "media", "misc"):
+            ns = storage.namespace(name)
+            write_s = read_s = 0.0
+            writes = min(8, ns.logical_capacity)
+            for lpn in range(writes):
+                write_s += storage.write(name, lpn, random_page(4096, rng))
+            for _ in range(3):
+                for lpn in range(writes):
+                    _, latency = storage.read(name, lpn)
+                    read_s += latency
+            latencies[name] = {
+                "write_us": write_s / writes * 1e6,
+                "read_us": read_s / (3 * writes) * 1e6,
+            }
+        rows = []
+        for entry in storage.report():
+            name = entry["namespace"]
+            rows.append([
+                name, entry["class"], entry["config"],
+                latencies[name]["read_us"], latencies[name]["write_us"],
+                entry["corrected_bits"],
+            ])
+        table = format_table(
+            ["namespace", "service class", "configuration",
+             "avg read [us]", "avg write [us]", "corrected bits"],
+            rows,
+        )
+        return ExperimentResult(
+            exp_id="sys_services",
+            title="Differentiated storage services on one device",
+            table=table,
+            data={"rows": rows, "report": storage.report()},
+            notes=(
+                "streaming reads fastest, vault collects ~an order of "
+                "magnitude fewer raw errors, default pays neither write "
+                "penalty — three service levels, one chip"
+            ),
+        )
+
+    def run_system_des(self) -> ExperimentResult:
+        """End-to-end controller simulation on the motivating workloads."""
+        rows = []
+        for mode in (OperatingMode.BASELINE, OperatingMode.MAX_READ_THROUGHPUT):
+            for name, trace in (
+                ("multimedia", multimedia_playback_trace(blocks=1, pages_per_block=6,
+                                                         read_passes=4)),
+                ("os-upgrade", os_upgrade_trace(blocks=1, pages_per_block=6)),
+                ("mixed", mixed_trace(blocks=1, pages_per_block=6)),
+            ):
+                controller = NandController(
+                    policy=self.policy, rng=np.random.default_rng(99)
+                )
+                controller.set_mode(mode)
+                result = run_host_workload(
+                    controller, HostWorkload(name, trace)
+                )
+                rows.append([
+                    mode.value, name, result.read_mb_s, result.write_mb_s,
+                    result.corrected_bits, result.uncorrectable_pages,
+                ])
+        table = format_table(
+            ["mode", "workload", "read MB/s", "write MB/s",
+             "corrected bits", "uncorrectable"],
+            rows,
+        )
+        return ExperimentResult(
+            exp_id="sys_des",
+            title="Discrete-event system simulation (controller + device)",
+            table=table,
+            data={"rows": rows},
+            notes=(
+                "read-dominated workloads gain from max-read mode; "
+                "write-heavy ones pay the ISPP-DV program-time penalty"
+            ),
+        )
+
+    # -- orchestration -----------------------------------------------------------------
+
+    def run_all(self) -> dict[str, ExperimentResult]:
+        """Run every figure and ablation (EXPERIMENTS.md generator)."""
+        runners = [
+            self.run_fig03, self.run_fig04, self.run_fig05, self.run_fig06,
+            self.run_fig07, self.run_fig08, self.run_fig09, self.run_fig10,
+            self.run_fig11, self.run_ablation_blocksize, self.run_ablation_chien,
+            self.run_ablation_tworound, self.run_ablation_pareto,
+            self.run_ablation_retention, self.run_ablation_partition,
+            self.run_system_des, self.run_system_services,
+        ]
+        return {result.exp_id: result for result in (r() for r in runners)}
+
+
+def _min_m(k: int) -> int:
+    """Smallest GF degree fitting a k-bit message with generous t."""
+    from repro.bch.params import minimum_field_degree
+
+    return minimum_field_degree(k, 8)

@@ -1,0 +1,52 @@
+"""Lifetime-series container shared by the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class LifetimeSeries:
+    """Named x/y series over the device lifetime (or any sweep axis).
+
+    ``columns`` maps series names to arrays aligned with ``x``.
+    """
+
+    name: str
+    x_label: str
+    x: np.ndarray
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def add(self, label: str, values) -> "LifetimeSeries":
+        """Attach one column (validated against the x axis length)."""
+        values = np.asarray(values)
+        if values.shape != self.x.shape:
+            raise ConfigurationError(
+                f"column {label!r} length {values.shape} does not match "
+                f"x axis {self.x.shape}"
+            )
+        self.columns[label] = values
+        return self
+
+    def row(self, index: int) -> dict[str, float]:
+        """One sweep point as a dict (x included)."""
+        out = {self.x_label: float(self.x[index])}
+        for label, values in self.columns.items():
+            out[label] = float(values[index])
+        return out
+
+    def to_table(self, float_format: str = "{:>12.4g}") -> str:
+        """Fixed-width text table of the full series."""
+        headers = [self.x_label, *self.columns.keys()]
+        lines = ["  ".join(f"{h:>12s}" for h in headers)]
+        for i in range(len(self.x)):
+            cells = [float_format.format(float(self.x[i]))]
+            cells += [
+                float_format.format(float(v[i])) for v in self.columns.values()
+            ]
+            lines.append("  ".join(cells))
+        return "\n".join(lines)

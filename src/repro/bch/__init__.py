@@ -1,0 +1,47 @@
+"""Adaptive BCH error-correcting codec (paper section 4).
+
+A working binary BCH codec over GF(2^m) with runtime-programmable
+correction capability t, plus a cycle-accurate structural hardware model of
+the Chen-style programmable-LFSR architecture the paper instantiates:
+
+* :mod:`repro.bch.params` — code design (n, k, t, generator polynomial);
+* :mod:`repro.bch.encoder` — systematic encoder (table-driven LFSR);
+* :mod:`repro.bch.syndrome` / :mod:`berlekamp` / :mod:`chien` — the three
+  decoding stages of Fig. 2;
+* :mod:`repro.bch.codec` — the adaptive codec with its polynomial ROM;
+* :mod:`repro.bch.uber` — Eq. (1) UBER model and required-t solver;
+* :mod:`repro.bch.hardware` — encode/decode latency and area models.
+"""
+
+from repro.bch.params import BCHCodeSpec, design_code
+from repro.bch.encoder import BCHEncoder
+from repro.bch.decoder import BCHDecoder, DecodeResult
+from repro.bch.codec import AdaptiveBCHCodec, CodecObservation
+from repro.bch.uber import (
+    log10_uber_eq1,
+    required_t,
+    uber_eq1,
+    uber_exact,
+)
+from repro.bch.hardware import (
+    DecodeLatencyBreakdown,
+    EccLatencyModel,
+    chien_parallelism,
+)
+
+__all__ = [
+    "BCHCodeSpec",
+    "design_code",
+    "BCHEncoder",
+    "BCHDecoder",
+    "DecodeResult",
+    "AdaptiveBCHCodec",
+    "CodecObservation",
+    "uber_eq1",
+    "log10_uber_eq1",
+    "uber_exact",
+    "required_t",
+    "EccLatencyModel",
+    "DecodeLatencyBreakdown",
+    "chien_parallelism",
+]

@@ -1,0 +1,80 @@
+"""Inversionless Berlekamp-Massey (iBM) — second decoding stage of Fig. 2.
+
+Iteratively builds the error-locator polynomial lambda(x) whose roots are
+the inverses of the error locations.  The inversionless formulation (no
+Galois division, as in Micheloni et al. ch. 8, the implementation the paper
+adopts) runs exactly 2t iterations; the hardware model charges
+``bm_cycles_per_iteration`` clocks per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gf.field import GF2m
+from repro.gf.polygf import GFPoly
+
+
+@dataclass(frozen=True)
+class BerlekampResult:
+    """Outcome of the iBM recursion.
+
+    Attributes
+    ----------
+    error_locator:
+        lambda(x), low-order-first coefficients, lambda(0) != 0.
+    degree:
+        Claimed number of errors nu = deg(lambda) when consistent.
+    iterations:
+        Number of update iterations executed (always 2t).
+    """
+
+    error_locator: GFPoly
+    degree: int
+    iterations: int
+
+
+def berlekamp_massey(field: GF2m, syndromes: list[int]) -> BerlekampResult:
+    """Run inversionless BM on ``[S_1 .. S_2t]``.
+
+    Returns the error-locator polynomial; the caller (decoder) validates it
+    by Chien search (root count must equal the claimed degree).
+    """
+    two_t = len(syndromes)
+    mul = field.mul
+    # lam: current locator estimate; b: previous (shifted) estimate.
+    lam = [1] + [0] * two_t
+    b = [1] + [0] * two_t
+    gamma = 1  # previous nonzero discrepancy (inversionless scaling)
+    length = 0  # current LFSR length L
+
+    for r in range(two_t):
+        # Discrepancy: delta = sum_{i=0..L} lam_i * S_{r+1-i}.
+        delta = 0
+        for i in range(length + 1):
+            s_index = r - i  # S_{r+1-i} stored at syndromes[r-i]
+            if s_index < 0:
+                break
+            if lam[i] and syndromes[s_index]:
+                delta ^= mul(lam[i], syndromes[s_index])
+
+        # T(x) = gamma*lam(x) + delta*x*b(x)  (characteristic 2).
+        new_lam = [0] * (two_t + 1)
+        for i in range(two_t + 1):
+            acc = mul(gamma, lam[i]) if lam[i] else 0
+            if delta and i >= 1 and b[i - 1]:
+                acc ^= mul(delta, b[i - 1])
+            new_lam[i] = acc
+
+        if delta and 2 * length <= r:
+            b = lam
+            gamma = delta
+            length = r + 1 - length
+        else:
+            b = [0] + b[:-1]  # b(x) <- x * b(x)
+        lam = new_lam
+
+    locator = GFPoly(field, lam)
+    return BerlekampResult(
+        error_locator=locator, degree=locator.degree, iterations=two_t
+    )

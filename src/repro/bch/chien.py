@@ -1,0 +1,65 @@
+"""Chien search — third decoding stage of Fig. 2.
+
+Finds the roots of the error-locator polynomial by evaluating it at the
+field elements corresponding to valid codeword positions.  For a shortened
+code only n of the 2^m - 1 elements are candidates — the paper's hardware
+keeps "the first element of GF(2^m) from which the Chien search must
+initiate" in a small ROM per correction capability; here the candidate set
+is derived from n directly.
+
+The software implementation is numpy-vectorized over all candidate
+positions (equivalent to an h = n fully-parallel evaluator); the hardware
+latency model in :mod:`repro.bch.hardware` accounts for the real h-way
+datapath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bch.params import BCHCodeSpec
+from repro.gf.field import GF2m
+from repro.gf.polygf import GFPoly
+
+
+class ChienSearch:
+    """Root search over the valid positions of a (shortened) BCH code."""
+
+    def __init__(self, spec: BCHCodeSpec):
+        self.spec = spec
+        self.field: GF2m = spec.field()
+        n = spec.n_stored  # byte-aligned stream (codeword * x^pad)
+        order = self.field.order
+        # Position j (power of x in the stream polynomial) has locator
+        # X = alpha^j; lambda's roots are X^{-1} = alpha^{-j}.  We evaluate
+        # lambda at alpha^e with e = (-j) mod order for j = 0..n-1.
+        exponents = (order - np.arange(n, dtype=np.int64)) % order
+        self._eval_logs = exponents
+
+    def error_positions(self, locator: GFPoly) -> list[int]:
+        """Bit positions (0 = MSB of byte 0) whose locator inverse is a root.
+
+        Returns positions sorted ascending; the caller cross-checks the
+        count against the locator degree to detect decoding failure.
+        """
+        if locator.field != self.field:
+            raise ValueError("locator polynomial is over a different field")
+        if locator.degree <= 0:
+            return []
+        values = self.field.eval_poly_vec(
+            np.asarray(locator.coeffs, dtype=np.int64), self._eval_logs
+        )
+        exponents_j = np.nonzero(values == 0)[0]  # j = power of x
+        n = self.spec.n_stored
+        positions = sorted(int(n - 1 - j) for j in exponents_j)
+        return positions
+
+    def root_count_in_field(self, locator: GFPoly) -> int:
+        """Number of roots over the *whole* field (diagnostic for failures)."""
+        if locator.degree <= 0:
+            return 0
+        all_logs = np.arange(self.field.order, dtype=np.int64)
+        values = self.field.eval_poly_vec(
+            np.asarray(locator.coeffs, dtype=np.int64), all_logs
+        )
+        return int(np.count_nonzero(values == 0))

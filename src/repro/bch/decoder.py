@@ -1,0 +1,143 @@
+"""Full BCH decoder pipeline: syndrome -> Berlekamp-Massey -> Chien.
+
+Mirrors Fig. 2 of the paper, including the error-free early exit after the
+syndrome stage.  Decoding failures (more than t errors) raise
+:class:`repro.errors.DecodingFailure` or, in permissive mode, are reported
+in the :class:`DecodeResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.bch.berlekamp import berlekamp_massey
+from repro.bch.chien import ChienSearch
+from repro.bch.params import BCHCodeSpec
+from repro.bch.syndrome import SyndromeCalculator
+from repro.errors import DecodingFailure
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of one page decode.
+
+    Attributes
+    ----------
+    data: corrected message bytes (k/8 bytes).
+    corrected_bits: number of bit errors corrected (0 for a clean word).
+    error_positions: corrected codeword bit positions (0 = MSB of byte 0).
+    success: False when the word was uncorrectable (permissive mode only).
+    early_exit: True when the all-zero-syndrome shortcut fired.
+    """
+
+    data: bytes
+    corrected_bits: int
+    error_positions: tuple[int, ...] = ()
+    success: bool = True
+    early_exit: bool = False
+
+
+@dataclass
+class DecoderStats:
+    """Aggregate statistics exposed to the reliability manager (section 3)."""
+
+    words_decoded: int = 0
+    words_clean: int = 0
+    words_failed: int = 0
+    bits_corrected: int = 0
+    bits_processed: int = 0
+    max_errors_in_word: int = 0
+    recent_error_counts: list[int] = dataclass_field(default_factory=list)
+
+    def observe(self, corrected: int, n_bits: int, failed: bool) -> None:
+        """Record one decode outcome."""
+        self.words_decoded += 1
+        self.bits_processed += n_bits
+        if failed:
+            self.words_failed += 1
+            return
+        if corrected == 0:
+            self.words_clean += 1
+        self.bits_corrected += corrected
+        self.max_errors_in_word = max(self.max_errors_in_word, corrected)
+        self.recent_error_counts.append(corrected)
+        if len(self.recent_error_counts) > 1024:
+            del self.recent_error_counts[:512]
+
+    @property
+    def observed_rber(self) -> float:
+        """Pre-correction bit error rate estimated from corrected bits."""
+        if self.bits_processed == 0:
+            return 0.0
+        return self.bits_corrected / self.bits_processed
+
+
+class BCHDecoder:
+    """Decoder for one fixed :class:`BCHCodeSpec`."""
+
+    def __init__(self, spec: BCHCodeSpec):
+        self.spec = spec
+        self.syndrome_calculator = SyndromeCalculator(spec)
+        self.chien = ChienSearch(spec)
+        self.stats = DecoderStats()
+
+    def decode(self, codeword: bytes, strict: bool = True) -> DecodeResult:
+        """Correct up to t bit errors in ``codeword`` (message || parity).
+
+        Parameters
+        ----------
+        codeword:
+            k/8 message bytes followed by parity bytes.
+        strict:
+            If True (default) raise :class:`DecodingFailure` on uncorrectable
+            words; otherwise return a :class:`DecodeResult` with
+            ``success=False`` carrying the uncorrected message bytes.
+        """
+        spec = self.spec
+        expected = spec.k // 8 + spec.parity_bytes
+        if len(codeword) != expected:
+            raise ValueError(f"codeword must be {expected} bytes, got {len(codeword)}")
+
+        syndromes = self.syndrome_calculator.syndromes(codeword)
+        message_bytes = spec.k // 8
+
+        if SyndromeCalculator.all_zero(syndromes):
+            self.stats.observe(0, spec.n, failed=False)
+            return DecodeResult(
+                data=bytes(codeword[:message_bytes]),
+                corrected_bits=0,
+                early_exit=True,
+            )
+
+        bm = berlekamp_massey(spec.field(), syndromes)
+        positions = self.chien.error_positions(bm.error_locator)
+
+        if (
+            bm.degree < 1
+            or bm.degree > spec.t
+            or len(positions) != bm.degree
+        ):
+            self.stats.observe(0, spec.n, failed=True)
+            failure = DecodingFailure(
+                f"uncorrectable word: locator degree {bm.degree}, "
+                f"{len(positions)} roots in range (t={spec.t})",
+                detected=bm.degree,
+            )
+            if strict:
+                raise failure
+            return DecodeResult(
+                data=bytes(codeword[:message_bytes]),
+                corrected_bits=0,
+                success=False,
+            )
+
+        corrected = bytearray(codeword)
+        for pos in positions:
+            corrected[pos // 8] ^= 0x80 >> (pos % 8)
+
+        self.stats.observe(len(positions), spec.n, failed=False)
+        return DecodeResult(
+            data=bytes(corrected[:message_bytes]),
+            corrected_bits=len(positions),
+            error_positions=tuple(positions),
+        )

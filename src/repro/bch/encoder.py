@@ -1,0 +1,69 @@
+"""Systematic BCH encoder.
+
+Computes the r parity bits as ``m(x) * x^r mod g(x)`` — exactly what the
+paper's r-bit LFSR does — using a byte-at-a-time precomputed reduction
+table so that 4 KiB pages encode in a handful of milliseconds in pure
+Python.  Bit convention: the MSB of the first message byte is the
+highest-degree coefficient; the codeword is ``message || parity``.
+"""
+
+from __future__ import annotations
+
+from repro.bch.params import BCHCodeSpec
+from repro.errors import CodeDesignError
+from repro.gf.poly2 import poly2_mod
+
+
+class BCHEncoder:
+    """Table-driven systematic encoder for one :class:`BCHCodeSpec`."""
+
+    def __init__(self, spec: BCHCodeSpec):
+        if spec.r < 8:
+            raise CodeDesignError(
+                "byte-parallel encoder requires r >= 8 parity bits"
+            )
+        self.spec = spec
+        self._mask = (1 << spec.r) - 1
+        self._shift = spec.r - 8
+        # table[v] = (v(x) * x^r) mod g(x) for each byte value v.
+        self._table = [poly2_mod(v << spec.r, spec.generator) for v in range(256)]
+
+    def parity_int(self, message: bytes) -> int:
+        """Parity bits as an integer polynomial (bit i = coeff of x^i)."""
+        if len(message) * 8 != self.spec.k:
+            raise ValueError(
+                f"message must be exactly {self.spec.k // 8} bytes, "
+                f"got {len(message)}"
+            )
+        state = 0
+        table = self._table
+        shift = self._shift
+        mask = self._mask
+        for byte in message:
+            idx = ((state >> shift) ^ byte) & 0xFF
+            state = ((state << 8) & mask) ^ table[idx]
+        return state
+
+    def encode(self, message: bytes) -> bytes:
+        """Parity bytes for ``message`` (big-endian bit order, MSB first).
+
+        The r parity bits are stored left-aligned: when r is not a multiple
+        of 8 the stored stream is ``codeword(x) * x^pad`` with ``pad`` zero
+        bits at the tail, keeping the byte stream a valid polynomial (see
+        :attr:`BCHCodeSpec.pad_bits`).
+        """
+        parity = self.parity_int(message) << self.spec.pad_bits
+        return parity.to_bytes(self.spec.parity_bytes, "big")
+
+    def encode_codeword(self, message: bytes) -> bytes:
+        """Full systematic codeword ``message || parity``."""
+        return bytes(message) + self.encode(message)
+
+    def is_codeword(self, codeword: bytes) -> bool:
+        """Check divisibility by the generator (true for clean codewords)."""
+        expected = self.spec.k // 8 + self.spec.parity_bytes
+        if len(codeword) != expected:
+            raise ValueError(f"codeword must be {expected} bytes, got {len(codeword)}")
+        message = codeword[: self.spec.k // 8]
+        parity = int.from_bytes(codeword[self.spec.k // 8:], "big")
+        return (self.parity_int(message) << self.spec.pad_bits) == parity

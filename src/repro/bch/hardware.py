@@ -1,0 +1,142 @@
+"""Cycle-accurate latency and area models of the adaptive BCH hardware.
+
+Structure follows section 4 of the paper:
+
+* encoder — one r-bit programmable parallel LFSR consuming p bits/clock;
+  latency k/p clocks plus parity shift-out, independent of t;
+* syndrome unit — 2*t_max small LFSRs (2t enabled), n/p clocks, plus an
+  alignment phase when the parity width does not fit the datapath;
+* Berlekamp-Massey — inversionless iBM, t iterations;
+* Chien search — h parallel evaluations per clock, needing t*h constant
+  Galois multipliers, so a fixed multiplier budget M caps the usable
+  parallelism at h(t) = min(h_max, floor(M/t)).  This is the mechanism
+  that makes decode latency grow with t (Fig. 8) and yields the read
+  throughput gain of Fig. 11 when the cross-layer policy relaxes t.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bch.params import BCHCodeSpec
+from repro.params import EccHardwareParams
+
+
+def chien_parallelism(t: int, hw: EccHardwareParams | None = None) -> int:
+    """Usable Chien parallelism at capability t under the multiplier budget."""
+    hw = hw or EccHardwareParams()
+    return hw.chien_parallelism(t)
+
+
+@dataclass(frozen=True)
+class DecodeLatencyBreakdown:
+    """Per-stage decode cycle counts for one configuration."""
+
+    syndrome_cycles: int
+    alignment_cycles: int
+    berlekamp_cycles: int
+    chien_cycles: int
+    overhead_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        """All stages, errors present (the paper's worst-case read path)."""
+        return (
+            self.syndrome_cycles
+            + self.alignment_cycles
+            + self.berlekamp_cycles
+            + self.chien_cycles
+            + self.overhead_cycles
+        )
+
+    @property
+    def error_free_cycles(self) -> int:
+        """Early-exit path: decoding ends after the syndrome stage."""
+        return self.syndrome_cycles + self.alignment_cycles + self.overhead_cycles
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Rough structural complexity (flip-flops / XORs / multipliers)."""
+
+    encoder_flipflops: int
+    encoder_xor_taps: int
+    syndrome_lfsrs: int
+    chien_multipliers: int
+    berlekamp_multipliers: int
+    rom_polynomials: int
+
+
+class EccLatencyModel:
+    """Latency/area model parameterised by :class:`EccHardwareParams`."""
+
+    def __init__(self, hw: EccHardwareParams | None = None):
+        self.hw = hw or EccHardwareParams()
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode_cycles(self, spec: BCHCodeSpec) -> int:
+        """Clock cycles to encode one message (k/p input + r/p shift-out)."""
+        p = self.hw.lfsr_parallelism
+        return (
+            math.ceil(spec.k / p)
+            + math.ceil(spec.r / p)
+            + self.hw.pipeline_overhead_cycles
+        )
+
+    def encode_latency_s(self, spec: BCHCodeSpec) -> float:
+        """Encode latency in seconds."""
+        return self.encode_cycles(spec) * self.hw.clock_period_s
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode_breakdown(self, spec: BCHCodeSpec) -> DecodeLatencyBreakdown:
+        """Cycle counts of the three Fig. 2 stages at this t."""
+        p = self.hw.lfsr_parallelism
+        h = self.hw.chien_parallelism(spec.t)
+        # Preliminary alignment when the parity tail does not fill the
+        # datapath word (section 4); r = m*t is byte-aligned for m = 16 so
+        # this is usually zero for the paper's code.
+        misalignment = spec.r % p
+        alignment_cycles = p - misalignment if misalignment else 0
+        return DecodeLatencyBreakdown(
+            syndrome_cycles=math.ceil(spec.n / p),
+            alignment_cycles=alignment_cycles,
+            berlekamp_cycles=self.hw.bm_cycles_per_iteration * spec.t,
+            chien_cycles=math.ceil(spec.n / h) + spec.t,
+            overhead_cycles=self.hw.pipeline_overhead_cycles,
+        )
+
+    def decode_cycles(self, spec: BCHCodeSpec, with_errors: bool = True) -> int:
+        """Total decode cycles; clean words exit after the syndrome stage."""
+        breakdown = self.decode_breakdown(spec)
+        return breakdown.total_cycles if with_errors else breakdown.error_free_cycles
+
+    def decode_latency_s(self, spec: BCHCodeSpec, with_errors: bool = True) -> float:
+        """Decode latency in seconds."""
+        return self.decode_cycles(spec, with_errors) * self.hw.clock_period_s
+
+    # -- area ------------------------------------------------------------------
+
+    def area_estimate(self, spec: BCHCodeSpec, t_max: int) -> AreaEstimate:
+        """Structural complexity of the adaptive codec provisioned to t_max.
+
+        The programmable LFSR carries one flip-flop per parity bit of the
+        *largest* code and XOR taps wherever any supported generator has a
+        nonzero coefficient (the multiplexer/ROM scheme of Chen et al.).
+        """
+        from repro.bch.params import generator_polynomial
+
+        tap_union = 0
+        for t in range(1, t_max + 1):
+            tap_union |= generator_polynomial(spec.m, t)
+        r_max = spec.m * t_max
+        return AreaEstimate(
+            encoder_flipflops=r_max,
+            encoder_xor_taps=tap_union.bit_count(),
+            syndrome_lfsrs=2 * t_max,
+            chien_multipliers=self.hw.chien_multiplier_budget,
+            berlekamp_multipliers=3 * t_max,
+            rom_polynomials=t_max,
+        )

@@ -1,0 +1,146 @@
+"""BCH code design: field sizing and generator polynomial construction.
+
+A binary BCH[n, k] code correcting t errors over GF(2^m) requires
+k + r <= 2^m - 1 with r = deg(g) <= m * t, where the generator polynomial
+g(x) is the product of the distinct minimal polynomials of
+alpha, alpha^3, ..., alpha^(2t-1) (even powers are conjugates of odd ones).
+The paper's code protects a full 4 KiB page (k = 32768) which forces m = 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import CodeDesignError
+from repro.gf.field import GF2m, get_field
+from repro.gf.minpoly import cyclotomic_coset, minimal_polynomial
+from repro.gf.poly2 import poly2_deg, poly2_mul
+
+
+@dataclass(frozen=True)
+class BCHCodeSpec:
+    """Fully-designed BCH code.
+
+    Attributes
+    ----------
+    m: field degree; codeword symbols live in GF(2).
+    k: message length in bits (the protected page).
+    t: designed correction capability in bits.
+    r: number of parity bits, ``deg(generator)``.
+    generator: generator polynomial over GF(2) as an integer bit mask.
+    """
+
+    m: int
+    k: int
+    t: int
+    r: int
+    generator: int
+
+    @property
+    def n(self) -> int:
+        """Codeword length in bits (shortened: n = k + r <= 2^m - 1)."""
+        return self.k + self.r
+
+    @property
+    def pad_bits(self) -> int:
+        """Zero bits padding the parity tail to a byte boundary.
+
+        The stored byte stream is ``codeword(x) * x^pad_bits`` so that it is
+        itself a polynomial with the same divisibility properties; pad
+        positions are legitimate (always-zero) code positions.
+        """
+        return 8 * self.parity_bytes - self.r
+
+    @property
+    def n_stored(self) -> int:
+        """Bits in the stored byte stream: k + 8 * parity_bytes."""
+        return self.k + 8 * self.parity_bytes
+
+    @property
+    def n_full(self) -> int:
+        """Natural (non-shortened) codeword length 2^m - 1."""
+        return (1 << self.m) - 1
+
+    @property
+    def shortening(self) -> int:
+        """Number of implicitly-zero leading message bits."""
+        return self.n_full - self.n
+
+    @property
+    def parity_bytes(self) -> int:
+        """Parity storage footprint in bytes (r is byte-aligned for m=16)."""
+        return (self.r + 7) // 8
+
+    @property
+    def code_rate(self) -> float:
+        """k / n."""
+        return self.k / self.n
+
+    def field(self) -> GF2m:
+        """The GF(2^m) instance this code is defined over."""
+        return get_field(self.m)
+
+
+def minimum_field_degree(k: int, t: int) -> int:
+    """Smallest m with k + m*t <= 2^m - 1 (paper's sizing inequality)."""
+    for m in range(3, 17):
+        aligned_parity_bits = 8 * ((m * t + 7) // 8)
+        if k + aligned_parity_bits <= (1 << m) - 1:
+            return m
+    raise CodeDesignError(f"no field up to GF(2^16) fits k={k}, t={t}")
+
+
+@lru_cache(maxsize=None)
+def _generator_polynomial(m: int, t: int) -> int:
+    field = get_field(m)
+    generator = 1
+    seen: set[int] = set()
+    for i in range(1, 2 * t + 1, 2):  # odd representatives only
+        rep = min(cyclotomic_coset(i, m))
+        if rep in seen:
+            continue
+        seen.add(rep)
+        generator = poly2_mul(generator, minimal_polynomial(field, i))
+    return generator
+
+
+def generator_polynomial(m: int, t: int) -> int:
+    """Generator polynomial of the t-error-correcting BCH code over GF(2^m)."""
+    if t < 1:
+        raise CodeDesignError(f"correction capability must be >= 1, got {t}")
+    return _generator_polynomial(m, t)
+
+
+def design_code(k: int, t: int, m: int | None = None) -> BCHCodeSpec:
+    """Design a (possibly shortened) BCH code for a k-bit message.
+
+    Parameters
+    ----------
+    k:
+        Message length in bits.
+    t:
+        Required correction capability.
+    m:
+        Optional field degree override; by default the smallest feasible
+        degree is chosen (m = 16 for the paper's 4 KiB page).
+
+    Raises
+    ------
+    CodeDesignError
+        If the parameters violate k + r <= 2^m - 1.
+    """
+    if k < 1:
+        raise CodeDesignError(f"message length must be >= 1, got {k}")
+    if m is None:
+        m = minimum_field_degree(k, t)
+    generator = generator_polynomial(m, t)
+    r = poly2_deg(generator)
+    parity_bytes = (r + 7) // 8
+    if k + 8 * parity_bytes > (1 << m) - 1:
+        raise CodeDesignError(
+            f"BCH[{k + r}, {k}] with t={t} (byte-aligned storage "
+            f"{k + 8 * parity_bytes} bits) does not fit GF(2^{m}) "
+            f"(n_max={(1 << m) - 1})"
+        )
+    return BCHCodeSpec(m=m, k=k, t=t, r=r, generator=generator)

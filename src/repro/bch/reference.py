@@ -1,0 +1,80 @@
+"""Bit-serial reference implementations for cross-validation.
+
+These model the hardware datapath literally — one bit per clock through the
+r-bit LFSR, direct Horner syndrome evaluation — and are used by the test
+suite to validate the table-driven fast paths on small codes.
+"""
+
+from __future__ import annotations
+
+from repro.bch.params import BCHCodeSpec
+from repro.gf.field import GF2m
+
+
+def bits_msb_first(data: bytes) -> list[int]:
+    """Expand bytes into a bit list, MSB of byte 0 first."""
+    return [(byte >> (7 - i)) & 1 for byte in data for i in range(8)]
+
+
+def bits_to_bytes(bits: list[int]) -> bytes:
+    """Pack a bit list (MSB first) back into bytes; length must be a multiple of 8."""
+    if len(bits) % 8:
+        raise ValueError("bit count must be a multiple of 8")
+    out = bytearray(len(bits) // 8)
+    for i, bit in enumerate(bits):
+        if bit:
+            out[i // 8] |= 0x80 >> (i % 8)
+    return bytes(out)
+
+
+class BitSerialLFSREncoder:
+    """Literal shift-register model of the systematic BCH encoder.
+
+    The register holds r bits; each message bit clocks the register once
+    with the feedback tapped per the generator polynomial — exactly the
+    serial version of the paper's programmable LFSR.
+    """
+
+    def __init__(self, spec: BCHCodeSpec):
+        self.spec = spec
+        self.taps = [
+            i for i in range(spec.r) if (spec.generator >> i) & 1
+        ]  # g_i = 1 positions below the monic term
+
+    def parity_bits(self, message: bytes) -> list[int]:
+        """Stored parity bits (left-aligned, padded to a byte boundary)."""
+        r = self.spec.r
+        register = [0] * r  # register[i] holds coefficient of x^i
+        for bit in bits_msb_first(message):
+            feedback = bit ^ register[r - 1]
+            # Shift up one degree.
+            for i in range(r - 1, 0, -1):
+                register[i] = register[i - 1]
+            register[0] = 0
+            if feedback:
+                for tap in self.taps:
+                    register[tap] ^= 1
+        bits = [register[i] for i in range(r - 1, -1, -1)]
+        return bits + [0] * self.spec.pad_bits
+
+    def encode_codeword(self, message: bytes) -> bytes:
+        """message || parity, matching :class:`repro.bch.encoder.BCHEncoder`."""
+        return bytes(message) + bits_to_bytes(self.parity_bits(message))
+
+
+def naive_syndromes(spec: BCHCodeSpec, codeword: bytes) -> list[int]:
+    """Direct Horner evaluation S_i = c(alpha^i) over all codeword bits."""
+    field: GF2m = spec.field()
+    bits = bits_msb_first(codeword)
+    if len(bits) != spec.n_stored:
+        raise ValueError(
+            f"expected {spec.n_stored} stored codeword bits, got {len(bits)}"
+        )
+    out = []
+    for i in range(1, 2 * spec.t + 1):
+        point = field.alpha_pow(i)
+        acc = 0
+        for bit in bits:
+            acc = field.mul(acc, point) ^ bit
+        out.append(acc)
+    return out

@@ -1,0 +1,110 @@
+"""Syndrome computation (first decoding stage of Fig. 2).
+
+S_i = c(alpha^i) for i = 1..2t.  As in the paper's hardware, each odd
+syndrome is produced by reducing the codeword modulo the corresponding
+minimal polynomial (a small LFSR) and evaluating the 16-bit remainder at
+alpha^i; even syndromes come for free over GF(2) since S_{2i} = S_i^2.
+Reduction is table-driven byte-at-a-time per minimal polynomial.
+
+Implementation note: the byte-serial reduction loop computes
+``c(x) * x^d mod m_i(x)`` (d = deg m_i), so the evaluated remainder carries
+an extra factor ``alpha^(i*d)`` which is cancelled by a precomputed
+per-syndrome compensation constant.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.bch.params import BCHCodeSpec
+from repro.gf.field import GF2m
+from repro.gf.minpoly import minimal_polynomial
+from repro.gf.poly2 import poly2_deg, poly2_eval_in_field, poly2_mod
+
+
+@lru_cache(maxsize=None)
+def _reduction_table(minpoly: int) -> tuple[int, ...]:
+    """256-entry table: (v(x) << deg) mod minpoly for byte-serial reduction."""
+    deg = poly2_deg(minpoly)
+    return tuple(poly2_mod(v << deg, minpoly) for v in range(256))
+
+
+def reduce_codeword(data: bytes, minpoly: int) -> int:
+    """Return ``data(x) * x^deg(minpoly) mod minpoly`` (byte-serial LFSR).
+
+    The uniform ``x^deg`` factor keeps the byte-parallel path and the
+    bit-serial fallback (for polynomials of degree < 8) consistent; callers
+    compensate at evaluation time.
+    """
+    deg = poly2_deg(minpoly)
+    if deg >= 8:
+        table = _reduction_table(minpoly)
+        mask = (1 << deg) - 1
+        shift = deg - 8
+        state = 0
+        for byte in data:
+            idx = ((state >> shift) ^ byte) & 0xFF
+            state = ((state << 8) & mask) ^ table[idx]
+        return state
+    value = int.from_bytes(data, "big")
+    return poly2_mod(value << deg, minpoly)
+
+
+class SyndromeCalculator:
+    """Computes the 2t syndromes of a received word for a given code."""
+
+    def __init__(self, spec: BCHCodeSpec):
+        self.spec = spec
+        self.field: GF2m = spec.field()
+        # Distinct odd-index minimal polynomials cover indices 1..2t.
+        self._odd_minpolys: dict[int, int] = {}
+        self._compensation: dict[int, int] = {}
+        order = self.field.order
+        for i in range(1, 2 * spec.t + 1, 2):
+            minpoly = minimal_polynomial(self.field, i)
+            self._odd_minpolys[i] = minpoly
+            deg = poly2_deg(minpoly)
+            self._compensation[i] = self.field.alpha_pow((-i * deg) % order)
+
+    def syndromes(self, codeword: bytes) -> list[int]:
+        """Return [S_1, ..., S_2t]; all zero iff the word is a codeword.
+
+        Codeword bytes are MSB-first: byte 0 bit 7 is the coefficient of
+        x^(n-1).
+        """
+        spec = self.spec
+        field = self.field
+        out = [0] * (2 * spec.t)
+        for i, minpoly in self._odd_minpolys.items():
+            remainder = reduce_codeword(codeword, minpoly)
+            if remainder:
+                value = poly2_eval_in_field(remainder, field.alpha_pow(i), field)
+                out[i - 1] = field.mul(value, self._compensation[i])
+        # Even syndromes: S_{2j} = S_j^2 (binary-code conjugacy).
+        for i in range(2, 2 * spec.t + 1, 2):
+            half = out[i // 2 - 1]
+            out[i - 1] = field.mul(half, half)
+        return out
+
+    @staticmethod
+    def all_zero(syndromes: list[int]) -> bool:
+        """Error-free shortcut used by the hardware (Fig. 2 exit arc)."""
+        return not any(syndromes)
+
+    def syndromes_of_error_positions(self, positions: list[int]) -> list[int]:
+        """Syndromes of a pure error pattern (for tests / fault injection).
+
+        ``positions`` are codeword bit indices counted from the start of the
+        byte stream (0 = MSB of byte 0), matching the decoder's reporting.
+        """
+        spec = self.spec
+        field = self.field
+        n = spec.n_stored
+        out = [0] * (2 * spec.t)
+        for i in range(1, 2 * spec.t + 1):
+            acc = 0
+            for pos in positions:
+                exponent = n - 1 - pos  # power of x at this bit
+                acc ^= field.alpha_pow(i * exponent)
+            out[i - 1] = acc
+        return out

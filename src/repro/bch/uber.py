@@ -1,0 +1,146 @@
+"""UBER models (paper Eq. (1)) and the required-t solver.
+
+Eq. (1) keeps only the dominant (t+1)-error pattern::
+
+    UBER = C(n, t+1) * RBER^(t+1) * (1 - RBER)^(n - t - 1) / n
+
+which is accurate when n*RBER is small compared to t and is what the paper
+uses throughout (including its Fig. 7 t = 65 point, where the approximation
+is already optimistic).  ``uber_exact`` provides the full binomial tail
+P(errors > t)/n for comparison; EXPERIMENTS.md discusses the gap.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats
+
+from repro import params as default_params
+from repro.errors import CodeDesignError
+
+
+def _log10_binomial(n: int, k: int) -> float:
+    """log10 of the binomial coefficient C(n, k)."""
+    if k < 0 or k > n:
+        return -math.inf
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    ) / math.log(10)
+
+
+def log10_uber_eq1(rber: float, n: int, t: int) -> float:
+    """log10 of the paper's Eq. (1); -inf for RBER = 0."""
+    if not 0.0 <= rber < 1.0:
+        raise ValueError(f"RBER must be in [0, 1), got {rber}")
+    if n <= t + 1:
+        raise ValueError(f"codeword length {n} too short for t={t}")
+    if rber == 0.0:
+        return -math.inf
+    log_c = _log10_binomial(n, t + 1)
+    log_p = (t + 1) * math.log10(rber)
+    log_q = (n - t - 1) * math.log1p(-rber) / math.log(10)
+    return log_c + log_p + log_q - math.log10(n)
+
+
+def uber_eq1(rber: float, n: int, t: int) -> float:
+    """Paper Eq. (1) in linear scale (may underflow to 0.0 for tiny values)."""
+    log_value = log10_uber_eq1(rber, n, t)
+    if log_value == -math.inf:
+        return 0.0
+    return 10.0 ** log_value
+
+
+def uber_exact(rber: float, n: int, t: int) -> float:
+    """Exact binomial-tail UBER: P(#errors > t) / n.
+
+    This treats every pattern with more than t errors as an uncorrectable
+    page (the page-error-dominated regime the paper describes in section 1)
+    and normalises per bit.
+    """
+    if not 0.0 <= rber < 1.0:
+        raise ValueError(f"RBER must be in [0, 1), got {rber}")
+    if rber == 0.0:
+        return 0.0
+    return float(stats.binom.sf(t, n, rber)) / n
+
+
+def required_t(
+    rber: float,
+    k: int = default_params.MESSAGE_BITS,
+    m: int = default_params.GF_DEGREE,
+    uber_target: float = default_params.UBER_TARGET,
+    t_max: int = default_params.T_MAX,
+    t_min: int = 1,
+) -> int:
+    """Smallest t meeting the UBER target at the given RBER (Eq. (1)).
+
+    The codeword length grows with t (n = k + m*t), which the search
+    accounts for.  Raises :class:`CodeDesignError` when even ``t_max`` is
+    insufficient — the device is past its correctable lifetime.
+    """
+    if rber == 0.0:
+        return t_min
+    log_target = math.log10(uber_target)
+    for t in range(t_min, t_max + 1):
+        n = k + m * t
+        # Eq. (1) is the P(exactly t+1 errors) term; below the mean error
+        # count it vanishes spuriously, so only t on the tail branch
+        # (t + 1 >= n * RBER) are valid design points.
+        if t + 1 < n * rber:
+            continue
+        if log10_uber_eq1(rber, n, t) <= log_target:
+            return t
+    raise CodeDesignError(
+        f"RBER {rber:.3e} cannot reach UBER {uber_target:.1e} with t <= {t_max}"
+    )
+
+
+def achieved_uber(
+    rber: float,
+    t: int,
+    k: int = default_params.MESSAGE_BITS,
+    m: int = default_params.GF_DEGREE,
+) -> float:
+    """UBER delivered by capability t at the given RBER (Eq. (1))."""
+    return uber_eq1(rber, k + m * t, t)
+
+
+def log10_achieved_uber(
+    rber: float,
+    t: int,
+    k: int = default_params.MESSAGE_BITS,
+    m: int = default_params.GF_DEGREE,
+) -> float:
+    """log10 of :func:`achieved_uber` (safe for deeply sub-underflow values)."""
+    return log10_uber_eq1(rber, k + m * t, t)
+
+
+def max_rber_for_t(
+    t: int,
+    k: int = default_params.MESSAGE_BITS,
+    m: int = default_params.GF_DEGREE,
+    uber_target: float = default_params.UBER_TARGET,
+) -> float:
+    """Largest RBER that capability t can cover at the UBER target.
+
+    Solved by bisection on the monotone Eq. (1); used to calibrate the
+    lifetime RBER curve so that the rated endurance lands exactly on
+    t = T_MAX (DESIGN.md section 3).
+    """
+    n = k + m * t
+    log_target = math.log10(uber_target)
+    # Stay on the valid branch of Eq. (1): RBER <= (t + 1) / n, where the
+    # formula is monotone increasing in RBER.
+    lo, hi = 1e-12, (t + 1) / n
+    if log10_uber_eq1(lo, n, t) > log_target:
+        raise CodeDesignError(f"t={t} cannot meet the target even at RBER={lo}")
+    if log10_uber_eq1(hi, n, t) <= log_target:
+        return hi
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)  # bisect in log space
+        if log10_uber_eq1(mid, n, t) <= log_target:
+            lo = mid
+        else:
+            hi = mid
+    return lo

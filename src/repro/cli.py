@@ -1,0 +1,118 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show every available experiment with its title.
+``run <exp_id> [...]``
+    Run one or more experiments (``all`` for the full suite) and print the
+    same rows/series the paper's figures report.
+``status``
+    Print the canonical device/code parameters and calibration anchors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import params as canon
+from repro.analysis.experiments import ExperimentSuite
+
+
+def _runners(suite: ExperimentSuite) -> dict[str, tuple[str, callable]]:
+    return {
+        "fig03": ("MLC threshold-voltage distributions", suite.run_fig03),
+        "fig04": ("compact-model fit (ISPP staircase)", suite.run_fig04),
+        "fig05": ("RBER vs P/E cycles (SV vs DV)", suite.run_fig05),
+        "fig06": ("program power per pattern", suite.run_fig06),
+        "fig07": ("UBER vs RBER per capability", suite.run_fig07),
+        "fig08": ("ECC latency over the lifetime", suite.run_fig08),
+        "fig09": ("write-throughput loss", suite.run_fig09),
+        "fig10": ("UBER improvement (min-UBER mode)", suite.run_fig10),
+        "fig11": ("read-throughput gain (max-read mode)", suite.run_fig11),
+        "abl_blocksize": ("ECC block-size ablation", suite.run_ablation_blocksize),
+        "abl_chien": ("Chien parallelism ablation", suite.run_ablation_chien),
+        "abl_tworound": ("two-round load mitigation", suite.run_ablation_tworound),
+        "abl_pareto": ("operating-point Pareto analysis", suite.run_ablation_pareto),
+        "abl_retention": ("retention x cycling ablation", suite.run_ablation_retention),
+        "sys_des": ("discrete-event system simulation", suite.run_system_des),
+        "sys_services": ("differentiated storage services", suite.run_system_services),
+    }
+
+
+def _cmd_list(suite: ExperimentSuite) -> int:
+    for exp_id, (title, _) in _runners(suite).items():
+        print(f"{exp_id:<14s} {title}")
+    return 0
+
+
+def _cmd_run(suite: ExperimentSuite, exp_ids: list[str]) -> int:
+    runners = _runners(suite)
+    if "all" in exp_ids:
+        exp_ids = list(runners)
+    unknown = [e for e in exp_ids if e not in runners]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(runners)} (or 'all')", file=sys.stderr)
+        return 2
+    for exp_id in exp_ids:
+        _, runner = runners[exp_id]
+        start = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{exp_id} regenerated in {elapsed:.2f} s]\n")
+    return 0
+
+
+def _cmd_status(suite: ExperimentSuite) -> int:
+    from repro.nand.ispp import IsppAlgorithm
+
+    model = suite.rber_model
+    print("canonical configuration")
+    print(f"  page:               {canon.PAGE_DATA_BYTES} B data "
+          f"+ {canon.PAGE_SPARE_BYTES} B spare")
+    print(f"  BCH:                GF(2^{canon.GF_DEGREE}), t = 1..{canon.T_MAX}, "
+          f"UBER target {canon.UBER_TARGET:.0e}")
+    print(f"  ECC clock:          {canon.ECC_CLOCK_HZ / 1e6:.0f} MHz, "
+          f"p = {canon.LFSR_PARALLELISM}, "
+          f"Chien budget {canon.CHIEN_MULTIPLIER_BUDGET} multipliers")
+    print(f"  ISPP:               {canon.VPP_START:.0f}-{canon.VPP_END:.0f} V, "
+          f"delta {canon.DELTA_ISPP * 1e3:.0f} mV")
+    print(f"  rated endurance:    {canon.RATED_PE_CYCLES:.0e} P/E cycles")
+    print("calibration anchors")
+    for n in (0.0, 1e3, 1e5):
+        t_sv = suite.policy.required_t_for(IsppAlgorithm.SV, n)
+        t_dv = suite.policy.required_t_for(IsppAlgorithm.DV, n)
+        print(f"  N = {n:>8.0f}: RBER SV {model.rber_sv(n):.3e} (t={t_sv}), "
+              f"DV {model.rber_dv(n):.3e} (t={t_dv})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cross-layer MLC NAND trade-offs (DATE 2012 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=2012,
+                        help="experiment suite seed (default 2012)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run experiments by id (or 'all')")
+    run.add_argument("experiments", nargs="+")
+    sub.add_parser("status", help="print canonical parameters and anchors")
+
+    args = parser.parse_args(argv)
+    suite = ExperimentSuite(seed=args.seed)
+    if args.command == "list":
+        return _cmd_list(suite)
+    if args.command == "run":
+        return _cmd_run(suite, args.experiments)
+    return _cmd_status(suite)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Memory controller architecture (paper section 3, Fig. 1).
+
+OCP-socket front-end, page-buffer RAM, command/status register file, spare
+area budgeting, the adaptive-ECC datapath, throughput models and the
+self-adaptive reliability manager.  :class:`NandController` is the
+top-level object applications use.
+"""
+
+from repro.controller.registers import CommandStatusRegisters, RegisterField
+from repro.controller.ocp import OcpInterface, OcpParams
+from repro.controller.buffer import PageBuffer
+from repro.controller.spare import SpareAreaLayout
+from repro.controller.throughput import ThroughputModel, ThroughputPoint
+from repro.controller.reliability import ReliabilityManager, ReliabilityPolicy
+from repro.controller.controller import (
+    ControllerConfig,
+    NandController,
+    ReadReport,
+    WriteReport,
+)
+
+__all__ = [
+    "CommandStatusRegisters",
+    "RegisterField",
+    "OcpInterface",
+    "OcpParams",
+    "PageBuffer",
+    "SpareAreaLayout",
+    "ThroughputModel",
+    "ThroughputPoint",
+    "ReliabilityManager",
+    "ReliabilityPolicy",
+    "NandController",
+    "ControllerConfig",
+    "ReadReport",
+    "WriteReport",
+]

@@ -1,0 +1,50 @@
+"""Page-buffer RAM between the socket and the ECC/flash datapath.
+
+"The network is typically much faster than the Flash device, therefore
+data transfers are processed through a dedicated buffer (e.g., an embedded
+RAM block).  Typically, the size of the RAM is equal to the size of one
+page."  The buffer enforces single-page occupancy — the structural hazard
+that serialises back-to-back page operations in the non-pipelined
+controller.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ControllerError
+
+
+class PageBuffer:
+    """Single-page staging RAM with occupancy tracking."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ControllerError("buffer capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._data: bytes | None = None
+
+    @property
+    def occupied(self) -> bool:
+        """True while a page is staged."""
+        return self._data is not None
+
+    def load(self, data: bytes) -> None:
+        """Stage a page (from the socket or from the flash device)."""
+        if self._data is not None:
+            raise ControllerError("page buffer already occupied")
+        if len(data) > self.capacity_bytes:
+            raise ControllerError(
+                f"data ({len(data)} B) exceeds buffer ({self.capacity_bytes} B)"
+            )
+        self._data = bytes(data)
+
+    def peek(self) -> bytes:
+        """Inspect the staged page without releasing it."""
+        if self._data is None:
+            raise ControllerError("page buffer is empty")
+        return self._data
+
+    def drain(self) -> bytes:
+        """Release and return the staged page."""
+        data = self.peek()
+        self._data = None
+        return data

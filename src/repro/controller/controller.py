@@ -1,0 +1,190 @@
+"""Top-level NAND memory controller — the library's main system object.
+
+Composes every section-3 component (OCP socket, registers, page buffer,
+adaptive BCH codec, reliability manager) on top of the NAND device model
+and exposes the cross-layer knobs:
+
+>>> controller = NandController()
+>>> controller.set_mode(OperatingMode.MAX_READ_THROUGHPUT)
+>>> report = controller.write(block=0, page=0, data=bytes(4096))
+>>> data, read_report = controller.read(block=0, page=0)
+
+Configuration changes go through the command/status registers exactly as
+bus-issued configuration commands would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import params as canon
+from repro.bch.codec import AdaptiveBCHCodec
+from repro.controller.core import CoreControllerFsm, StageLatencies
+from repro.controller.ocp import OcpInterface, OcpParams
+from repro.controller.registers import CommandStatusRegisters
+from repro.controller.reliability import ReliabilityManager, ReliabilityPolicy
+from repro.controller.spare import SpareAreaLayout
+from repro.core.modes import OperatingMode
+from repro.core.policy import CrossLayerPolicy
+from repro.errors import ControllerError
+from repro.nand.device import NandFlashDevice
+from repro.nand.geometry import NandGeometry
+from repro.nand.ispp import IsppAlgorithm
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Construction-time parameters."""
+
+    t_max: int = canon.T_MAX
+    t_min: int = 1
+    self_adaptive: bool = False
+    strict_decode: bool = True
+
+
+@dataclass(frozen=True)
+class WriteReport:
+    """Telemetry of one page write."""
+
+    latencies: StageLatencies
+    ecc_t: int
+    algorithm: IsppAlgorithm
+
+
+@dataclass(frozen=True)
+class ReadReport:
+    """Telemetry of one page read."""
+
+    latencies: StageLatencies
+    ecc_t: int
+    corrected_bits: int
+    success: bool
+
+
+class NandController:
+    """The paper's advanced controller architecture, end to end."""
+
+    def __init__(
+        self,
+        geometry: NandGeometry | None = None,
+        config: ControllerConfig | None = None,
+        policy: CrossLayerPolicy | None = None,
+        ocp_params: OcpParams | None = None,
+        reliability_policy: ReliabilityPolicy | None = None,
+        device: NandFlashDevice | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.geometry = geometry or NandGeometry()
+        self.config = config or ControllerConfig()
+        self.policy = policy or CrossLayerPolicy(t_max=self.config.t_max)
+        self.device = device or NandFlashDevice(
+            self.geometry, rber_model=self.policy.rber_model, rng=rng
+        )
+        self.codec = AdaptiveBCHCodec(
+            k=self.geometry.page_data_bits,
+            t_max=self.config.t_max,
+            t_min=self.config.t_min,
+        )
+        self.registers = CommandStatusRegisters()
+        self.ocp = OcpInterface(ocp_params, self.registers)
+        self.spare = SpareAreaLayout(spare_bytes=self.geometry.page_spare_bytes)
+        self.fsm = CoreControllerFsm(self.codec, self.device, self.ocp, self.spare)
+        self.reliability = ReliabilityManager(
+            self.codec, reliability_policy, OperatingMode.BASELINE
+        )
+        self._mode = OperatingMode.BASELINE
+        self._apply_mode_config(pe_reference=0.0)
+
+    # -- cross-layer configuration ------------------------------------------
+
+    @property
+    def mode(self) -> OperatingMode:
+        """Active operating mode."""
+        return self._mode
+
+    def set_mode(self, mode: OperatingMode, pe_reference: float | None = None) -> None:
+        """Select a service level (user-facing cross-layer knob).
+
+        ``pe_reference`` anchors the policy's age estimate; by default the
+        worst-case block wear observed so far is used.
+        """
+        self._mode = mode
+        self.registers.set_named("OPERATING_MODE", mode.register_code)
+        self.reliability.manager.set_mode(mode)
+        self._apply_mode_config(pe_reference)
+
+    def _apply_mode_config(self, pe_reference: float | None) -> None:
+        age = (
+            float(self.device.array.max_wear())
+            if pe_reference is None
+            else pe_reference
+        )
+        cfg = self.policy.config_for(self._mode, age)
+        self.apply_config(cfg.algorithm, cfg.ecc_t)
+
+    def apply_config(self, algorithm: IsppAlgorithm, ecc_t: int) -> None:
+        """Program the two knobs through the register file."""
+        parity = self.codec.parity_bytes(ecc_t)
+        if not self.spare.fits(parity):
+            raise ControllerError(
+                f"t={ecc_t} parity does not fit the spare area"
+            )
+        self.registers.set_named("ECC_T", ecc_t)
+        self.registers.set_named(
+            "PROGRAM_ALGORITHM", 1 if algorithm is IsppAlgorithm.DV else 0
+        )
+        self.codec.set_correction_capability(ecc_t)
+        self.device.select_program_algorithm(algorithm)
+
+    # -- data operations ------------------------------------------------------------
+
+    def write(self, block: int, page: int, data: bytes) -> WriteReport:
+        """Encode and program one page."""
+        flow = self.fsm.write_page(block, page, data)
+        return WriteReport(
+            latencies=flow.latencies,
+            ecc_t=self.codec.t,
+            algorithm=self.device.program_algorithm,
+        )
+
+    def read(self, block: int, page: int) -> tuple[bytes, ReadReport]:
+        """Read and correct one page; updates reliability telemetry."""
+        flow = self.fsm.read_page(block, page, strict=self.config.strict_decode)
+        assert flow.decode is not None
+        obs = self.codec.observation()
+        self.registers.set_named(
+            "CORRECTED_BITS", obs.bits_corrected & 0xFFFFFFFF
+        )
+        self.registers.set_named(
+            "DECODE_FAILURES", obs.words_failed & 0xFFFFFFFF
+        )
+        if self.config.self_adaptive or self.registers.get_named("SELF_ADAPTIVE"):
+            decision = self.reliability.after_read(self.device.program_algorithm)
+            if decision is not None and decision.changed:
+                self.apply_config(decision.config.algorithm, decision.config.ecc_t)
+        return flow.data, ReadReport(
+            latencies=flow.latencies,
+            ecc_t=self.codec.t,
+            corrected_bits=flow.decode.corrected_bits,
+            success=flow.decode.success,
+        )
+
+    def erase(self, block: int) -> float:
+        """Erase a block; returns the erase latency."""
+        return self.fsm.erase_block(block)
+
+    # -- telemetry -----------------------------------------------------------------
+
+    def status(self) -> dict[str, int | str]:
+        """Controller status snapshot (registers + mode)."""
+        return {
+            "mode": self._mode.value,
+            "ecc_t": self.registers.get_named("ECC_T"),
+            "program_algorithm": (
+                "ispp-dv" if self.registers.get_named("PROGRAM_ALGORITHM") else "ispp-sv"
+            ),
+            "corrected_bits": self.registers.get_named("CORRECTED_BITS"),
+            "decode_failures": self.registers.get_named("DECODE_FAILURES"),
+        }

@@ -1,0 +1,144 @@
+"""Core controller FSM: read/write page flows (paper Fig. 1).
+
+Sequences each page operation through the datapath — OCP burst, page
+buffer, ECC codec, flash device — accounting the latency of every stage.
+This is the non-pipelined flow the paper's throughput numbers assume; the
+page buffer enforces the structural hazard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bch.codec import AdaptiveBCHCodec
+from repro.bch.decoder import DecodeResult
+from repro.controller.buffer import PageBuffer
+from repro.controller.ocp import OcpInterface
+from repro.controller.spare import SpareAreaLayout
+from repro.errors import ControllerError
+from repro.nand.device import NandFlashDevice
+
+
+@dataclass(frozen=True)
+class StageLatencies:
+    """Per-stage latency accounting of one page operation."""
+
+    transfer_s: float = 0.0
+    encode_s: float = 0.0
+    program_s: float = 0.0
+    read_array_s: float = 0.0
+    decode_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Serial end-to-end latency."""
+        return (
+            self.transfer_s + self.encode_s + self.program_s
+            + self.read_array_s + self.decode_s
+        )
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Outcome of one core-controller flow."""
+
+    data: bytes
+    latencies: StageLatencies
+    decode: DecodeResult | None = None
+
+
+class CoreControllerFsm:
+    """Datapath sequencing for page writes and reads."""
+
+    def __init__(
+        self,
+        codec: AdaptiveBCHCodec,
+        device: NandFlashDevice,
+        ocp: OcpInterface,
+        spare: SpareAreaLayout | None = None,
+    ):
+        self.codec = codec
+        self.device = device
+        self.ocp = ocp
+        self.spare = spare or SpareAreaLayout(
+            spare_bytes=device.geometry.page_spare_bytes
+        )
+        page_bytes = device.geometry.page_bytes
+        self.buffer = PageBuffer(page_bytes)
+        # Correction capability each page was encoded with: the adaptive
+        # controller "sets the proper correction capability to pages", so a
+        # later reconfiguration must not change how old pages are decoded.
+        self._written_t: dict[tuple[int, int], int] = {}
+
+    # -- write flow -----------------------------------------------------------
+
+    def write_page(self, block: int, page: int, data: bytes) -> FlowResult:
+        """OCP in -> buffer -> encode -> program."""
+        expected = self.device.geometry.page_data_bytes
+        if len(data) != expected:
+            raise ControllerError(
+                f"write data must be one page ({expected} B), got {len(data)}"
+            )
+        parity_bytes = self.codec.parity_bytes()
+        if not self.spare.fits(parity_bytes):
+            raise ControllerError(
+                f"t={self.codec.t} parity ({parity_bytes} B) exceeds the "
+                f"spare-area budget ({self.spare.parity_budget_bytes} B)"
+            )
+        transfer_s = self.ocp.data_burst(len(data))
+        self.buffer.load(data)
+        staged = self.buffer.drain()
+        codeword = self.codec.encode(staged)
+        encode_s = self.codec.encode_latency_s()
+        report = self.device.program_page(block, page, codeword)
+        self._written_t[(block, page)] = self.codec.t
+        return FlowResult(
+            data=staged,
+            latencies=StageLatencies(
+                transfer_s=transfer_s,
+                encode_s=encode_s,
+                program_s=report.latency_s,
+            ),
+        )
+
+    def erase_block(self, block: int) -> float:
+        """Erase a block and forget its pages' codeword metadata."""
+        report = self.device.erase_block(block)
+        self._written_t = {
+            key: t for key, t in self._written_t.items() if key[0] != block
+        }
+        return report.latency_s
+
+    # -- read flow ---------------------------------------------------------------
+
+    def read_page(self, block: int, page: int, strict: bool = True) -> FlowResult:
+        """Sense -> decode -> buffer -> OCP out."""
+        raw, report = self.device.read_page(block, page)
+        data_bytes = self.device.geometry.page_data_bytes
+        written_t = self._written_t.get((block, page))
+        if written_t is None:
+            raise ControllerError(
+                f"page {block}/{page} holds no ECC-protected data"
+            )
+        parity_bytes = self.codec.parity_bytes(written_t)
+        codeword = raw[: data_bytes + parity_bytes]
+        if len(codeword) < data_bytes + parity_bytes:
+            raise ControllerError(
+                "stored page shorter than its codeword (corrupt spare area?)"
+            )
+        result = self.codec.decode(codeword, t=written_t, strict=strict)
+        decode_s = self.codec.decode_latency_s(
+            t=written_t, with_errors=not result.early_exit
+        )
+        self.buffer.load(result.data)
+        out = self.buffer.drain()
+        transfer_s = self.ocp.data_burst(len(out))
+        return FlowResult(
+            data=out,
+            latencies=StageLatencies(
+                read_array_s=report.latency_s,
+                decode_s=decode_s,
+                transfer_s=transfer_s,
+            ),
+            decode=result,
+        )

@@ -1,0 +1,65 @@
+"""OCP socket interface model (paper Fig. 1).
+
+The on-chip network is much faster than the flash device, so the interface
+is modelled at the transaction level: a burst of N bytes occupies the
+socket for ``overhead + N / bandwidth``.  Data transfers go through the
+page-buffer RAM; configuration commands address the register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.controller.registers import CommandStatusRegisters
+from repro.errors import ControllerError
+
+
+@dataclass(frozen=True)
+class OcpParams:
+    """Socket timing parameters."""
+
+    bandwidth_bytes_per_s: float = 400e6  # 32-bit socket at 100 MHz
+    burst_overhead_s: float = units.ns(50)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ControllerError("bandwidth must be positive")
+        if self.burst_overhead_s < 0:
+            raise ControllerError("burst overhead must be non-negative")
+
+
+class OcpInterface:
+    """Transaction-level OCP target."""
+
+    def __init__(self, params: OcpParams | None = None,
+                 registers: CommandStatusRegisters | None = None):
+        self.params = params or OcpParams()
+        self.registers = registers or CommandStatusRegisters()
+        self.bytes_transferred = 0
+        self.transactions = 0
+
+    def transfer_time_s(self, n_bytes: int) -> float:
+        """Socket occupancy of one data burst."""
+        if n_bytes < 0:
+            raise ControllerError("byte count must be non-negative")
+        return self.params.burst_overhead_s + n_bytes / self.params.bandwidth_bytes_per_s
+
+    def data_burst(self, n_bytes: int) -> float:
+        """Account a data burst; returns its duration."""
+        duration = self.transfer_time_s(n_bytes)
+        self.bytes_transferred += n_bytes
+        self.transactions += 1
+        return duration
+
+    def config_write(self, address: int, value: int) -> float:
+        """Configuration command: register write through the socket."""
+        self.registers.write(address, value)
+        self.transactions += 1
+        return self.params.burst_overhead_s
+
+    def config_read(self, address: int) -> tuple[int, float]:
+        """Status read through the socket."""
+        value = self.registers.read(address)
+        self.transactions += 1
+        return value, self.params.burst_overhead_s

@@ -1,0 +1,93 @@
+"""Command/status control register file (paper Fig. 1).
+
+Configuration commands arriving over the OCP socket "end up updating /
+reading from a command/status control register, which drives operation of
+the core controller".  The register map exposes the two cross-layer knobs
+(ECC correction capability, program algorithm) plus status/telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ControllerError
+
+
+@dataclass(frozen=True)
+class RegisterField:
+    """One field of the register map."""
+
+    name: str
+    address: int
+    width_bits: int
+    writable: bool
+    description: str
+
+
+#: The controller register map (word-addressed).
+REGISTER_MAP: tuple[RegisterField, ...] = (
+    RegisterField("ECC_T", 0x00, 8, True,
+                  "BCH correction capability t (1..t_max)"),
+    RegisterField("PROGRAM_ALGORITHM", 0x01, 1, True,
+                  "0 = ISPP-SV, 1 = ISPP-DV"),
+    RegisterField("OPERATING_MODE", 0x02, 2, True,
+                  "0 = baseline, 1 = min-UBER, 2 = max-read-throughput"),
+    RegisterField("SELF_ADAPTIVE", 0x03, 1, True,
+                  "reliability manager auto-reconfiguration enable"),
+    RegisterField("STATUS", 0x10, 8, False,
+                  "bit0 busy, bit1 last-op-error, bit2 uncorrectable"),
+    RegisterField("CORRECTED_BITS", 0x11, 32, False,
+                  "cumulative corrected bit count (reliability feedback)"),
+    RegisterField("DECODE_FAILURES", 0x12, 32, False,
+                  "cumulative uncorrectable page count"),
+)
+
+
+class CommandStatusRegisters:
+    """Behavioural register file with map-driven access checks."""
+
+    def __init__(self) -> None:
+        self._by_address = {f.address: f for f in REGISTER_MAP}
+        self._by_name = {f.name: f for f in REGISTER_MAP}
+        self._values = {f.address: 0 for f in REGISTER_MAP}
+
+    def field(self, name: str) -> RegisterField:
+        """Look up a field descriptor by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ControllerError(f"unknown register {name!r}") from None
+
+    def write(self, address: int, value: int) -> None:
+        """Bus write with access/width validation."""
+        field = self._by_address.get(address)
+        if field is None:
+            raise ControllerError(f"write to unmapped register 0x{address:02x}")
+        if not field.writable:
+            raise ControllerError(f"register {field.name} is read-only")
+        if not 0 <= value < (1 << field.width_bits):
+            raise ControllerError(
+                f"value {value} exceeds {field.width_bits}-bit field {field.name}"
+            )
+        self._values[address] = value
+
+    def read(self, address: int) -> int:
+        """Bus read."""
+        if address not in self._by_address:
+            raise ControllerError(f"read from unmapped register 0x{address:02x}")
+        return self._values[address]
+
+    # -- named convenience accessors (used by the core controller) -----------
+
+    def set_named(self, name: str, value: int) -> None:
+        """Write a field by name (internal/core-controller path)."""
+        field = self.field(name)
+        if not 0 <= value < (1 << field.width_bits):
+            raise ControllerError(
+                f"value {value} exceeds {field.width_bits}-bit field {name}"
+            )
+        self._values[field.address] = value
+
+    def get_named(self, name: str) -> int:
+        """Read a field by name."""
+        return self._values[self.field(name).address]

@@ -1,0 +1,108 @@
+"""Controller-side reliability manager (paper section 3).
+
+Glue between the adaptive codec's decode feedback and the
+:class:`repro.core.manager.SelfAdaptiveManager` decision logic: it
+accumulates per-epoch statistics, triggers adaptation every
+``epoch_reads`` page reads (or on explicit mode changes) and returns the
+new cross-layer configuration for the core controller to apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bch.codec import AdaptiveBCHCodec
+from repro.core.config import CrossLayerConfig
+from repro.core.manager import AdaptationDecision, SelfAdaptiveManager
+from repro.core.modes import OperatingMode
+from repro.errors import ConfigurationError
+from repro.nand.ispp import IsppAlgorithm
+
+
+@dataclass(frozen=True)
+class ReliabilityPolicy:
+    """Epoch and estimation configuration."""
+
+    epoch_reads: int = 256
+    safety_factor: float = 1.5
+    min_bits_for_estimate: int = 4 * 32768  # a handful of pages
+
+    def __post_init__(self) -> None:
+        if self.epoch_reads < 1:
+            raise ConfigurationError("epoch must be at least one read")
+
+
+class ReliabilityManager:
+    """Epoch-driven self-adaptation using codec feedback."""
+
+    def __init__(
+        self,
+        codec: AdaptiveBCHCodec,
+        policy: ReliabilityPolicy | None = None,
+        mode: OperatingMode = OperatingMode.BASELINE,
+    ):
+        self.codec = codec
+        self.policy = policy or ReliabilityPolicy()
+        self.manager = SelfAdaptiveManager(
+            mode=mode,
+            safety_factor=self.policy.safety_factor,
+            min_bits_for_estimate=self.policy.min_bits_for_estimate,
+            t_max=codec.t_max,
+            t_min=codec.t_min,
+            k=codec.k,
+            m=codec.spec_for(codec.t_min).m,
+        )
+        self._reads_since_adaptation = 0
+        self._last_observation = codec.observation()
+        self.adaptations: list[AdaptationDecision] = []
+
+    @property
+    def mode(self) -> OperatingMode:
+        """Active operating mode."""
+        return self.manager.mode
+
+    def set_mode(self, mode: OperatingMode,
+                 running: IsppAlgorithm) -> AdaptationDecision:
+        """Immediate re-adaptation on a user mode change."""
+        self.manager.set_mode(mode)
+        return self._adapt(running)
+
+    def after_read(self, running: IsppAlgorithm) -> AdaptationDecision | None:
+        """Notify one completed page read; adapts at epoch boundaries."""
+        self._reads_since_adaptation += 1
+        if self._reads_since_adaptation >= self.policy.epoch_reads:
+            return self._adapt(running)
+        return None
+
+    def current_config(self) -> CrossLayerConfig:
+        """Configuration currently recommended."""
+        return self.manager.current_config
+
+    def _adapt(self, running: IsppAlgorithm) -> AdaptationDecision:
+        decision = self.manager.decide(self._window_observation(), running)
+        self.adaptations.append(decision)
+        self._reads_since_adaptation = 0
+        return decision
+
+    def _window_observation(self):
+        """Decode feedback since the previous adaptation.
+
+        Windowing keeps the RBER estimate responsive to aging: cumulative
+        counters would dilute a worn device's error rate with its youth.
+        Falls back to the cumulative view while the window is too small.
+        """
+        from repro.bch.codec import CodecObservation
+
+        now = self.codec.observation()
+        last = self._last_observation
+        window = CodecObservation(
+            words_decoded=now.words_decoded - last.words_decoded,
+            words_failed=now.words_failed - last.words_failed,
+            bits_corrected=now.bits_corrected - last.bits_corrected,
+            bits_processed=now.bits_processed - last.bits_processed,
+            max_errors_in_word=now.max_errors_in_word,
+        )
+        self._last_observation = now
+        if window.bits_processed >= self.policy.min_bits_for_estimate:
+            return window
+        return now

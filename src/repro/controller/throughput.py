@@ -1,0 +1,95 @@
+"""Read/write throughput models (paper sections 6.3.2 / 6.3.3).
+
+The paper's throughput accounting is serial per page:
+
+* read:  array sensing (75 us) followed by BCH decoding — "read throughput
+  is dominated by decoding latency and not by page read time";
+* write: BCH encoding followed by the ISPP program operation — "the longer
+  program time of the memory can be directly referred to the longer
+  ISPP-DV algorithm".
+
+A pipelined variant (stages overlap across consecutive pages, throughput
+set by the slowest stage) is provided for the two-round data-load
+mitigation ablation of section 6.3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """Throughput of one configuration at one lifetime point."""
+
+    page_bytes: int
+    read_latency_s: float
+    write_latency_s: float
+
+    @property
+    def read_bytes_per_s(self) -> float:
+        """Sustained serial read throughput."""
+        return self.page_bytes / self.read_latency_s
+
+    @property
+    def write_bytes_per_s(self) -> float:
+        """Sustained serial write throughput."""
+        return self.page_bytes / self.write_latency_s
+
+
+class ThroughputModel:
+    """Combines stage latencies into page throughput figures."""
+
+    def __init__(self, page_bytes: int = 4096):
+        if page_bytes <= 0:
+            raise ConfigurationError("page size must be positive")
+        self.page_bytes = page_bytes
+
+    def serial_point(
+        self,
+        read_array_s: float,
+        decode_s: float,
+        encode_s: float,
+        program_s: float,
+    ) -> ThroughputPoint:
+        """Non-pipelined operation (the paper's accounting)."""
+        return ThroughputPoint(
+            page_bytes=self.page_bytes,
+            read_latency_s=read_array_s + decode_s,
+            write_latency_s=encode_s + program_s,
+        )
+
+    def pipelined_point(
+        self,
+        read_array_s: float,
+        decode_s: float,
+        encode_s: float,
+        program_s: float,
+    ) -> ThroughputPoint:
+        """Two-stage pipeline: throughput set by the slowest stage.
+
+        Models the section 6.3.3 mitigation where the page-buffer data load
+        of page i+1 overlaps the program of page i (two-round load), and
+        symmetric overlap of sensing with decoding on reads.
+        """
+        return ThroughputPoint(
+            page_bytes=self.page_bytes,
+            read_latency_s=max(read_array_s, decode_s),
+            write_latency_s=max(encode_s, program_s),
+        )
+
+    @staticmethod
+    def gain_percent(new: float, baseline: float) -> float:
+        """Relative throughput gain of ``new`` over ``baseline`` in percent."""
+        if baseline <= 0:
+            raise ConfigurationError("baseline throughput must be positive")
+        return 100.0 * (new / baseline - 1.0)
+
+    @staticmethod
+    def loss_percent(new: float, baseline: float) -> float:
+        """Relative throughput loss of ``new`` versus ``baseline`` in percent."""
+        if baseline <= 0:
+            raise ConfigurationError("baseline throughput must be positive")
+        return 100.0 * (1.0 - new / baseline)

@@ -1,0 +1,32 @@
+"""Cross-layer configuration tuples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.nand.ispp import IsppAlgorithm
+
+
+@dataclass(frozen=True)
+class CrossLayerConfig:
+    """One joint (physical layer, architecture layer) setting.
+
+    Attributes
+    ----------
+    algorithm:
+        Program algorithm selected in the NAND device (section 5).
+    ecc_t:
+        BCH correction capability selected in the controller (section 4).
+    """
+
+    algorithm: IsppAlgorithm
+    ecc_t: int
+
+    def __post_init__(self) -> None:
+        if self.ecc_t < 1:
+            raise ConfigurationError(f"ecc_t must be >= 1, got {self.ecc_t}")
+
+    def describe(self) -> str:
+        """Short human-readable form used in logs and reports."""
+        return f"{self.algorithm.value} / BCH t={self.ecc_t}"

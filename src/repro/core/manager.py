@@ -1,0 +1,141 @@
+"""Self-adaptive reconfiguration logic (paper section 3).
+
+"It is in fact possible to envision an integrated reliability manager
+collecting and elaborating results of a test unit and feedback from the
+ECC sub-system, in addition to user requirements, thus setting the proper
+correction capability to pages."
+
+:class:`SelfAdaptiveManager` is that decision logic, decoupled from the
+controller plumbing: it ingests decode feedback (corrected-bit counts),
+maintains an online RBER estimate for the *currently running* program
+algorithm, and derives the cross-layer configuration for the requested
+operating mode with a safety margin on the estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import params as canon
+from repro.bch.codec import CodecObservation
+from repro.bch.uber import required_t
+from repro.core.config import CrossLayerConfig
+from repro.core.modes import OperatingMode
+from repro.errors import ConfigurationError
+from repro.nand.ispp import IsppAlgorithm
+
+
+@dataclass(frozen=True)
+class AdaptationDecision:
+    """Outcome of one adaptation step.
+
+    ``saturated`` flags that the observed RBER exceeded what t_max can
+    cover — the device is past its correctable lifetime and the manager
+    pinned the strongest configuration.
+    """
+
+    config: CrossLayerConfig
+    estimated_rber: float
+    changed: bool
+    saturated: bool = False
+
+
+class SelfAdaptiveManager:
+    """Feedback-driven cross-layer configuration selection."""
+
+    def __init__(
+        self,
+        mode: OperatingMode = OperatingMode.BASELINE,
+        dv_ratio: float = 12.5,
+        safety_factor: float = 1.5,
+        min_bits_for_estimate: int = 10**6,
+        uber_target: float = canon.UBER_TARGET,
+        t_max: int = canon.T_MAX,
+        t_min: int = 1,
+        k: int = canon.MESSAGE_BITS,
+        m: int = canon.GF_DEGREE,
+    ):
+        if safety_factor < 1.0:
+            raise ConfigurationError("safety factor must be >= 1")
+        self.mode = mode
+        self.dv_ratio = dv_ratio
+        self.safety_factor = safety_factor
+        self.min_bits_for_estimate = min_bits_for_estimate
+        self.uber_target = uber_target
+        self.t_max = t_max
+        self.t_min = t_min
+        self.k = k
+        self.m = m
+        self._current = CrossLayerConfig(IsppAlgorithm.SV, t_max)
+
+    @property
+    def current_config(self) -> CrossLayerConfig:
+        """Configuration currently in force."""
+        return self._current
+
+    def set_mode(self, mode: OperatingMode) -> None:
+        """User-requested service level change."""
+        self.mode = mode
+
+    def _sv_equivalent_rber(
+        self, observed_rber: float, running: IsppAlgorithm
+    ) -> float:
+        """Translate the observed RBER to the ISPP-SV reference scale."""
+        if running is IsppAlgorithm.SV:
+            return observed_rber
+        return observed_rber * self.dv_ratio
+
+    def decide(self, observation: CodecObservation,
+               running: IsppAlgorithm) -> AdaptationDecision:
+        """Derive the configuration from decode feedback.
+
+        With insufficient feedback (fewer than ``min_bits_for_estimate``
+        bits decoded, or a zero estimate) the manager conservatively keeps
+        the worst-case provisioning rather than under-protecting.
+        """
+        observed = observation.observed_rber * self.safety_factor
+        enough = (
+            observation.bits_processed >= self.min_bits_for_estimate
+            and observed > 0.0
+        )
+        if not enough:
+            config = CrossLayerConfig(
+                IsppAlgorithm.SV if self.mode is OperatingMode.BASELINE
+                else IsppAlgorithm.DV,
+                self.t_max,
+            )
+            changed = config != self._current
+            self._current = config
+            return AdaptationDecision(config, observed, changed)
+
+        sv_rber = self._sv_equivalent_rber(observed, running)
+        baseline_t, saturated = self._required_t_or_saturate(sv_rber)
+        if self.mode is OperatingMode.BASELINE:
+            config = CrossLayerConfig(IsppAlgorithm.SV, baseline_t)
+        elif self.mode is OperatingMode.MIN_UBER:
+            config = CrossLayerConfig(IsppAlgorithm.DV, baseline_t)
+        else:
+            relaxed_t, relaxed_sat = self._required_t_or_saturate(
+                sv_rber / self.dv_ratio
+            )
+            saturated = saturated and relaxed_sat
+            config = CrossLayerConfig(IsppAlgorithm.DV, relaxed_t)
+        changed = config != self._current
+        self._current = config
+        return AdaptationDecision(config, observed, changed, saturated)
+
+    def _required_t_or_saturate(self, rber: float) -> tuple[int, bool]:
+        """Required t for the target, pinned at t_max past end of life."""
+        from repro.errors import CodeDesignError
+
+        try:
+            return (
+                required_t(
+                    rber, k=self.k, m=self.m,
+                    uber_target=self.uber_target,
+                    t_max=self.t_max, t_min=self.t_min,
+                ),
+                False,
+            )
+        except CodeDesignError:
+            return self.t_max, True

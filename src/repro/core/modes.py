@@ -1,0 +1,38 @@
+"""Operating modes exposed by the cross-layer framework."""
+
+from __future__ import annotations
+
+import enum
+
+
+class OperatingMode(enum.Enum):
+    """Service levels of the memory sub-system (paper section 6.3).
+
+    BASELINE
+        ISPP-SV + adaptive ECC meeting the UBER target: the paper's
+        reference configuration ("average case").
+    MIN_UBER
+        ISPP-DV + the *baseline* ECC capability: reliability boost for
+        mission-critical data (secure transactions, OS upgrades, backups)
+        with unchanged read throughput (§6.3.1).
+    MAX_READ_THROUGHPUT
+        ISPP-DV + relaxed ECC capability still meeting the UBER target:
+        read-intensive multimedia service level (§6.3.2).
+    """
+
+    BASELINE = "baseline"
+    MIN_UBER = "min-uber"
+    MAX_READ_THROUGHPUT = "max-read-throughput"
+
+    @property
+    def register_code(self) -> int:
+        """Encoding used in the OPERATING_MODE controller register."""
+        return {"baseline": 0, "min-uber": 1, "max-read-throughput": 2}[self.value]
+
+    @classmethod
+    def from_register_code(cls, code: int) -> "OperatingMode":
+        """Inverse of :attr:`register_code`."""
+        for mode in cls:
+            if mode.register_code == code:
+                return mode
+        raise ValueError(f"unknown operating-mode code {code}")

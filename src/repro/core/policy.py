@@ -1,0 +1,73 @@
+"""Mode -> cross-layer configuration mapping (paper section 6.3).
+
+The policy owns the lifetime RBER model and the UBER target and answers
+"what (algorithm, t) should the sub-system run at this age in this mode" —
+the decision the paper's reliability manager takes when reconfiguring.
+"""
+
+from __future__ import annotations
+
+from repro import params as canon
+from repro.bch.uber import required_t
+from repro.core.config import CrossLayerConfig
+from repro.core.modes import OperatingMode
+from repro.errors import ConfigurationError
+from repro.nand.ispp import IsppAlgorithm
+from repro.nand.rber import LifetimeRberModel
+
+
+class CrossLayerPolicy:
+    """Selects joint physical/architectural settings per operating mode."""
+
+    def __init__(
+        self,
+        rber_model: LifetimeRberModel | None = None,
+        uber_target: float = canon.UBER_TARGET,
+        t_max: int = canon.T_MAX,
+        t_min: int = 1,
+        k: int = canon.MESSAGE_BITS,
+        m: int = canon.GF_DEGREE,
+    ):
+        if not 1 <= t_min <= t_max:
+            raise ConfigurationError(f"invalid t range [{t_min}, {t_max}]")
+        self.rber_model = rber_model or LifetimeRberModel(
+            t_max=t_max, uber_target=uber_target
+        )
+        self.uber_target = uber_target
+        self.t_max = t_max
+        self.t_min = t_min
+        self.k = k
+        self.m = m
+
+    def required_t_for(self, algorithm: IsppAlgorithm, pe_cycles: float) -> int:
+        """Minimum capability meeting the UBER target for an algorithm/age."""
+        return required_t(
+            self.rber_model.rber(algorithm, pe_cycles),
+            k=self.k,
+            m=self.m,
+            uber_target=self.uber_target,
+            t_max=self.t_max,
+            t_min=self.t_min,
+        )
+
+    def config_for(self, mode: OperatingMode, pe_cycles: float) -> CrossLayerConfig:
+        """Cross-layer configuration for a mode at a device age.
+
+        BASELINE keeps ISPP-SV with the tracking t; MIN_UBER switches the
+        physical layer only (same t as baseline, section 6.3.1); MAX_READ
+        switches the physical layer *and* relaxes t to ISPP-DV's
+        requirement (section 6.3.2).
+        """
+        baseline_t = self.required_t_for(IsppAlgorithm.SV, pe_cycles)
+        if mode is OperatingMode.BASELINE:
+            return CrossLayerConfig(IsppAlgorithm.SV, baseline_t)
+        if mode is OperatingMode.MIN_UBER:
+            return CrossLayerConfig(IsppAlgorithm.DV, baseline_t)
+        if mode is OperatingMode.MAX_READ_THROUGHPUT:
+            relaxed_t = self.required_t_for(IsppAlgorithm.DV, pe_cycles)
+            return CrossLayerConfig(IsppAlgorithm.DV, relaxed_t)
+        raise ConfigurationError(f"unhandled mode {mode}")
+
+    def rber_for(self, config: CrossLayerConfig, pe_cycles: float) -> float:
+        """Device RBER under a configuration at an age."""
+        return self.rber_model.rber(config.algorithm, pe_cycles)

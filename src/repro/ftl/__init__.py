@@ -1,0 +1,39 @@
+"""Flash translation layer and differentiated storage services.
+
+The paper's stated future work is to "implement the memory controller
+taking advantage of the new trade-offs, thus exposing differentiated
+storage services to applications".  This package builds that system on top
+of :class:`repro.controller.NandController`:
+
+* :mod:`repro.ftl.mapping` — logical-to-physical page mapping with
+  validity tracking;
+* :mod:`repro.ftl.wear` — wear-aware physical block allocation;
+* :mod:`repro.ftl.gc` — garbage collection (victim selection + migration);
+* :mod:`repro.ftl.ftl` — the translation layer (write/read/trim);
+* :mod:`repro.ftl.service` — named namespaces bound to service classes
+  (mission-critical / streaming / default), each mapped to a cross-layer
+  configuration.
+"""
+
+from repro.ftl.mapping import LogicalMap, PhysicalLocation
+from repro.ftl.wear import WearAwareAllocator
+from repro.ftl.gc import GarbageCollector, GcStats
+from repro.ftl.ftl import FlashTranslationLayer, FtlStats
+from repro.ftl.service import (
+    DifferentiatedStorage,
+    Namespace,
+    ServiceClass,
+)
+
+__all__ = [
+    "LogicalMap",
+    "PhysicalLocation",
+    "WearAwareAllocator",
+    "GarbageCollector",
+    "GcStats",
+    "FlashTranslationLayer",
+    "FtlStats",
+    "ServiceClass",
+    "Namespace",
+    "DifferentiatedStorage",
+]

@@ -1,0 +1,118 @@
+"""The flash translation layer: logical page read/write/trim.
+
+Out-of-place updates through the wear-aware allocator, on-demand garbage
+collection when the free-page pool runs low, and full latency accounting.
+One FTL instance manages one block partition, so several FTLs with
+different cross-layer configurations can share a device — the substrate of
+the differentiated-service layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controller.controller import NandController
+from repro.errors import ControllerError
+from repro.ftl.gc import GarbageCollector, GcStats
+from repro.ftl.mapping import LogicalMap
+from repro.ftl.wear import WearAwareAllocator
+
+
+@dataclass
+class FtlStats:
+    """Host-visible operation accounting."""
+
+    host_writes: int = 0
+    host_reads: int = 0
+    trims: int = 0
+    write_time_s: float = 0.0
+    read_time_s: float = 0.0
+    corrected_bits: int = 0
+
+    def write_amplification(self, gc: GcStats) -> float:
+        """(host + migrated) / host page writes."""
+        if self.host_writes == 0:
+            return 1.0
+        return (self.host_writes + gc.pages_migrated) / self.host_writes
+
+
+class FlashTranslationLayer:
+    """Logical block device over a partition of a NAND controller."""
+
+    #: Collect garbage when free pages drop below this many blocks' worth.
+    GC_LOW_WATER_BLOCKS = 1
+
+    def __init__(self, controller: NandController, blocks: list[int]):
+        if len(blocks) < 2:
+            raise ControllerError("FTL needs at least two blocks (one spare for GC)")
+        self.controller = controller
+        geometry = controller.geometry
+        self.mapping = LogicalMap(blocks, geometry.pages_per_block)
+        self.allocator = WearAwareAllocator(controller.device, blocks)
+        self.gc = GarbageCollector(controller, self.mapping, self.allocator)
+        self.stats = FtlStats()
+        # Keep one spare block's pages in reserve so GC can always migrate.
+        self._reserved_pages = geometry.pages_per_block
+        self.logical_capacity = (
+            self.mapping.capacity_pages - self._reserved_pages
+        )
+
+    # -- host interface -------------------------------------------------------
+
+    def write(self, lpn: int, data: bytes) -> float:
+        """Write (or update) a logical page; returns the latency."""
+        self._check_lpn(lpn)
+        self._ensure_free_space()
+        location = self.allocator.allocate()
+        report = self.controller.write(location.block, location.page, data)
+        self.mapping.bind(lpn, location)
+        self.stats.host_writes += 1
+        self.stats.write_time_s += report.latencies.total_s
+        return report.latencies.total_s
+
+    def read(self, lpn: int) -> tuple[bytes, float]:
+        """Read a logical page; returns (data, latency)."""
+        location = self.mapping.lookup(lpn)
+        if location is None:
+            raise ControllerError(f"LPN {lpn} is not mapped")
+        data, report = self.controller.read(location.block, location.page)
+        self.stats.host_reads += 1
+        self.stats.read_time_s += report.latencies.total_s
+        self.stats.corrected_bits += report.corrected_bits
+        return data, report.latencies.total_s
+
+    def trim(self, lpn: int) -> None:
+        """Discard a logical page."""
+        self.mapping.unbind(lpn)
+        self.stats.trims += 1
+
+    def is_mapped(self, lpn: int) -> bool:
+        """Whether a logical page currently holds data."""
+        return self.mapping.lookup(lpn) is not None
+
+    # -- internals -----------------------------------------------------------------
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_capacity:
+            raise ControllerError(
+                f"LPN {lpn} outside logical capacity {self.logical_capacity}"
+            )
+
+    def _ensure_free_space(self) -> None:
+        guard = 0
+        while self.allocator.free_pages() <= self._reserved_pages:
+            reclaimed = self.gc.collect()
+            if reclaimed is None:
+                # No stale pages yet. Since the logical capacity excludes
+                # the reserve, a fully-valid partition means every further
+                # write is an overwrite (which creates staleness), so it is
+                # safe to dip into the reserve as long as pages remain; a
+                # greedy victim then always has <= free_pages valid pages.
+                if self.allocator.free_pages() >= 1:
+                    return
+                raise ControllerError(
+                    "partition wedged: no free pages and nothing to collect"
+                )
+            guard += 1
+            if guard > len(self.mapping.blocks):
+                raise ControllerError("garbage collection is not converging")

@@ -1,0 +1,128 @@
+"""Garbage collection: victim selection and valid-page migration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controller.controller import NandController
+from repro.errors import ControllerError
+from repro.ftl.mapping import LogicalMap
+from repro.ftl.wear import WearAwareAllocator
+
+
+@dataclass
+class GcStats:
+    """Garbage-collection accounting."""
+
+    collections: int = 0
+    pages_migrated: int = 0
+    blocks_erased: int = 0
+    migration_time_s: float = 0.0
+
+
+class GarbageCollector:
+    """Greedy (most-stale-first) garbage collector with static levelling."""
+
+    #: Wear spread (max - min erase counts) that triggers a cold-block swap.
+    LEVELING_THRESHOLD = 6
+
+    def __init__(
+        self,
+        controller: NandController,
+        mapping: LogicalMap,
+        allocator: WearAwareAllocator,
+    ):
+        self.controller = controller
+        self.mapping = mapping
+        self.allocator = allocator
+        self.stats = GcStats()
+
+    def pick_victim(self) -> int | None:
+        """Closed block with the most stale pages (None if nothing to win).
+
+        Ties are broken toward the *least-worn* block, which doubles as a
+        lightweight wear-levelling policy: cold blocks with reclaimable
+        space get rotated back into circulation instead of a hot pair
+        ping-ponging through every collection.
+        """
+        candidates = [
+            block for block in self.mapping.blocks
+            if block != self.allocator.open_block
+            and block not in self.allocator.free_blocks
+            and self.mapping.stale_pages(block) > 0
+        ]
+        if not candidates:
+            return None
+        wear = self.controller.device.array.wear
+        return max(
+            candidates,
+            key=lambda b: (self.mapping.stale_pages(b), -wear(b)),
+        )
+
+    def collect(self) -> int | None:
+        """Run one collection cycle; returns the reclaimed block.
+
+        Valid pages are read through the ECC path (scrubbing them in the
+        process) and re-programmed at the current cross-layer
+        configuration before the victim is erased.  When the partition's
+        wear spread exceeds :attr:`LEVELING_THRESHOLD`, a static-levelling
+        pass additionally rotates the coldest closed block.
+        """
+        victim = self.pick_victim()
+        if victim is None:
+            return None
+        self._migrate_and_reclaim(victim)
+        self.stats.collections += 1
+        self.maybe_level()
+        return victim
+
+    def maybe_level(self) -> int | None:
+        """Static wear levelling: rotate the coldest closed block.
+
+        Cold data parks in a block that greedy GC never touches; when its
+        wear lags the hottest block by more than the threshold, migrate it
+        (cold data lands in recently-erased hot blocks) so the cold block
+        rejoins the erase rotation.
+        """
+        wear = self.controller.device.array.wear
+        closed = [
+            block for block in self.mapping.blocks
+            if block != self.allocator.open_block
+            and block not in self.allocator.free_blocks
+        ]
+        if not closed:
+            return None
+        coldest = min(closed, key=wear)
+        hottest = max(self.mapping.blocks, key=wear)
+        if wear(hottest) - wear(coldest) <= self.LEVELING_THRESHOLD:
+            return None
+        if self.allocator.free_pages() < self.mapping.valid_pages(coldest):
+            return None
+        self._migrate_and_reclaim(coldest)
+        return coldest
+
+    def _migrate_and_reclaim(self, victim: int) -> None:
+        from repro.ftl.mapping import PhysicalLocation
+
+        pages_per_block = self.mapping.pages_per_block
+        for page in range(pages_per_block):
+            location = PhysicalLocation(victim, page)
+            lpn = self.mapping.lpn_at(location)
+            if lpn is None:
+                continue
+            data, read_report = self.controller.read(victim, page)
+            target = self.allocator.allocate()
+            if target.block == victim:
+                raise ControllerError("allocator returned the GC victim")
+            write_report = self.controller.write(target.block, target.page, data)
+            self.mapping.bind(lpn, target)
+            self.stats.pages_migrated += 1
+            self.stats.migration_time_s += (
+                read_report.latencies.total_s + write_report.latencies.total_s
+            )
+        orphans = self.mapping.release_block(victim)
+        if orphans:
+            raise ControllerError(f"GC lost LPNs {orphans}")
+        self.stats.migration_time_s += self.controller.erase(victim)
+        self.allocator.reclaim(victim)
+        self.stats.blocks_erased += 1

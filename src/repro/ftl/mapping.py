@@ -1,0 +1,119 @@
+"""Logical-to-physical page mapping with validity tracking.
+
+A page-level map over a fixed set of physical blocks: each logical page
+number (LPN) points at one physical (block, page); stale physical pages
+are tracked per block so the garbage collector can pick cheap victims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ControllerError
+
+
+@dataclass(frozen=True)
+class PhysicalLocation:
+    """One physical page address."""
+
+    block: int
+    page: int
+
+
+class LogicalMap:
+    """Page-level L2P map over an explicit block set."""
+
+    def __init__(self, blocks: list[int], pages_per_block: int):
+        if not blocks:
+            raise ControllerError("mapping needs at least one block")
+        if len(set(blocks)) != len(blocks):
+            raise ControllerError("duplicate blocks in mapping")
+        if pages_per_block < 1:
+            raise ControllerError("pages_per_block must be positive")
+        self.blocks = list(blocks)
+        self.pages_per_block = pages_per_block
+        self._l2p: dict[int, PhysicalLocation] = {}
+        self._owner: dict[PhysicalLocation, int] = {}  # physical -> LPN
+        self._valid_count: dict[int, int] = {b: 0 for b in blocks}
+        self._stale: set[PhysicalLocation] = set()
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def capacity_pages(self) -> int:
+        """Physical pages under management."""
+        return len(self.blocks) * self.pages_per_block
+
+    def lookup(self, lpn: int) -> PhysicalLocation | None:
+        """Physical location of a logical page (None if unmapped)."""
+        return self._l2p.get(lpn)
+
+    def lpn_at(self, location: PhysicalLocation) -> int | None:
+        """Logical owner of a physical page (None if free or stale)."""
+        return self._owner.get(location)
+
+    def valid_pages(self, block: int) -> int:
+        """Valid (live) pages in a block."""
+        self._check_block(block)
+        return self._valid_count[block]
+
+    def stale_pages(self, block: int) -> int:
+        """Stale (invalidated) pages in a block."""
+        self._check_block(block)
+        return sum(1 for loc in self._stale if loc.block == block)
+
+    def mapped_lpns(self) -> list[int]:
+        """All currently-mapped logical pages."""
+        return sorted(self._l2p)
+
+    # -- updates -----------------------------------------------------------------
+
+    def bind(self, lpn: int, location: PhysicalLocation) -> None:
+        """Map an LPN to a freshly-programmed physical page.
+
+        A previous mapping of the same LPN becomes stale (flash pages
+        cannot be updated in place).
+        """
+        self._check_block(location.block)
+        if location in self._owner or location in self._stale:
+            raise ControllerError(f"physical page {location} is not free")
+        previous = self._l2p.get(lpn)
+        if previous is not None:
+            self._invalidate(previous)
+        self._l2p[lpn] = location
+        self._owner[location] = lpn
+        self._valid_count[location.block] += 1
+
+    def unbind(self, lpn: int) -> PhysicalLocation:
+        """Remove a logical page (trim); returns the stale location."""
+        location = self._l2p.pop(lpn, None)
+        if location is None:
+            raise ControllerError(f"LPN {lpn} is not mapped")
+        self._invalidate(location)
+        return location
+
+    def release_block(self, block: int) -> list[int]:
+        """Erase bookkeeping: all pages of the block become free.
+
+        Returns the LPNs that were still valid (caller must migrate them
+        *before* releasing, so normally empty).
+        """
+        self._check_block(block)
+        orphans = []
+        for location, lpn in list(self._owner.items()):
+            if location.block == block:
+                orphans.append(lpn)
+                del self._owner[location]
+                del self._l2p[lpn]
+        self._stale = {loc for loc in self._stale if loc.block != block}
+        self._valid_count[block] = 0
+        return orphans
+
+    def _invalidate(self, location: PhysicalLocation) -> None:
+        self._owner.pop(location, None)
+        self._stale.add(location)
+        self._valid_count[location.block] -= 1
+
+    def _check_block(self, block: int) -> None:
+        if block not in self._valid_count:
+            raise ControllerError(f"block {block} is not managed by this map")

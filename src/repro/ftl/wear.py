@@ -1,0 +1,78 @@
+"""Wear-aware physical block allocation.
+
+Writes append into one open block at a time; when a new block must be
+opened, the allocator picks the erased block with the least wear, keeping
+the P/E distribution flat — which matters here because the device RBER
+(and therefore the required t) is driven by per-block wear.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ControllerError
+from repro.ftl.mapping import PhysicalLocation
+from repro.nand.device import NandFlashDevice
+
+
+class WearAwareAllocator:
+    """Sequential page allocation with min-wear block selection."""
+
+    def __init__(self, device: NandFlashDevice, blocks: list[int]):
+        if not blocks:
+            raise ControllerError("allocator needs at least one block")
+        self.device = device
+        self.blocks = list(blocks)
+        self._free_blocks: set[int] = set(blocks)
+        self._open_block: int | None = None
+        self._next_page = 0
+
+    @property
+    def pages_per_block(self) -> int:
+        """Pages in each erase block."""
+        return self.device.geometry.pages_per_block
+
+    @property
+    def free_blocks(self) -> list[int]:
+        """Blocks with no programmed pages, available for opening."""
+        return sorted(self._free_blocks)
+
+    @property
+    def open_block(self) -> int | None:
+        """The block currently accepting appends."""
+        return self._open_block
+
+    def free_pages(self) -> int:
+        """Programmable pages remaining without a garbage collection."""
+        free = len(self._free_blocks) * self.pages_per_block
+        if self._open_block is not None:
+            free += self.pages_per_block - self._next_page
+        return free
+
+    def allocate(self) -> PhysicalLocation:
+        """Next physical page to program (opens a new block as needed)."""
+        if self._open_block is None or self._next_page >= self.pages_per_block:
+            self._open_next_block()
+        assert self._open_block is not None
+        location = PhysicalLocation(self._open_block, self._next_page)
+        self._next_page += 1
+        return location
+
+    def reclaim(self, block: int) -> None:
+        """Return an erased block to the free pool (after GC)."""
+        if block not in self.blocks:
+            raise ControllerError(f"block {block} is not managed")
+        if block == self._open_block:
+            raise ControllerError("cannot reclaim the open block")
+        self._free_blocks.add(block)
+
+    def _open_next_block(self) -> None:
+        if not self._free_blocks:
+            raise ControllerError("out of free blocks; garbage collection needed")
+        chosen = min(self._free_blocks, key=lambda b: self.device.array.wear(b))
+        self._free_blocks.remove(chosen)
+        self._open_block = chosen
+        self._next_page = 0
+
+    def wear_spread(self) -> int:
+        """Max minus min wear across managed blocks (levelling metric)."""
+        wears = [self.device.array.wear(b) for b in self.blocks]
+        return max(wears) - min(wears)

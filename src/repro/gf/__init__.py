@@ -1,0 +1,37 @@
+"""Galois-field arithmetic substrate.
+
+Provides binary-extension fields GF(2^m) with table-driven scalar and
+vectorized (numpy) arithmetic, polynomials over GF(2) represented as Python
+integers (bit i = coefficient of x^i), dense polynomials over GF(2^m), and
+minimal-polynomial / cyclotomic-coset machinery used by the BCH code
+designer.
+"""
+
+from repro.gf.field import GF2m, default_primitive_poly
+from repro.gf.poly2 import (
+    poly2_add,
+    poly2_deg,
+    poly2_divmod,
+    poly2_eval_in_field,
+    poly2_mod,
+    poly2_mul,
+    poly2_to_coeff_list,
+)
+from repro.gf.polygf import GFPoly
+from repro.gf.minpoly import cyclotomic_coset, cyclotomic_cosets, minimal_polynomial
+
+__all__ = [
+    "GF2m",
+    "default_primitive_poly",
+    "GFPoly",
+    "poly2_add",
+    "poly2_deg",
+    "poly2_divmod",
+    "poly2_eval_in_field",
+    "poly2_mod",
+    "poly2_mul",
+    "poly2_to_coeff_list",
+    "cyclotomic_coset",
+    "cyclotomic_cosets",
+    "minimal_polynomial",
+]

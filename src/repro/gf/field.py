@@ -1,0 +1,217 @@
+"""Binary extension fields GF(2^m) with log/antilog tables.
+
+The field is built from a primitive polynomial p(x) of degree m; elements
+are integers in [0, 2^m) whose bits are polynomial coefficients.  A full
+exponentiation table of the primitive element alpha is precomputed, which
+makes scalar multiplication two table lookups and allows numpy-vectorized
+bulk arithmetic (used heavily by the Chien search).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import GaloisFieldError
+
+#: Default primitive polynomials (bit i = coefficient of x^i), one per degree.
+#: These are the standard choices used by BCH/CRC hardware generators.
+_PRIMITIVE_POLYS = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+    13: 0b10000000011011,
+    14: 0b100010001000011,
+    15: 0b1000000000000011,
+    16: 0b10001000000001011,
+}
+
+
+def default_primitive_poly(m: int) -> int:
+    """Return the library's default primitive polynomial for GF(2^m)."""
+    try:
+        return _PRIMITIVE_POLYS[m]
+    except KeyError:
+        raise GaloisFieldError(f"no default primitive polynomial for m={m}") from None
+
+
+class GF2m:
+    """The finite field GF(2^m).
+
+    Parameters
+    ----------
+    m:
+        Field degree; the field has ``2**m`` elements.
+    primitive_poly:
+        Optional primitive polynomial as an integer bit mask including the
+        x^m term.  Defaults to the standard polynomial for the degree.
+
+    Notes
+    -----
+    Construction verifies primitivity: the powers of alpha = x must cycle
+    through all 2^m - 1 nonzero elements.
+    """
+
+    __slots__ = ("m", "q", "order", "primitive_poly", "exp", "log", "_exp2")
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if not 2 <= m <= 16:
+            raise GaloisFieldError(f"supported degrees are 2..16, got {m}")
+        if primitive_poly is None:
+            primitive_poly = default_primitive_poly(m)
+        if primitive_poly >> m != 1:
+            raise GaloisFieldError(
+                f"primitive polynomial 0x{primitive_poly:x} does not have degree {m}"
+            )
+        self.m = m
+        self.q = 1 << m
+        self.order = self.q - 1
+        self.primitive_poly = primitive_poly
+
+        exp = np.zeros(self.order, dtype=np.int64)
+        log = np.full(self.q, -1, dtype=np.int64)
+        value = 1
+        for i in range(self.order):
+            exp[i] = value
+            if log[value] != -1:
+                raise GaloisFieldError(
+                    f"polynomial 0x{primitive_poly:x} is not primitive for m={m}"
+                )
+            log[value] = i
+            value <<= 1
+            if value & self.q:
+                value ^= primitive_poly
+        if value != 1:
+            raise GaloisFieldError(
+                f"polynomial 0x{primitive_poly:x} is not primitive for m={m}"
+            )
+        self.exp = exp
+        self.log = log
+        # Doubled exponent table: avoids the modulo reduction in scalar mul.
+        self._exp2 = np.concatenate([exp, exp])
+
+    # -- scalar operations -------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (carry-less XOR)."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log/antilog tables."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp2[self.log[a] + self.log[b]])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises on division by zero."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return int(self.exp[(self.log[a] - self.log[b]) % self.order])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^m)")
+        return int(self.exp[(self.order - self.log[a]) % self.order])
+
+    def pow(self, a: int, e: int) -> int:
+        """Field exponentiation ``a**e`` (negative exponents allowed)."""
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise ZeroDivisionError("zero has no negative powers")
+            return 0
+        return int(self.exp[(self.log[a] * e) % self.order])
+
+    def alpha_pow(self, e: int) -> int:
+        """Power ``alpha**e`` of the primitive element."""
+        return int(self.exp[e % self.order])
+
+    def element_order(self, a: int) -> int:
+        """Multiplicative order of a nonzero element."""
+        if a == 0:
+            raise GaloisFieldError("zero has no multiplicative order")
+        loga = int(self.log[a])
+        from math import gcd
+
+        return self.order // gcd(self.order, loga)
+
+    # -- vectorized operations ---------------------------------------------
+
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise field multiplication of two integer arrays."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        nz = (a != 0) & (b != 0)
+        av, bv = np.broadcast_arrays(a, b)
+        out[nz] = self._exp2[self.log[av[nz]] + self.log[bv[nz]]]
+        return out
+
+    def pow_alpha_vec(self, exponents: np.ndarray) -> np.ndarray:
+        """Vectorized ``alpha**e`` for an array of integer exponents."""
+        exponents = np.asarray(exponents, dtype=np.int64) % self.order
+        return self.exp[exponents]
+
+    def eval_poly_vec(self, coeffs: np.ndarray, points_log: np.ndarray) -> np.ndarray:
+        """Evaluate a polynomial at many field points simultaneously.
+
+        Parameters
+        ----------
+        coeffs:
+            Polynomial coefficients, low-order first (``coeffs[i]`` is the
+            coefficient of x^i).
+        points_log:
+            Discrete logs of the (nonzero) evaluation points.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``poly(point)`` for every point, as field elements.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        points_log = np.asarray(points_log, dtype=np.int64)
+        acc = np.zeros(points_log.shape, dtype=np.int64)
+        for i, c in enumerate(coeffs):
+            c = int(c)
+            if c == 0:
+                continue
+            exps = (int(self.log[c]) + i * points_log) % self.order
+            acc ^= self.exp[exps]
+        return acc
+
+    # -- dunder helpers ------------------------------------------------------
+
+    def __contains__(self, a: int) -> bool:
+        return 0 <= a < self.q
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GF2m(m={self.m}, primitive_poly=0x{self.primitive_poly:x})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GF2m)
+            and other.m == self.m
+            and other.primitive_poly == self.primitive_poly
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.m, self.primitive_poly))
+
+
+@lru_cache(maxsize=None)
+def get_field(m: int, primitive_poly: int | None = None) -> GF2m:
+    """Memoized field constructor (table building for m=16 is not free)."""
+    return GF2m(m, primitive_poly)

@@ -1,0 +1,84 @@
+"""Polynomials over GF(2) represented as Python integers.
+
+Bit ``i`` of the integer is the coefficient of ``x^i``.  Python's arbitrary
+precision integers make this representation both compact and fast for the
+very high degree polynomials BCH needs (the t = 65 generator polynomial has
+degree 1040), since XOR/shift on big ints run in C.
+"""
+
+from __future__ import annotations
+
+from repro.gf.field import GF2m
+
+
+def poly2_deg(p: int) -> int:
+    """Degree of the polynomial; the zero polynomial has degree -1."""
+    return p.bit_length() - 1
+
+
+def poly2_add(a: int, b: int) -> int:
+    """Addition over GF(2) (XOR)."""
+    return a ^ b
+
+
+def poly2_mul(a: int, b: int) -> int:
+    """Carry-less multiplication of two GF(2) polynomials."""
+    if a == 0 or b == 0:
+        return 0
+    # Iterate over the sparser operand's set bits.
+    if a.bit_count() > b.bit_count():
+        a, b = b, a
+    result = 0
+    shift = 0
+    while a:
+        if a & 1:
+            result ^= b << shift
+        # Skip runs of zero bits in one step.
+        a >>= 1
+        shift += 1
+    return result
+
+
+def poly2_divmod(a: int, b: int) -> tuple[int, int]:
+    """Quotient and remainder of GF(2) polynomial division."""
+    if b == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    deg_b = poly2_deg(b)
+    quotient = 0
+    remainder = a
+    deg_r = poly2_deg(remainder)
+    while deg_r >= deg_b:
+        shift = deg_r - deg_b
+        quotient |= 1 << shift
+        remainder ^= b << shift
+        deg_r = poly2_deg(remainder)
+    return quotient, remainder
+
+
+def poly2_mod(a: int, b: int) -> int:
+    """Remainder of GF(2) polynomial division."""
+    return poly2_divmod(a, b)[1]
+
+
+def poly2_to_coeff_list(p: int, length: int | None = None) -> list[int]:
+    """Expand to a 0/1 coefficient list, low-order first.
+
+    ``length`` pads (or validates) the output size; by default the list has
+    ``deg(p) + 1`` entries (empty for the zero polynomial).
+    """
+    coeffs = [(p >> i) & 1 for i in range(p.bit_length())]
+    if length is not None:
+        if len(coeffs) > length:
+            raise ValueError(f"polynomial degree {len(coeffs) - 1} exceeds length {length}")
+        coeffs.extend([0] * (length - len(coeffs)))
+    return coeffs
+
+
+def poly2_eval_in_field(p: int, point: int, field: GF2m) -> int:
+    """Evaluate a GF(2) polynomial at a GF(2^m) point (Horner scheme)."""
+    acc = 0
+    for i in range(poly2_deg(p), -1, -1):
+        acc = field.mul(acc, point)
+        if (p >> i) & 1:
+            acc ^= 1
+    return acc

@@ -1,0 +1,37 @@
+"""High-voltage subsystem of the NAND device (paper section 5.1).
+
+Models the analog core that generates the program/inhibit/verify voltages:
+
+* :mod:`repro.hv.charge_pump` — Dickson charge pumps (12-stage program,
+  8-stage inhibit, 4-stage high-speed verify);
+* :mod:`repro.hv.regulator` — hysteretic divider/comparator regulation;
+* :mod:`repro.hv.spice` — a small explicit-Euler transient solver (the
+  "SPICE-like environment") used to simulate pump ramp-up and regulation;
+* :mod:`repro.hv.waveform` — ISPP enable-signal sequences per algorithm;
+* :mod:`repro.hv.power` — FlashPower-style per-operation energy model
+  (Fig. 6 reproduction).
+"""
+
+from repro.hv.charge_pump import DicksonPump, DicksonPumpParams, standard_pumps
+from repro.hv.regulator import HystereticRegulator, RegulatorParams
+from repro.hv.spice import TransientResult, TransientSolver
+from repro.hv.waveform import Phase, PhaseKind, ProgramWaveform, build_program_waveform
+from repro.hv.power import FlashPowerModel, PowerBreakdown
+from repro.hv.subsystem import HighVoltageSubsystem
+
+__all__ = [
+    "DicksonPump",
+    "DicksonPumpParams",
+    "standard_pumps",
+    "HystereticRegulator",
+    "RegulatorParams",
+    "TransientSolver",
+    "TransientResult",
+    "Phase",
+    "PhaseKind",
+    "ProgramWaveform",
+    "build_program_waveform",
+    "FlashPowerModel",
+    "PowerBreakdown",
+    "HighVoltageSubsystem",
+]

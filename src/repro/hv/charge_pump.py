@@ -1,0 +1,133 @@
+"""Dickson charge-pump models (paper section 5.1).
+
+Three pumps, as in the paper's HV subsystem:
+
+* **program** — 12-stage modified Dickson, 14-19 V ISPP pulse supply;
+* **inhibit** — same architecture, 8 stages, ~8 V channel-boost supply;
+* **verify** — 4-stage high-speed pump, ~4.5 V read-bypass supply.
+
+The charge-transfer model is the standard Dickson analysis (Kang et al.,
+JSSC 2008): per clock cycle each stage hands ``C * (V_clk_eff - V_drop)``
+of charge forward, so the open-circuit output is
+``vdd + N * (vdd * C/(C + C_par) - V_drop)`` and the output impedance is
+``N / (f * C)``.  Input current is ``(N + 1) * I_load`` plus the parasitic
+switching term — the dominant contributor to the power numbers of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DicksonPumpParams:
+    """Electrical parameters of one pump."""
+
+    name: str
+    stages: int
+    stage_capacitance: float  # [F]
+    clock_hz: float
+    vdd: float = 1.8
+    parasitic_ratio: float = 0.10  # C_par / C per stage
+    diode_drop: float = 0.0        # modified (MOS-switch) pump: ~0 V
+    output_capacitance: float = 200e-12
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise ConfigurationError("pump needs at least one stage")
+        if self.stage_capacitance <= 0 or self.output_capacitance <= 0:
+            raise ConfigurationError("capacitances must be positive")
+        if self.clock_hz <= 0 or self.vdd <= 0:
+            raise ConfigurationError("clock and vdd must be positive")
+        if not 0 <= self.parasitic_ratio < 1:
+            raise ConfigurationError("parasitic ratio must be in [0, 1)")
+
+
+class DicksonPump:
+    """Analytic Dickson pump with enable gating."""
+
+    def __init__(self, params: DicksonPumpParams):
+        self.params = params
+        self.enabled = False
+
+    # -- steady-state characteristics ---------------------------------------
+
+    @property
+    def open_circuit_voltage(self) -> float:
+        """No-load output voltage."""
+        p = self.params
+        gain = p.vdd * p.stage_capacitance / (
+            p.stage_capacitance * (1 + p.parasitic_ratio)
+        )
+        return p.vdd + p.stages * (gain - p.diode_drop)
+
+    @property
+    def output_impedance(self) -> float:
+        """Slope of the V-I output characteristic [ohm]."""
+        p = self.params
+        return p.stages / (p.clock_hz * p.stage_capacitance)
+
+    def output_current(self, vout: float) -> float:
+        """Current the pump can deliver into ``vout`` (0 when disabled)."""
+        if not self.enabled:
+            return 0.0
+        return max(0.0, (self.open_circuit_voltage - vout) / self.output_impedance)
+
+    def max_load_current(self, vout: float) -> float:
+        """Sustainable load at a regulated ``vout``."""
+        return max(0.0, (self.open_circuit_voltage - vout) / self.output_impedance)
+
+    # -- input side --------------------------------------------------------------
+
+    def parasitic_current(self) -> float:
+        """Clocking current burnt in stage parasitics (flows when enabled)."""
+        p = self.params
+        return (
+            p.stages
+            * p.clock_hz
+            * p.parasitic_ratio
+            * p.stage_capacitance
+            * p.vdd
+        )
+
+    def input_current(self, load_current: float) -> float:
+        """Supply current while delivering ``load_current``.
+
+        Each stage (plus the input) sources the load charge once per cycle:
+        ``(N + 1) * I_load``, plus the parasitic switching current.
+        """
+        if load_current < 0:
+            raise ConfigurationError("load current must be non-negative")
+        p = self.params
+        return (p.stages + 1) * load_current + self.parasitic_current()
+
+    def input_power(self, load_current: float) -> float:
+        """Supply power drawn from VDD while delivering ``load_current``."""
+        return self.params.vdd * self.input_current(load_current)
+
+    def efficiency(self, vout: float, load_current: float) -> float:
+        """Power efficiency at an operating point."""
+        if load_current <= 0:
+            return 0.0
+        return (vout * load_current) / self.input_power(load_current)
+
+
+def standard_pumps(vdd: float = 1.8) -> dict[str, DicksonPump]:
+    """The paper's three pumps with 45 nm-class parameters."""
+    return {
+        "program": DicksonPump(DicksonPumpParams(
+            name="program", stages=12, stage_capacitance=250e-12,
+            clock_hz=20e6, vdd=vdd, parasitic_ratio=0.06,
+        )),
+        "inhibit": DicksonPump(DicksonPumpParams(
+            name="inhibit", stages=8, stage_capacitance=250e-12,
+            clock_hz=20e6, vdd=vdd, parasitic_ratio=0.06,
+        )),
+        "verify": DicksonPump(DicksonPumpParams(
+            name="verify", stages=4, stage_capacitance=400e-12,
+            clock_hz=40e6, vdd=vdd, parasitic_ratio=0.08,
+            output_capacitance=600e-12,
+        )),
+    }

@@ -1,0 +1,159 @@
+"""FlashPower-style device power model (paper Fig. 6).
+
+Combines the Dickson-pump input currents with the array loads of each HV
+phase, following the equation-set approach of Mohan et al. (FlashPower,
+DATE 2010) that the paper feeds its SPICE pump measurements into:
+
+* **pulse phase** — program pump (wordline charging + FN current load,
+  growing with V_PP), inhibit pump (channel self-boost of unselected
+  pages), wordline-driver CV^2 switching;
+* **verify phase** — verify pump (4.5 V wordline bypass), bitline
+  precharge and sensing;
+* **setup phase** — inhibit pre-boost and address decoding;
+* a constant background (logic, references, IO excluded as in the paper).
+
+Power numbers exclude I/O pins and the digital controller, matching the
+paper's measurement scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hv.charge_pump import DicksonPump, standard_pumps
+from repro.hv.waveform import Phase, PhaseKind, ProgramWaveform
+from repro.params import VDD, VPP_START
+
+
+@dataclass(frozen=True)
+class ArrayLoadParams:
+    """Array-side load currents and switching loads per phase."""
+
+    #: Program-pump DC load at VPP_START [A] (FN current + divider).
+    program_load_base: float = 0.40e-3
+    #: Program-pump load growth per volt of V_PP [A/V].
+    program_load_slope: float = 0.16e-3
+    #: Inhibit-pump load during setup/pulse [A] (channel boost leakage).
+    inhibit_load: float = 1.5e-3
+    #: Verify-pump load [A] (wordline bypass + reference paths).
+    verify_load: float = 6.0e-3
+    #: Wordline capacitance switched to V_PP once per pulse [F].
+    wordline_capacitance: float = 0.9e-9
+    #: Bitline precharge + sense-amplifier power during verify [W].
+    sensing_power: float = 0.060
+    #: Always-on analog background (references, bias, logic) [W].
+    background_power: float = 0.045
+
+    def __post_init__(self) -> None:
+        for name in ("program_load_base", "program_load_slope", "inhibit_load",
+                     "verify_load", "wordline_capacitance", "sensing_power",
+                     "background_power"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def program_load(self, vpp: float) -> float:
+        """Program-pump load current at a given staircase voltage."""
+        return self.program_load_base + self.program_load_slope * max(
+            0.0, vpp - VPP_START
+        )
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Energy decomposition of one program operation."""
+
+    pulse_energy_j: float
+    verify_energy_j: float
+    setup_energy_j: float
+    background_energy_j: float
+    duration_s: float
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total operation energy."""
+        return (
+            self.pulse_energy_j
+            + self.verify_energy_j
+            + self.setup_energy_j
+            + self.background_energy_j
+        )
+
+    @property
+    def average_power_w(self) -> float:
+        """Average device power during the operation (the Fig. 6 metric)."""
+        if self.duration_s == 0:
+            return 0.0
+        return self.total_energy_j / self.duration_s
+
+
+class FlashPowerModel:
+    """Per-phase power evaluation over a program waveform."""
+
+    def __init__(
+        self,
+        pumps: dict[str, DicksonPump] | None = None,
+        loads: ArrayLoadParams | None = None,
+        vdd: float = VDD,
+    ):
+        self.pumps = pumps if pumps is not None else standard_pumps(vdd)
+        self.loads = loads or ArrayLoadParams()
+        self.vdd = vdd
+        for required in ("program", "inhibit", "verify"):
+            if required not in self.pumps:
+                raise ConfigurationError(f"missing pump: {required}")
+
+    # -- phase powers ----------------------------------------------------------
+
+    def phase_power_w(self, phase: Phase) -> float:
+        """Supply power during one waveform phase (excluding background)."""
+        loads = self.loads
+        if phase.kind is PhaseKind.PULSE:
+            pump_power = self.pumps["program"].input_power(
+                loads.program_load(phase.vpp)
+            ) + self.pumps["inhibit"].input_power(loads.inhibit_load)
+            # Wordline swings to V_PP once per pulse: E = C * V^2 spread
+            # over the pulse width.
+            wordline_power = (
+                loads.wordline_capacitance * phase.vpp**2 / phase.duration_s
+            )
+            return pump_power + wordline_power
+        if phase.kind is PhaseKind.SETUP:
+            return self.pumps["inhibit"].input_power(loads.inhibit_load)
+        if phase.kind is PhaseKind.VERIFY:
+            return (
+                self.pumps["verify"].input_power(loads.verify_load)
+                + loads.sensing_power
+            )
+        raise ConfigurationError(f"unknown phase kind {phase.kind}")
+
+    # -- operation energy ------------------------------------------------------------
+
+    def program_breakdown(self, waveform: ProgramWaveform) -> PowerBreakdown:
+        """Energy breakdown of a full program operation."""
+        pulse = verify = setup = 0.0
+        for phase in waveform.phases:
+            energy = self.phase_power_w(phase) * phase.duration_s
+            if phase.kind is PhaseKind.PULSE:
+                pulse += energy
+            elif phase.kind is PhaseKind.VERIFY:
+                verify += energy
+            else:
+                setup += energy
+        duration = waveform.duration_s
+        return PowerBreakdown(
+            pulse_energy_j=pulse,
+            verify_energy_j=verify,
+            setup_energy_j=setup,
+            background_energy_j=self.loads.background_power * duration,
+            duration_s=duration,
+        )
+
+    def read_energy_j(self, read_time_s: float) -> float:
+        """Array read energy (verify pump + sensing for the read duration)."""
+        power = (
+            self.pumps["verify"].input_power(self.loads.verify_load)
+            + self.loads.sensing_power
+            + self.loads.background_power
+        )
+        return power * read_time_s

@@ -1,0 +1,81 @@
+"""Hysteretic pump regulation (paper section 5.1, "Regulators and
+limiting systems").
+
+A resistive divider feeds a comparator biased with a reference voltage;
+the pump is shut down when the divided output crosses the reference and
+restarted when it droops below the re-enable threshold — "the only viable
+solution for an accurate control of the threshold voltages in a MLC NAND
+Flash device".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RegulatorParams:
+    """Divider/comparator configuration."""
+
+    target_voltage: float
+    reference_voltage: float = 1.2
+    hysteresis: float = 0.05  # fraction of target between off/on thresholds
+
+    def __post_init__(self) -> None:
+        if self.target_voltage <= 0 or self.reference_voltage <= 0:
+            raise ConfigurationError("voltages must be positive")
+        if not 0 < self.hysteresis < 0.5:
+            raise ConfigurationError("hysteresis fraction must be in (0, 0.5)")
+
+    @property
+    def divider_ratio(self) -> float:
+        """Feedback divider ratio making target map onto the reference."""
+        return self.reference_voltage / self.target_voltage
+
+    @property
+    def reenable_voltage(self) -> float:
+        """Output voltage at which the pump restarts."""
+        return self.target_voltage * (1.0 - self.hysteresis)
+
+
+class HystereticRegulator:
+    """Bang-bang pump enable control with hysteresis."""
+
+    def __init__(self, params: RegulatorParams):
+        self.params = params
+        self._pump_on = True
+        self.switch_count = 0
+
+    @property
+    def pump_enabled(self) -> bool:
+        """Current comparator decision."""
+        return self._pump_on
+
+    def retarget(self, target_voltage: float) -> None:
+        """Change the regulation point (ISPP staircase steps).
+
+        The comparator state is re-armed: each staircase step restarts the
+        pump until the new, higher target is reached.
+        """
+        self.params = RegulatorParams(
+            target_voltage=target_voltage,
+            reference_voltage=self.params.reference_voltage,
+            hysteresis=self.params.hysteresis,
+        )
+        self._pump_on = True
+
+    def update(self, vout: float) -> bool:
+        """Advance the comparator with a new output sample; returns enable."""
+        if self._pump_on and vout >= self.params.target_voltage:
+            self._pump_on = False
+            self.switch_count += 1
+        elif not self._pump_on and vout <= self.params.reenable_voltage:
+            self._pump_on = True
+            self.switch_count += 1
+        return self._pump_on
+
+    def in_regulation(self, vout: float, tolerance: float = 0.10) -> bool:
+        """True once the output is within tolerance of the target."""
+        return abs(vout - self.params.target_voltage) <= tolerance * self.params.target_voltage

@@ -1,0 +1,116 @@
+"""Minimal transient circuit solver — the "SPICE-like environment".
+
+An explicit-Euler nodal simulator specialised for the pump/regulator loops
+of the HV subsystem: each node carries a capacitance and a set of current
+contributors (pump output, resistive load, constant sink).  It is small
+but genuinely solves the ramp/regulation dynamics used to characterise
+pump start-up time, regulation ripple and average supply current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hv.charge_pump import DicksonPump
+from repro.hv.regulator import HystereticRegulator
+
+#: A current contributor: f(t, vout) -> amps into the node.
+CurrentSource = Callable[[float, float], float]
+
+
+@dataclass
+class TransientResult:
+    """Sampled waveforms of one transient run."""
+
+    time_s: np.ndarray
+    vout: np.ndarray
+    supply_current: np.ndarray
+    pump_enabled: np.ndarray
+
+    @property
+    def settle_time_s(self) -> float:
+        """First time the output reaches 99 % of its final value."""
+        final = self.vout[-1]
+        reached = np.nonzero(self.vout >= 0.99 * final)[0]
+        return float(self.time_s[reached[0]]) if reached.size else float("inf")
+
+    @property
+    def ripple_v(self) -> float:
+        """Peak-to-peak output ripple over the last quarter of the run."""
+        tail = self.vout[3 * len(self.vout) // 4:]
+        return float(tail.max() - tail.min())
+
+    @property
+    def average_supply_current(self) -> float:
+        """Mean supply current over the run."""
+        return float(self.supply_current.mean())
+
+    def average_supply_power(self, vdd: float) -> float:
+        """Mean supply power over the run."""
+        return vdd * self.average_supply_current
+
+
+@dataclass
+class PumpCircuit:
+    """One pump + regulator + load attached to an output node."""
+
+    pump: DicksonPump
+    regulator: HystereticRegulator
+    load_current: float = 0.0
+    extra_sources: list[CurrentSource] = field(default_factory=list)
+    v_initial: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.load_current < 0:
+            raise ConfigurationError("load current must be non-negative")
+
+
+class TransientSolver:
+    """Explicit-Euler transient simulation of a pump circuit."""
+
+    def __init__(self, dt: float = 25e-9):
+        if dt <= 0:
+            raise ConfigurationError("time step must be positive")
+        self.dt = dt
+
+    def run(self, circuit: PumpCircuit, duration: float) -> TransientResult:
+        """Simulate ``duration`` seconds of the pump/regulator loop."""
+        if duration <= 0:
+            raise SimulationError("duration must be positive")
+        steps = int(round(duration / self.dt))
+        if steps < 10:
+            raise SimulationError("duration too short for the chosen time step")
+
+        pump = circuit.pump
+        reg = circuit.regulator
+        cout = pump.params.output_capacitance
+
+        time = np.empty(steps)
+        vout = np.empty(steps)
+        iin = np.empty(steps)
+        enabled = np.empty(steps, dtype=bool)
+
+        v = circuit.v_initial
+        t = 0.0
+        for i in range(steps):
+            pump.enabled = reg.update(v)
+            i_pump = pump.output_current(v)
+            i_net = i_pump - circuit.load_current
+            for source in circuit.extra_sources:
+                i_net += source(t, v)
+            v = max(0.0, v + self.dt * i_net / cout)
+            supply = pump.input_current(i_pump) if pump.enabled else 0.0
+
+            time[i] = t
+            vout[i] = v
+            iin[i] = supply
+            enabled[i] = pump.enabled
+            t += self.dt
+
+        return TransientResult(
+            time_s=time, vout=vout, supply_current=iin, pump_enabled=enabled
+        )

@@ -1,0 +1,88 @@
+"""Top-level high-voltage subsystem facade.
+
+Ties the pumps, regulators, waveform builder and power model together and
+exposes the two queries the rest of the library needs:
+
+* program-operation power/energy for a simulated ISPP result (Fig. 6);
+* pump ramp characterisation through the transient solver (used by the
+  tests and the HV example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hv.charge_pump import DicksonPump, standard_pumps
+from repro.hv.power import ArrayLoadParams, FlashPowerModel, PowerBreakdown
+from repro.hv.regulator import HystereticRegulator, RegulatorParams
+from repro.hv.spice import PumpCircuit, TransientResult, TransientSolver
+from repro.hv.waveform import build_program_waveform
+from repro.nand.ispp import IsppResult
+from repro.params import VDD, NandTimingParams
+
+#: Regulation targets of the three pumps (paper section 5.1).
+PUMP_TARGETS = {"program": 19.0, "inhibit": 8.0, "verify": 4.5}
+
+
+@dataclass(frozen=True)
+class PumpCharacterisation:
+    """Ramp/regulation figures of one pump."""
+
+    name: str
+    target_v: float
+    settle_time_s: float
+    ripple_v: float
+    average_supply_power_w: float
+
+
+class HighVoltageSubsystem:
+    """The analog core of the NAND device."""
+
+    def __init__(
+        self,
+        vdd: float = VDD,
+        loads: ArrayLoadParams | None = None,
+        timing: NandTimingParams | None = None,
+    ):
+        self.vdd = vdd
+        self.pumps: dict[str, DicksonPump] = standard_pumps(vdd)
+        self.power_model = FlashPowerModel(self.pumps, loads, vdd)
+        self.timing = timing or NandTimingParams()
+
+    def program_power(self, ispp_result: IsppResult) -> PowerBreakdown:
+        """Power/energy of one program operation (the Fig. 6 measurement)."""
+        waveform = build_program_waveform(ispp_result, self.timing)
+        return self.power_model.program_breakdown(waveform)
+
+    def characterise_pump(
+        self,
+        name: str,
+        target_v: float | None = None,
+        load_current: float | None = None,
+        duration_s: float = 40e-6,
+    ) -> PumpCharacterisation:
+        """Transient ramp simulation of one pump into its regulation point."""
+        pump = self.pumps[name]
+        target = target_v if target_v is not None else PUMP_TARGETS[name]
+        if load_current is None:
+            defaults = {
+                "program": self.power_model.loads.program_load(target),
+                "inhibit": self.power_model.loads.inhibit_load,
+                "verify": self.power_model.loads.verify_load,
+            }
+            load_current = defaults[name]
+        # Clamp the load to what the pump can actually sustain at target.
+        load_current = min(load_current, 0.8 * pump.max_load_current(target))
+        regulator = HystereticRegulator(RegulatorParams(target_voltage=target))
+        circuit = PumpCircuit(
+            pump=pump, regulator=regulator,
+            load_current=load_current, v_initial=self.vdd,
+        )
+        result: TransientResult = TransientSolver().run(circuit, duration_s)
+        return PumpCharacterisation(
+            name=name,
+            target_v=target,
+            settle_time_s=result.settle_time_s,
+            ripple_v=result.ripple_v,
+            average_supply_power_w=result.average_supply_power(self.vdd),
+        )

@@ -1,0 +1,107 @@
+"""ISPP enable-signal waveforms (paper section 5.1).
+
+In the real device the embedded microcontroller sequences the charge-pump
+enable signals through interface registers; "switching from ISPP-SV to
+ISPP-DV does not require a modification of the HV subsystem but rather
+implies a different sequence of enable signals".  This module builds that
+sequence — a list of timed phases with pump-enable sets and the target
+V_PP — from a simulated :class:`~repro.nand.ispp.IsppResult`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.nand.ispp import IsppResult
+from repro.params import NandTimingParams
+
+
+class PhaseKind(enum.Enum):
+    """HV operation phase types."""
+
+    SETUP = "setup"     # wordline/bitline biasing before the pulse
+    PULSE = "pulse"     # program pulse: program + inhibit pumps active
+    VERIFY = "verify"   # threshold read at a verify level: verify pump
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One timed step of the HV enable sequence."""
+
+    kind: PhaseKind
+    duration_s: float
+    vpp: float                    # program-pump regulation target (pulse/setup)
+    pumps: frozenset[str]         # enabled pumps
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("phase duration must be positive")
+
+
+@dataclass(frozen=True)
+class ProgramWaveform:
+    """Full enable-signal sequence of one program operation."""
+
+    phases: tuple[Phase, ...]
+
+    @property
+    def duration_s(self) -> float:
+        """Total operation time."""
+        return sum(p.duration_s for p in self.phases)
+
+    def time_in(self, kind: PhaseKind) -> float:
+        """Aggregate time spent in one phase kind."""
+        return sum(p.duration_s for p in self.phases if p.kind is kind)
+
+    def pump_duty(self, pump: str) -> float:
+        """Fraction of the operation during which a pump is enabled."""
+        total = self.duration_s
+        if total == 0:
+            return 0.0
+        return sum(p.duration_s for p in self.phases if pump in p.pumps) / total
+
+
+def build_program_waveform(
+    result: IsppResult,
+    timing: NandTimingParams | None = None,
+) -> ProgramWaveform:
+    """Expand an ISPP simulation into the pump enable sequence.
+
+    Per pulse: SETUP (inhibit pump pre-boosts unselected pages) then PULSE
+    (program + inhibit pumps), followed by that pulse's verify operations
+    (verify pump).  Verify counts come straight from the simulation, so
+    ISPP-DV naturally doubles the verify phases.
+    """
+    timing = timing or NandTimingParams()
+    phases: list[Phase] = []
+    for pulse_index in range(result.pulses):
+        vpp = float(result.pulse_vpp[pulse_index])
+        phases.append(Phase(
+            kind=PhaseKind.SETUP,
+            duration_s=timing.t_pulse_setup,
+            vpp=vpp,
+            pumps=frozenset({"inhibit"}),
+        ))
+        phases.append(Phase(
+            kind=PhaseKind.PULSE,
+            duration_s=timing.t_program_pulse,
+            vpp=vpp,
+            pumps=frozenset({"program", "inhibit"}),
+        ))
+        for _ in range(int(result.preverifies_per_pulse[pulse_index])):
+            phases.append(Phase(
+                kind=PhaseKind.VERIFY,
+                duration_s=timing.t_preverify,
+                vpp=vpp,
+                pumps=frozenset({"verify"}),
+            ))
+        for _ in range(int(result.verifies_per_pulse[pulse_index])):
+            phases.append(Phase(
+                kind=PhaseKind.VERIFY,
+                duration_s=timing.t_verify,
+                vpp=vpp,
+                pumps=frozenset({"verify"}),
+            ))
+    return ProgramWaveform(phases=tuple(phases))

@@ -1,0 +1,44 @@
+"""MLC NAND flash device model (paper section 5).
+
+Implements the compact-model physical layer: threshold-voltage levels and
+read/verify thresholds (Fig. 3), a Fowler-Nordheim-style cell programming
+model with nanoscale variability (Fig. 4), the ISPP-SV and ISPP-DV program
+algorithms, Monte-Carlo page programming with cell-to-cell interference and
+aging, RBER extraction (Fig. 5), the analytic lifetime RBER model used by
+the cross-layer benches, NAND timing, and a command-level device front-end.
+"""
+
+from repro.nand.geometry import NandGeometry
+from repro.nand.levels import MlcLevels, GRAY_MAP
+from repro.nand.cell import CellParams, ispp_staircase
+from repro.nand.variability import VariabilityParams, VariabilitySampler
+from repro.nand.aging import AgingModel, AgingParams
+from repro.nand.ispp import IsppAlgorithm, IsppEngine, IsppResult
+from repro.nand.program import PageProgrammer, ProgramOutcome
+from repro.nand.rber import LifetimeRberModel, MonteCarloRber
+from repro.nand.timing import NandTimingModel, ProgramTiming
+from repro.nand.array import NandArray
+from repro.nand.device import NandFlashDevice
+
+__all__ = [
+    "NandGeometry",
+    "MlcLevels",
+    "GRAY_MAP",
+    "CellParams",
+    "ispp_staircase",
+    "VariabilityParams",
+    "VariabilitySampler",
+    "AgingModel",
+    "AgingParams",
+    "IsppAlgorithm",
+    "IsppEngine",
+    "IsppResult",
+    "PageProgrammer",
+    "ProgramOutcome",
+    "LifetimeRberModel",
+    "MonteCarloRber",
+    "NandTimingModel",
+    "ProgramTiming",
+    "NandArray",
+    "NandFlashDevice",
+]

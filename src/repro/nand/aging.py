@@ -1,0 +1,96 @@
+"""Program/erase cycling (endurance) effects — paper section 5.1.
+
+Repeated P/E cycling degrades the tunnel oxide: trapped charge both makes
+cells program slightly faster (onset decreases) and adds a growing random
+VTH instability component at read time (trap-assisted detrapping and SILC),
+which is the dominant driver of the RBER growth in Fig. 5.
+
+The sigma-growth law ``sigma_age(N) = coeff * (N / N_ref)^exponent`` is
+calibrated (see ``tests/nand/test_rber_calibration.py``) so that the
+Monte-Carlo RBER tracks the analytic lifetime model anchored to the
+paper's Fig. 5 / Fig. 7 checkpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AgingParams:
+    """Endurance-degradation magnitudes.
+
+    Attributes
+    ----------
+    sigma_coeff / sigma_exponent:
+        Power-law growth of the post-program VTH instability [V] with
+        cycles, normalised at ``n_ref`` cycles.
+    sigma_fresh:
+        Instability floor of the un-cycled device [V] (post-program
+        relaxation, random telegraph noise).
+    onset_drop_per_decade:
+        Onset reduction [V] per decade of cycling (trapped-charge assisted
+        injection makes aged cells faster).
+    n_ref:
+        Reference cycle count for the power law (rated endurance).
+    """
+
+    sigma_coeff: float = 0.105
+    sigma_exponent: float = 0.18
+    sigma_fresh: float = 0.110
+    onset_drop_per_decade: float = 0.06
+    granularity_growth_coeff: float = 6.5
+    granularity_growth_exponent: float = 0.90
+    n_ref: float = 1e5
+
+    def __post_init__(self) -> None:
+        if self.sigma_coeff < 0 or self.sigma_fresh < 0:
+            raise ConfigurationError("sigma parameters must be non-negative")
+        if self.granularity_growth_coeff < 0:
+            raise ConfigurationError("granularity growth must be non-negative")
+        if self.n_ref <= 0:
+            raise ConfigurationError("n_ref must be positive")
+
+
+class AgingModel:
+    """Maps a P/E cycle count to degradation quantities."""
+
+    def __init__(self, params: AgingParams | None = None):
+        self.params = params or AgingParams()
+
+    def sigma_instability(self, pe_cycles: float) -> float:
+        """Read-time VTH instability sigma [V] after ``pe_cycles`` cycles."""
+        if pe_cycles < 0:
+            raise ConfigurationError("cycle count must be non-negative")
+        p = self.params
+        aged = p.sigma_coeff * (pe_cycles / p.n_ref) ** p.sigma_exponent if pe_cycles else 0.0
+        return math.sqrt(p.sigma_fresh**2 + aged**2)
+
+    def onset_shift(self, pe_cycles: float) -> float:
+        """Onset change [V]; negative values mean faster (aged) programming."""
+        if pe_cycles < 0:
+            raise ConfigurationError("cycle count must be non-negative")
+        if pe_cycles < 1:
+            return 0.0
+        return -self.params.onset_drop_per_decade * math.log10(pe_cycles)
+
+    def granularity_growth(self, pe_cycles: float) -> float:
+        """Multiplier on the injection-granularity coefficient.
+
+        Trap-assisted injection makes the per-pulse charge increasingly
+        noisy with cycling; because the noise scales with the *step size*,
+        the ISPP-DV fine phase (steps delta/attenuation) ages more gracefully
+        than ISPP-SV — this is the mechanism that keeps the Fig. 5 RBER
+        curves roughly parallel over the lifetime.
+        """
+        if pe_cycles < 0:
+            raise ConfigurationError("cycle count must be non-negative")
+        p = self.params
+        if pe_cycles == 0:
+            return 1.0
+        return 1.0 + p.granularity_growth_coeff * (
+            pe_cycles / p.n_ref
+        ) ** p.granularity_growth_exponent

@@ -1,0 +1,110 @@
+"""Behavioural NAND array: page storage, wear tracking, error injection.
+
+This is the storage substrate the memory controller drives.  Cell-accurate
+Monte-Carlo of every page program would be prohibitively slow for
+system-level simulation, so the array stores logical page contents, tracks
+per-block program/erase wear and injects read-back bit errors according to
+the device RBER model — a standard fault-injection abstraction whose rate
+comes from the physical layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NandOperationError
+from repro.nand.geometry import NandGeometry
+
+
+class NandArray:
+    """Logical array contents plus wear and erase-state bookkeeping."""
+
+    def __init__(self, geometry: NandGeometry | None = None,
+                 rng: np.random.Generator | None = None):
+        self.geometry = geometry or NandGeometry()
+        self.rng = rng or np.random.default_rng()
+        self._pages: dict[int, bytes] = {}
+        self._wear = np.zeros(self.geometry.blocks, dtype=np.int64)
+        self._reads_since_erase = np.zeros(self.geometry.blocks, dtype=np.int64)
+
+    # -- wear ------------------------------------------------------------------
+
+    def wear(self, block: int) -> int:
+        """Program/erase cycles endured by a block."""
+        self._check_block(block)
+        return int(self._wear[block])
+
+    def max_wear(self) -> int:
+        """Highest wear across all blocks."""
+        return int(self._wear.max())
+
+    def reads_since_erase(self, block: int) -> int:
+        """Read operations endured by a block since its last erase.
+
+        Each read partially stresses the unselected wordlines of the block
+        (read disturb, paper section 1 mechanism [3]); the counter resets
+        on erase.
+        """
+        self._check_block(block)
+        return int(self._reads_since_erase[block])
+
+    # -- operations ---------------------------------------------------------------
+
+    def erase_block(self, block: int) -> None:
+        """Erase a block: all pages cleared, wear incremented."""
+        self._check_block(block)
+        start = block * self.geometry.pages_per_block
+        for page in range(start, start + self.geometry.pages_per_block):
+            self._pages.pop(page, None)
+        self._wear[block] += 1
+        self._reads_since_erase[block] = 0
+
+    def program_page(self, block: int, page: int, data: bytes) -> None:
+        """Program one page; NAND forbids reprogramming without erase."""
+        flat = self.geometry.page_address(block, page)
+        if flat in self._pages:
+            raise NandOperationError(
+                f"page {block}/{page} already programmed; erase the block first"
+            )
+        if len(data) > self.geometry.page_bytes:
+            raise NandOperationError(
+                f"data ({len(data)} B) exceeds page ({self.geometry.page_bytes} B)"
+            )
+        self._pages[flat] = bytes(data)
+
+    def is_programmed(self, block: int, page: int) -> bool:
+        """True if the page holds data."""
+        return self.geometry.page_address(block, page) in self._pages
+
+    def read_page(self, block: int, page: int, rber: float = 0.0) -> bytes:
+        """Read a page back, injecting bit errors at the given RBER.
+
+        Erased pages read back as all 0xFF (NAND convention).  Error counts
+        are drawn binomially over the stored payload and placed uniformly.
+        """
+        flat = self.geometry.page_address(block, page)
+        self._reads_since_erase[block] += 1
+        stored = self._pages.get(flat)
+        if stored is None:
+            return bytes([0xFF]) * self.geometry.page_bytes
+        if rber <= 0.0:
+            return stored
+        if rber >= 1.0:
+            raise NandOperationError(f"RBER must be < 1, got {rber}")
+        n_bits = len(stored) * 8
+        n_errors = int(self.rng.binomial(n_bits, rber))
+        if n_errors == 0:
+            return stored
+        corrupted = bytearray(stored)
+        positions = self.rng.choice(n_bits, size=n_errors, replace=False)
+        for pos in positions:
+            corrupted[pos // 8] ^= 0x80 >> (pos % 8)
+        return bytes(corrupted)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.geometry.blocks:
+            raise NandOperationError(
+                f"block {block} out of range 0..{self.geometry.blocks - 1}"
+            )

@@ -1,0 +1,69 @@
+"""Cell-to-cell interference (floating-gate coupling) — paper section 5.1.
+
+After a victim cell is programmed, later programming of its neighbours
+couples a fraction of their VTH swing onto the victim through parasitic
+floating-gate capacitance.  Along the simulated wordline the left/right
+neighbours are explicit; aggressors on the adjacent wordline (programmed
+later in page order) are modelled statistically with the same coupling
+ratio and the average swing of a random data pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CciParams:
+    """Coupling ratios (fractions of aggressor VTH swing).
+
+    45 nm-class values: bitline-direction (same wordline) coupling is
+    weaker than wordline-direction (next page on the same bitline).
+    """
+
+    gamma_x: float = 0.008
+    gamma_y: float = 0.015
+    enable_y: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.gamma_x < 0.5 or not 0 <= self.gamma_y < 0.5:
+            raise ConfigurationError("coupling ratios must be in [0, 0.5)")
+
+
+class CciModel:
+    """Applies interference shifts to a programmed page."""
+
+    def __init__(self, params: CciParams | None = None,
+                 rng: np.random.Generator | None = None):
+        self.params = params or CciParams()
+        self.rng = rng or np.random.default_rng()
+
+    def apply(self, vth: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+        """VTH after interference.
+
+        Parameters
+        ----------
+        vth:
+            Post-program threshold voltages of the victim page.
+        deltas:
+            Total programming swing of each cell on the same wordline
+            (aggressor amplitude for x-direction coupling).
+        """
+        vth = np.asarray(vth, dtype=np.float64)
+        deltas = np.asarray(deltas, dtype=np.float64)
+        shift = np.zeros_like(vth)
+        # Same-wordline neighbours (deterministic, from actual swings).
+        shift[1:] += self.params.gamma_x * deltas[:-1]
+        shift[:-1] += self.params.gamma_x * deltas[1:]
+        if self.params.enable_y:
+            # Next-wordline aggressors: random-data average swing ~ mean of
+            # the four level transitions, with per-cell randomness.
+            mean_swing = float(np.mean(np.maximum(deltas, 0.0)))
+            shift += self.params.gamma_y * self.rng.uniform(
+                0.0, 2.0 * mean_swing, vth.shape
+            )
+        return vth + shift

@@ -1,0 +1,90 @@
+"""Compact floating-gate cell model (paper section 5.1, Fig. 4).
+
+During an ISPP pulse of gate voltage V_CG, Fowler-Nordheim tunnelling moves
+the cell threshold toward the asymptote ``V_CG - onset`` where ``onset``
+lumps the coupling ratio and tunnel-oxide electrostatics of the cell.  The
+approach is exponential in the overdrive, which reproduces the measured
+behaviour: a soft turn-on ramp followed by the classic ISPP staircase where
+VTH advances by exactly one step per pulse.
+
+The model is deliberately minimal — two electrostatic parameters plus the
+injection-granularity noise — and is *fitted* against the experimental
+staircase in :mod:`repro.analysis.fitting` (Fig. 4 reproduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CellParams:
+    """Electrostatic parameters of one floating-gate cell.
+
+    Attributes
+    ----------
+    onset:
+        Gate overdrive [V] at which tunnelling becomes efficient; the
+        steady-state staircase tracks ``V_CG - onset``.
+    softness:
+        Exponential softness [V] of the turn-on: larger values smear the
+        transition between no-injection and full-step regimes.
+    vth_initial:
+        Starting (erased) threshold voltage [V].
+    """
+
+    onset: float = 14.0
+    softness: float = 0.9
+    vth_initial: float = -3.0
+
+    def __post_init__(self) -> None:
+        if self.softness <= 0:
+            raise ConfigurationError("softness must be positive")
+
+
+def pulse_update(vth: np.ndarray, vcg: np.ndarray, onset: np.ndarray,
+                 softness: float) -> np.ndarray:
+    """Threshold voltage after one program pulse (vectorized).
+
+    The cell relaxes toward the asymptote ``vcg - onset``; the smooth-plus
+    form ``softness * log(1 + exp(overdrive / softness))`` equals the
+    overdrive for strongly-driven cells (staircase regime) and decays
+    exponentially below onset (sub-threshold regime), matching the measured
+    ISPP transient.
+    """
+    overdrive = (vcg - onset) - vth
+    # Numerically-stable softplus.
+    scaled = overdrive / softness
+    shift = softness * np.where(
+        scaled > 30.0, scaled, np.log1p(np.exp(np.minimum(scaled, 30.0)))
+    )
+    return vth + shift
+
+
+def ispp_staircase(
+    params: CellParams,
+    vcg_start: float,
+    vcg_stop: float,
+    delta: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-cell ISPP trace: (V_CG per pulse, VTH after each pulse).
+
+    This is the Fig. 4 characterisation experiment (7 us pulses, 1 V step
+    in the paper); no verify/inhibit is applied so the staircase runs to
+    the end of the V_CG ramp.
+    """
+    if delta <= 0:
+        raise ConfigurationError("ISPP step must be positive")
+    n_pulses = int(np.floor((vcg_stop - vcg_start) / delta)) + 1
+    vcg = vcg_start + delta * np.arange(n_pulses)
+    vth = np.empty(n_pulses)
+    current = np.asarray(params.vth_initial, dtype=np.float64)
+    onset = np.asarray(params.onset, dtype=np.float64)
+    for i in range(n_pulses):
+        current = pulse_update(current, np.asarray(vcg[i]), onset, params.softness)
+        vth[i] = float(current)
+    return vcg, vth

@@ -1,0 +1,165 @@
+"""Command-level NAND flash device (the memory behind the controller).
+
+Bundles the behavioural array with the physical-layer models:
+
+* program-algorithm register — the paper's runtime-selectable knob
+  (section 5/6.4): the embedded microcontroller's code-ROM holds both
+  ISPP-SV and ISPP-DV routines;
+* per-block wear drives the lifetime RBER model, and the algorithm *used
+  at program time* determines the error rate of each stored page;
+* operation latencies come from cached ISPP Monte-Carlo timing runs
+  (re-simulated per algorithm and wear decade, not per operation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NandOperationError
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.nand.ispp import IsppAlgorithm
+from repro.nand.program import PageProgrammer
+from repro.nand.rber import LifetimeRberModel
+from repro.nand.timing import NandTimingModel
+
+
+@dataclass(frozen=True)
+class OperationReport:
+    """Latency/energy envelope of one NAND operation."""
+
+    latency_s: float
+    rber: float = 0.0
+    algorithm: IsppAlgorithm | None = None
+
+
+@dataclass(frozen=True)
+class ReadDisturbParams:
+    """Read-disturb growth of the RBER (paper section 1 mechanism [3]).
+
+    Each read weakly programs the unselected wordlines of the block; the
+    effective RBER grows linearly with reads since the last erase:
+    ``rber * (1 + coefficient * reads / reads_ref)``.
+    """
+
+    coefficient: float = 1.0
+    reads_ref: float = 100_000.0
+
+    def factor(self, reads_since_erase: int) -> float:
+        """RBER multiplier after the given read count."""
+        if reads_since_erase < 0:
+            raise NandOperationError("read count must be non-negative")
+        return 1.0 + self.coefficient * reads_since_erase / self.reads_ref
+
+
+@dataclass(frozen=True)
+class _PageMeta:
+    algorithm: IsppAlgorithm
+    programmed_at_wear: int
+
+
+class NandFlashDevice:
+    """ONFI-style command front-end with cross-layer hooks."""
+
+    #: Cells used for timing-calibration Monte-Carlo runs (timing is
+    #: population-size independent once the slow tail is sampled).
+    _TIMING_SAMPLE_CELLS = 8192
+
+    def __init__(
+        self,
+        geometry: NandGeometry | None = None,
+        rber_model: LifetimeRberModel | None = None,
+        programmer: PageProgrammer | None = None,
+        timing: NandTimingModel | None = None,
+        disturb: ReadDisturbParams | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.geometry = geometry or NandGeometry()
+        self.rng = rng or np.random.default_rng()
+        self.array = NandArray(self.geometry, self.rng)
+        self.rber_model = rber_model or LifetimeRberModel()
+        self.programmer = programmer or PageProgrammer(rng=self.rng)
+        self.timing = timing or NandTimingModel()
+        self.disturb = disturb or ReadDisturbParams()
+        self._algorithm = IsppAlgorithm.SV
+        self._page_meta: dict[int, _PageMeta] = {}
+        self._timing_cache: dict[tuple[IsppAlgorithm, int], float] = {}
+
+    # -- configuration (the physical-layer knob) --------------------------------
+
+    @property
+    def program_algorithm(self) -> IsppAlgorithm:
+        """Currently selected program algorithm."""
+        return self._algorithm
+
+    def select_program_algorithm(self, algorithm: IsppAlgorithm) -> None:
+        """Runtime algorithm switch (code-ROM routine selection, section 6.4)."""
+        if not isinstance(algorithm, IsppAlgorithm):
+            raise NandOperationError(f"not an ISPP algorithm: {algorithm!r}")
+        self._algorithm = algorithm
+
+    # -- operations ----------------------------------------------------------------
+
+    def program_page(self, block: int, page: int, data: bytes) -> OperationReport:
+        """Program a page with the selected algorithm."""
+        self.array.program_page(block, page, data)
+        flat = self.geometry.page_address(block, page)
+        wear = self.array.wear(block)
+        self._page_meta[flat] = _PageMeta(self._algorithm, wear)
+        return OperationReport(
+            latency_s=self.program_time_s(self._algorithm, wear),
+            algorithm=self._algorithm,
+        )
+
+    def read_page(self, block: int, page: int) -> tuple[bytes, OperationReport]:
+        """Read a page; stored pages suffer RBER-driven bit errors."""
+        flat = self.geometry.page_address(block, page)
+        meta = self._page_meta.get(flat)
+        if meta is None:
+            data = self.array.read_page(block, page)
+            return data, OperationReport(latency_s=self.timing.read_time_s())
+        rber = self.rber_model.rber(meta.algorithm, self.array.wear(block))
+        rber *= self.disturb.factor(self.array.reads_since_erase(block))
+        data = self.array.read_page(block, page, rber)
+        return data, OperationReport(
+            latency_s=self.timing.read_time_s(),
+            rber=rber,
+            algorithm=meta.algorithm,
+        )
+
+    def erase_block(self, block: int) -> OperationReport:
+        """Erase a block (wear +1)."""
+        start = block * self.geometry.pages_per_block
+        for flat in range(start, start + self.geometry.pages_per_block):
+            self._page_meta.pop(flat, None)
+        self.array.erase_block(block)
+        return OperationReport(latency_s=self.timing.erase_time_s())
+
+    # -- timing --------------------------------------------------------------------
+
+    def program_time_s(
+        self, algorithm: IsppAlgorithm, pe_cycles: float
+    ) -> float:
+        """Program latency, cached per (algorithm, wear decade).
+
+        The underlying ISPP Monte-Carlo is re-run when the block enters a
+        new wear decade; within a decade the pulse/verify counts are stable.
+        """
+        decade = 0 if pe_cycles < 1 else int(math.floor(math.log10(pe_cycles)))
+        key = (algorithm, decade)
+        if key not in self._timing_cache:
+            representative_cycles = 0.0 if pe_cycles < 1 else 10.0**decade
+            outcome = self.programmer.program_random_page(
+                self._TIMING_SAMPLE_CELLS, algorithm, representative_cycles
+            )
+            self._timing_cache[key] = outcome.timing.total_s
+        return self._timing_cache[key]
+
+    def rber_now(self, block: int, algorithm: IsppAlgorithm | None = None) -> float:
+        """Current RBER of pages programmed in this block with ``algorithm``."""
+        return self.rber_model.rber(
+            algorithm or self._algorithm, self.array.wear(block)
+        )

@@ -1,0 +1,92 @@
+"""Threshold-voltage distribution statistics (Fig. 3 reproduction).
+
+Summarises a programmed page into per-level statistics (population, mean,
+sigma, min/max) and provides histogram extraction for the distribution
+plots.  The Gaussian per-level fits also feed the analytic-tail RBER
+estimator in :mod:`repro.nand.rber`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nand.levels import MlcLevels
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Gaussian summary of one threshold level's population."""
+
+    level: int
+    count: int
+    mean: float
+    sigma: float
+    vmin: float
+    vmax: float
+
+
+def level_statistics(
+    levels: np.ndarray, vth: np.ndarray
+) -> list[LevelStats]:
+    """Per-level Gaussian fits of a programmed page."""
+    levels = np.asarray(levels, dtype=np.int64)
+    vth = np.asarray(vth, dtype=np.float64)
+    stats = []
+    for level in range(4):
+        values = vth[levels == level]
+        if values.size == 0:
+            stats.append(LevelStats(level, 0, float("nan"), float("nan"),
+                                    float("nan"), float("nan")))
+            continue
+        stats.append(
+            LevelStats(
+                level=level,
+                count=int(values.size),
+                mean=float(values.mean()),
+                sigma=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+                vmin=float(values.min()),
+                vmax=float(values.max()),
+            )
+        )
+    return stats
+
+
+def histogram_per_level(
+    levels: np.ndarray,
+    vth: np.ndarray,
+    bins: int = 120,
+    v_range: tuple[float, float] = (-5.0, 5.0),
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """(bin_centers, counts) per level for distribution plotting."""
+    levels = np.asarray(levels, dtype=np.int64)
+    vth = np.asarray(vth, dtype=np.float64)
+    edges = np.linspace(v_range[0], v_range[1], bins + 1)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    out = {}
+    for level in range(4):
+        counts, _ = np.histogram(vth[levels == level], bins=edges)
+        out[level] = (centers, counts)
+    return out
+
+
+def distribution_report(
+    levels: np.ndarray, vth: np.ndarray, plan: MlcLevels | None = None
+) -> str:
+    """Human-readable Fig. 3-style summary with read/verify levels."""
+    plan = plan or MlcLevels()
+    lines = ["level  count    mean     sigma    min      max"]
+    for s in level_statistics(levels, vth):
+        lines.append(
+            f"L{s.level}    {s.count:7d}  {s.mean:7.3f}  {s.sigma:7.3f}  "
+            f"{s.vmin:7.3f}  {s.vmax:7.3f}"
+        )
+    lines.append(
+        "read levels R1-R3: "
+        + ", ".join(f"{r:.3f}" for r in plan.read)
+        + f" | verify VFY1-VFY3: "
+        + ", ".join(f"{v:.3f}" for v in plan.verify)
+        + f" | OP: {plan.over_program:.3f}"
+    )
+    return "\n".join(lines)

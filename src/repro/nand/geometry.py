@@ -1,0 +1,82 @@
+"""NAND array organisation: pages, blocks, planes.
+
+The paper's device is a 2-bit/cell 45 nm MLC NAND with 4 KiB pages; block
+and plane counts follow the Micron MT29F-class part referenced for timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Static array geometry.
+
+    Attributes
+    ----------
+    page_data_bytes / page_spare_bytes:
+        Main and spare areas of one page.
+    pages_per_block / blocks:
+        Erase-block organisation (a block is the erase unit).
+    bits_per_cell:
+        2 for the MLC device under study.
+    """
+
+    page_data_bytes: int = 4096
+    page_spare_bytes: int = 224
+    pages_per_block: int = 128
+    blocks: int = 2048
+    bits_per_cell: int = 2
+
+    def __post_init__(self) -> None:
+        if self.page_data_bytes <= 0 or self.page_spare_bytes < 0:
+            raise ConfigurationError("page sizes must be positive")
+        if self.pages_per_block <= 0 or self.blocks <= 0:
+            raise ConfigurationError("block geometry must be positive")
+        if self.bits_per_cell not in (1, 2, 3):
+            raise ConfigurationError("bits_per_cell must be 1, 2 or 3")
+
+    @property
+    def page_bytes(self) -> int:
+        """Total page footprint including spare."""
+        return self.page_data_bytes + self.page_spare_bytes
+
+    @property
+    def page_data_bits(self) -> int:
+        """Data bits per page."""
+        return self.page_data_bytes * units.BITS_PER_BYTE
+
+    @property
+    def cells_per_page(self) -> int:
+        """Cells storing the data area of one page."""
+        return self.page_data_bits // self.bits_per_cell
+
+    @property
+    def pages(self) -> int:
+        """Total pages in the device."""
+        return self.pages_per_block * self.blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable data capacity."""
+        return self.pages * self.page_data_bytes
+
+    def page_address(self, block: int, page: int) -> int:
+        """Flat page index from (block, page-in-block), with bounds checks."""
+        if not 0 <= block < self.blocks:
+            raise ConfigurationError(f"block {block} out of range 0..{self.blocks - 1}")
+        if not 0 <= page < self.pages_per_block:
+            raise ConfigurationError(
+                f"page {page} out of range 0..{self.pages_per_block - 1}"
+            )
+        return block * self.pages_per_block + page
+
+    def split_address(self, flat: int) -> tuple[int, int]:
+        """Inverse of :meth:`page_address`."""
+        if not 0 <= flat < self.pages:
+            raise ConfigurationError(f"flat page {flat} out of range")
+        return divmod(flat, self.pages_per_block)

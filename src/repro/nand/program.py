@@ -1,0 +1,139 @@
+"""Page programming front-end: data bits -> ISPP -> interference -> VTH.
+
+:class:`PageProgrammer` is the integration point of the physical layer: it
+converts page data to target levels through the Gray map, runs the
+(algorithm-selectable) ISPP engine, applies cell-to-cell interference, and
+packages everything downstream models need — final thresholds, timing
+activity and per-level statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NandOperationError
+from repro.nand.aging import AgingModel
+from repro.nand.cci import CciModel, CciParams
+from repro.nand.ispp import IsppAlgorithm, IsppEngine, IsppResult, IsppSchedule
+from repro.nand.levels import MlcLevels
+from repro.nand.timing import NandTimingModel, ProgramTiming
+from repro.nand.variability import VariabilityParams
+
+
+@dataclass
+class ProgramOutcome:
+    """Everything produced by one simulated page program."""
+
+    levels: np.ndarray          # target level per cell
+    vth: np.ndarray             # thresholds after program + interference
+    ispp: IsppResult
+    timing: ProgramTiming
+    algorithm: IsppAlgorithm
+    pe_cycles: float
+
+    @property
+    def cells(self) -> int:
+        """Number of cells in the page."""
+        return int(self.levels.size)
+
+
+class PageProgrammer:
+    """Programs logical page data onto a simulated MLC cell population."""
+
+    def __init__(
+        self,
+        levels: MlcLevels | None = None,
+        variability: VariabilityParams | None = None,
+        aging: AgingModel | None = None,
+        schedule: IsppSchedule | None = None,
+        cci: CciParams | None = None,
+        timing: NandTimingModel | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.levels = levels or MlcLevels()
+        self.rng = rng or np.random.default_rng()
+        self.engine = IsppEngine(
+            levels=self.levels,
+            variability=variability,
+            aging=aging,
+            schedule=schedule,
+            rng=self.rng,
+        )
+        self.cci = CciModel(cci, rng=self.rng)
+        self.timing = timing or NandTimingModel()
+
+    # -- data preparation ------------------------------------------------------
+
+    def levels_from_page(self, data: bytes) -> np.ndarray:
+        """Target MLC levels from page bytes (2 bits/cell, Gray-mapped).
+
+        Bit pairs are taken MSB-first: bits (7,6) of byte 0 drive cell 0.
+        """
+        if not data:
+            raise NandOperationError("page data must not be empty")
+        raw = np.frombuffer(bytes(data), dtype=np.uint8)
+        bits = np.unpackbits(raw)
+        upper = bits[0::2].astype(np.int64)
+        lower = bits[1::2].astype(np.int64)
+        return MlcLevels.levels_from_bits(upper, lower)
+
+    def uniform_pattern_levels(self, level: int, n_cells: int) -> np.ndarray:
+        """All-cells-one-level pattern (the paper's Fig. 6 L1/L2/L3 pages)."""
+        if not 0 <= level <= 3:
+            raise NandOperationError(f"level must be 0..3, got {level}")
+        return np.full(n_cells, level, dtype=np.int64)
+
+    # -- programming ----------------------------------------------------------------
+
+    def program_levels(
+        self,
+        target_levels: np.ndarray,
+        algorithm: IsppAlgorithm = IsppAlgorithm.SV,
+        pe_cycles: float = 0.0,
+        apply_cci: bool = True,
+    ) -> ProgramOutcome:
+        """Run ISPP on explicit target levels."""
+        result = self.engine.program_page(target_levels, algorithm, pe_cycles)
+        vth = self.cci.apply(result.vth, result.deltas) if apply_cci else result.vth
+        return ProgramOutcome(
+            levels=np.asarray(target_levels, dtype=np.int64),
+            vth=vth,
+            ispp=result,
+            timing=self.timing.program_timing(result),
+            algorithm=algorithm,
+            pe_cycles=pe_cycles,
+        )
+
+    def program_page(
+        self,
+        data: bytes,
+        algorithm: IsppAlgorithm = IsppAlgorithm.SV,
+        pe_cycles: float = 0.0,
+    ) -> ProgramOutcome:
+        """Program page bytes (Gray-mapped onto levels)."""
+        return self.program_levels(
+            self.levels_from_page(data), algorithm, pe_cycles
+        )
+
+    def program_random_page(
+        self,
+        n_cells: int,
+        algorithm: IsppAlgorithm = IsppAlgorithm.SV,
+        pe_cycles: float = 0.0,
+    ) -> ProgramOutcome:
+        """Program a uniformly-random data pattern of ``n_cells`` cells."""
+        targets = self.rng.integers(0, 4, n_cells)
+        return self.program_levels(targets, algorithm, pe_cycles)
+
+    # -- read-back ---------------------------------------------------------------
+
+    def read_vth(self, outcome: ProgramOutcome, pe_cycles: float | None = None) -> np.ndarray:
+        """Thresholds at read time: programmed VTH plus aging instability."""
+        cycles = outcome.pe_cycles if pe_cycles is None else pe_cycles
+        return outcome.vth + self.engine.read_noise(outcome.cells, cycles)
+
+    def count_bit_errors(self, outcome: ProgramOutcome) -> int:
+        """Empirical bad bits for one programmed page at read time."""
+        return self.levels.bit_errors(outcome.levels, self.read_vth(outcome))

@@ -1,0 +1,89 @@
+"""Data-retention loss model (paper section 1 failure mechanism [4]).
+
+Stored charge leaks through the (cycling-damaged) tunnel oxide: the
+threshold voltage of programmed cells drifts *down* over time and its
+spread grows.  Both effects follow the classic log-time law, accelerated
+by prior P/E cycling (trap-assisted leakage), per Lee et al., EDL 2003 —
+the retention reference the paper cites.
+
+Used by :class:`repro.nand.rber.MonteCarloRber` (optional ``retention_h``)
+and the retention ablation bench: the cross-layer consequence is that a
+worn ISPP-SV device loses its UBER target after months of storage while
+ISPP-DV's RBER headroom buys roughly an order of magnitude more shelf
+time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetentionParams:
+    """Charge-loss magnitudes (45 nm-class MLC).
+
+    ``mean_loss_per_decade`` and ``sigma_per_decade`` apply per decade of
+    hours beyond ``onset_hours``; cycling scales both by
+    ``(1 + pe_cycles / n_ref) ** cycling_exponent``.
+    """
+
+    mean_loss_per_decade: float = 0.040   # [V]
+    sigma_per_decade: float = 0.020       # [V]
+    onset_hours: float = 1.0
+    cycling_exponent: float = 0.62
+    n_ref: float = 1e5
+
+    def __post_init__(self) -> None:
+        if self.mean_loss_per_decade < 0 or self.sigma_per_decade < 0:
+            raise ConfigurationError("retention magnitudes must be non-negative")
+        if self.onset_hours <= 0 or self.n_ref <= 0:
+            raise ConfigurationError("onset_hours and n_ref must be positive")
+
+
+class RetentionModel:
+    """Maps (storage time, prior cycling) to VTH drift statistics."""
+
+    def __init__(self, params: RetentionParams | None = None):
+        self.params = params or RetentionParams()
+
+    def _decades(self, hours: float) -> float:
+        if hours < 0:
+            raise ConfigurationError("retention time must be non-negative")
+        if hours <= self.params.onset_hours:
+            return 0.0
+        return math.log10(hours / self.params.onset_hours)
+
+    def _acceleration(self, pe_cycles: float) -> float:
+        if pe_cycles < 0:
+            raise ConfigurationError("cycle count must be non-negative")
+        return (1.0 + pe_cycles / self.params.n_ref) ** self.params.cycling_exponent
+
+    def mean_shift(self, hours: float, pe_cycles: float = 0.0) -> float:
+        """Average VTH drift [V]; negative (charge loss) for programmed cells."""
+        return (
+            -self.params.mean_loss_per_decade
+            * self._decades(hours)
+            * self._acceleration(pe_cycles)
+        )
+
+    def sigma(self, hours: float, pe_cycles: float = 0.0) -> float:
+        """Additional VTH spread [V] accumulated during storage."""
+        return (
+            self.params.sigma_per_decade
+            * self._decades(hours)
+            * self._acceleration(pe_cycles)
+        )
+
+    def shift_sample(self, n_cells: int, hours: float, pe_cycles: float,
+                     rng) -> "np.ndarray":  # noqa: F821 - numpy via caller
+        """Per-cell retention shifts (only meaningful for programmed cells)."""
+        import numpy as np
+
+        return rng.normal(
+            self.mean_shift(hours, pe_cycles),
+            max(self.sigma(hours, pe_cycles), 1e-12),
+            n_cells,
+        )

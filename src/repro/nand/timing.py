@@ -1,0 +1,65 @@
+"""NAND operation timing model.
+
+Converts an :class:`IsppResult` into wall-clock program time: every pulse
+costs a wordline setup plus the pulse width; every verify operation is a
+threshold-voltage read at one verify level.  The 75 us array read and the
+block erase come from the Micron MT29F-class datasheet the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.nand.ispp import IsppResult
+from repro.params import NandTimingParams
+
+
+@dataclass(frozen=True)
+class ProgramTiming:
+    """Decomposition of one page program operation (seconds)."""
+
+    pulses: int
+    verify_ops: int
+    preverify_ops: int
+    pulse_time_s: float
+    verify_time_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end program time."""
+        return self.pulse_time_s + self.verify_time_s + self.overhead_s
+
+
+class NandTimingModel:
+    """Maps ISPP activity to operation latencies."""
+
+    #: Fixed command/address/strobe overhead per program operation.
+    COMMAND_OVERHEAD_S = units.us(5)
+
+    def __init__(self, params: NandTimingParams | None = None):
+        self.params = params or NandTimingParams()
+
+    def program_timing(self, result: IsppResult) -> ProgramTiming:
+        """Program time of a simulated page operation."""
+        p = self.params
+        return ProgramTiming(
+            pulses=result.pulses,
+            verify_ops=result.verify_ops,
+            preverify_ops=result.preverify_ops,
+            pulse_time_s=result.pulses * (p.t_pulse_setup + p.t_program_pulse),
+            verify_time_s=(
+                result.verify_ops * p.t_verify
+                + result.preverify_ops * p.t_preverify
+            ),
+            overhead_s=self.COMMAND_OVERHEAD_S,
+        )
+
+    def read_time_s(self) -> float:
+        """Array page read time (sensing into the page buffer)."""
+        return self.params.t_read_array
+
+    def erase_time_s(self) -> float:
+        """Block erase time."""
+        return self.params.t_erase

@@ -1,0 +1,87 @@
+"""Nanoscale variability of the cell population (paper section 5.1).
+
+The compact model lumps the listed variability sources into two observable
+knobs:
+
+* a per-cell *onset* spread — width/length geometry, tunnel-oxide
+  non-homogeneity and substrate-doping fluctuations all shift the gate
+  overdrive at which injection starts; the three contributions combine in
+  quadrature;
+* per-pulse *injection granularity* noise — the discrete number of
+  electrons injected per pulse makes each VTH step stochastic with a
+  variance proportional to the step size (shot-noise scaling).
+
+Cell-to-cell interference and aging are separate models (:mod:`cci`,
+:mod:`aging`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VariabilityParams:
+    """Variability magnitudes for the 45 nm node (volts unless noted).
+
+    ``sigma_geometry``, ``sigma_oxide`` and ``sigma_doping`` are the onset
+    spread contributions of the three physical sources; they are kept
+    separate for reporting even though only their quadrature sum enters the
+    simulation.  ``granularity_coeff`` is the shot-noise coefficient a in
+    ``sigma_step = sqrt(a * step)`` [V].
+    """
+
+    sigma_geometry: float = 0.130
+    sigma_oxide: float = 0.110
+    sigma_doping: float = 0.095
+    granularity_coeff: float = 0.005
+    onset_mean: float = 14.4
+
+    def __post_init__(self) -> None:
+        for name in ("sigma_geometry", "sigma_oxide", "sigma_doping"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.granularity_coeff < 0:
+            raise ConfigurationError("granularity_coeff must be non-negative")
+
+    @property
+    def sigma_onset(self) -> float:
+        """Total onset spread (quadrature sum of the three sources)."""
+        return math.sqrt(
+            self.sigma_geometry**2 + self.sigma_oxide**2 + self.sigma_doping**2
+        )
+
+
+class VariabilitySampler:
+    """Draws per-cell static parameters and per-pulse injection noise."""
+
+    def __init__(self, params: VariabilityParams, rng: np.random.Generator):
+        self.params = params
+        self.rng = rng
+
+    def sample_onsets(self, n_cells: int, onset_shift: float = 0.0) -> np.ndarray:
+        """Per-cell onset voltages; ``onset_shift`` models aged (faster) cells."""
+        return self.rng.normal(
+            self.params.onset_mean + onset_shift, self.params.sigma_onset, n_cells
+        )
+
+    def step_noise(self, steps: np.ndarray, coeff: float | None = None) -> np.ndarray:
+        """Injection-granularity noise for the given per-cell VTH steps.
+
+        Shot-noise scaling: variance proportional to the injected charge,
+        hence to the step amplitude.  Cells that did not move get no noise.
+        Cycling grows the coefficient (trap-assisted injection); the growth
+        law lives in :class:`repro.nand.aging.AgingModel` and the aged
+        coefficient is supplied by the caller through ``coeff``.
+        """
+        if coeff is None:
+            coeff = self.params.granularity_coeff
+        steps = np.asarray(steps, dtype=np.float64)
+        sigma = np.sqrt(coeff * np.maximum(steps, 0.0))
+        noise = self.rng.standard_normal(steps.shape) * sigma
+        return noise

@@ -1,0 +1,16 @@
+"""Discrete-event simulation substrate for system-level experiments."""
+
+from repro.sim.engine import Event, SimEngine, Process
+from repro.sim.stats import LatencyStats, ThroughputStats
+from repro.sim.host import HostWorkload, run_host_workload, WorkloadResult
+
+__all__ = [
+    "SimEngine",
+    "Event",
+    "Process",
+    "LatencyStats",
+    "ThroughputStats",
+    "HostWorkload",
+    "run_host_workload",
+    "WorkloadResult",
+]

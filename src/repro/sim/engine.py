@@ -1,0 +1,77 @@
+"""Generator-based discrete-event simulation engine.
+
+Processes are Python generators that ``yield`` delays in seconds; the
+engine interleaves them on a single virtual clock using a binary heap.
+Small by design, but a real DES: multiple concurrent processes, event
+ordering, deterministic tie-breaking and a bounded run horizon.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.errors import SimulationError
+
+#: A simulation process: a generator yielding delays (seconds).
+Process = Generator[float, None, None]
+
+
+@dataclass(order=True)
+class Event:
+    """Scheduled resumption of a process."""
+
+    time_s: float
+    sequence: int
+    process: Process = field(compare=False)
+
+
+class SimEngine:
+    """Single-clock event loop."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self.now_s = 0.0
+        self.events_processed = 0
+
+    def spawn(self, process: Process, delay_s: float = 0.0) -> None:
+        """Register a process to start after ``delay_s``."""
+        if delay_s < 0:
+            raise SimulationError("delay must be non-negative")
+        heapq.heappush(
+            self._queue,
+            Event(self.now_s + delay_s, next(self._counter), process),
+        )
+
+    def run(self, until_s: float | None = None, max_events: int = 10**7) -> float:
+        """Drain the event queue; returns the final simulation time.
+
+        ``until_s`` bounds virtual time (events beyond it stay unprocessed);
+        ``max_events`` is a runaway guard.
+        """
+        while self._queue:
+            if self.events_processed >= max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+            event = self._queue[0]
+            if until_s is not None and event.time_s > until_s:
+                self.now_s = until_s
+                return self.now_s
+            heapq.heappop(self._queue)
+            self.now_s = event.time_s
+            self.events_processed += 1
+            try:
+                delay = event.process.send(None)
+            except StopIteration:
+                continue
+            if delay is None or delay < 0:
+                raise SimulationError(
+                    f"process yielded invalid delay {delay!r}"
+                )
+            heapq.heappush(
+                self._queue,
+                Event(self.now_s + delay, next(self._counter), event.process),
+            )
+        return self.now_s

@@ -1,0 +1,83 @@
+"""Host traffic driving the memory controller through the DES engine.
+
+A closed-loop host process issues page operations from a workload trace;
+operation service times come from the controller's latency accounting, so
+the simulated throughput is the end-to-end figure including OCP transfer,
+ECC and flash-array time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controller.controller import NandController
+from repro.sim.engine import Process, SimEngine
+from repro.sim.stats import ThroughputStats
+from repro.workloads.traces import TraceOp, TraceOpKind
+
+
+@dataclass
+class HostWorkload:
+    """One host stream: a named sequence of trace operations."""
+
+    name: str
+    operations: list[TraceOp]
+    think_time_s: float = 0.0
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of a simulated workload run."""
+
+    name: str
+    elapsed_s: float
+    stats: ThroughputStats
+    uncorrectable_pages: int = 0
+    corrected_bits: int = 0
+
+    @property
+    def read_mb_s(self) -> float:
+        """Sustained read throughput."""
+        return self.stats.read_mb_s(self.elapsed_s)
+
+    @property
+    def write_mb_s(self) -> float:
+        """Sustained write throughput."""
+        return self.stats.write_mb_s(self.elapsed_s)
+
+
+def _host_process(
+    controller: NandController,
+    workload: HostWorkload,
+    result: WorkloadResult,
+) -> Process:
+    page_bytes = controller.geometry.page_data_bytes
+    for op in workload.operations:
+        if op.kind is TraceOpKind.WRITE:
+            report = controller.write(op.block, op.page, op.data)
+            latency = report.latencies.total_s
+            result.stats.observe_write(page_bytes, latency)
+        elif op.kind is TraceOpKind.READ:
+            _, report = controller.read(op.block, op.page)
+            latency = report.latencies.total_s
+            result.stats.observe_read(page_bytes, latency)
+            result.corrected_bits += report.corrected_bits
+            if not report.success:
+                result.uncorrectable_pages += 1
+        else:  # ERASE
+            latency = controller.erase(op.block)
+        yield latency + workload.think_time_s
+
+
+def run_host_workload(
+    controller: NandController,
+    workload: HostWorkload,
+) -> WorkloadResult:
+    """Simulate one closed-loop host stream to completion."""
+    result = WorkloadResult(
+        name=workload.name, elapsed_s=0.0, stats=ThroughputStats()
+    )
+    engine = SimEngine()
+    engine.spawn(_host_process(controller, workload, result))
+    result.elapsed_s = engine.run()
+    return result

@@ -1,0 +1,70 @@
+"""Statistics collectors for system-level simulations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency aggregation (count/mean/min/max/stdev)."""
+
+    count: int = 0
+    total_s: float = 0.0
+    total_sq: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+
+    def observe(self, latency_s: float) -> None:
+        """Record one operation latency."""
+        self.count += 1
+        self.total_s += latency_s
+        self.total_sq += latency_s * latency_s
+        self.min_s = min(self.min_s, latency_s)
+        self.max_s = max(self.max_s, latency_s)
+
+    @property
+    def mean_s(self) -> float:
+        """Mean latency."""
+        return self.total_s / self.count if self.count else 0.0
+
+    @property
+    def stdev_s(self) -> float:
+        """Population standard deviation."""
+        if self.count < 2:
+            return 0.0
+        variance = self.total_sq / self.count - self.mean_s**2
+        return math.sqrt(max(0.0, variance))
+
+
+@dataclass
+class ThroughputStats:
+    """Byte/operation accounting over a simulated interval."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    reads: int = 0
+    writes: int = 0
+    read_latency: LatencyStats = field(default_factory=LatencyStats)
+    write_latency: LatencyStats = field(default_factory=LatencyStats)
+
+    def observe_read(self, n_bytes: int, latency_s: float) -> None:
+        """Record one completed read."""
+        self.bytes_read += n_bytes
+        self.reads += 1
+        self.read_latency.observe(latency_s)
+
+    def observe_write(self, n_bytes: int, latency_s: float) -> None:
+        """Record one completed write."""
+        self.bytes_written += n_bytes
+        self.writes += 1
+        self.write_latency.observe(latency_s)
+
+    def read_mb_s(self, elapsed_s: float) -> float:
+        """Sustained read throughput over the interval."""
+        return self.bytes_read / elapsed_s / 1e6 if elapsed_s > 0 else 0.0
+
+    def write_mb_s(self, elapsed_s: float) -> float:
+        """Sustained write throughput over the interval."""
+        return self.bytes_written / elapsed_s / 1e6 if elapsed_s > 0 else 0.0

@@ -1,0 +1,69 @@
+"""Small unit-conversion helpers.
+
+All internal library quantities are SI (seconds, volts, watts, joules,
+hertz).  These helpers make call sites read like the paper text, e.g.
+``us(75)`` for the 75 microsecond array read time.
+"""
+
+from __future__ import annotations
+
+#: One kibibyte in bytes.
+KIB = 1024
+
+#: Bits per byte.
+BITS_PER_BYTE = 8
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * 1e-3
+
+
+def to_us(seconds: float) -> float:
+    """Seconds to microseconds."""
+    return seconds * 1e6
+
+
+def to_ms(seconds: float) -> float:
+    """Seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def mv(value: float) -> float:
+    """Millivolts to volts."""
+    return value * 1e-3
+
+
+def mw(value: float) -> float:
+    """Milliwatts to watts."""
+    return value * 1e-3
+
+
+def to_mw(watts: float) -> float:
+    """Watts to milliwatts."""
+    return watts * 1e3
+
+
+def mhz(value: float) -> float:
+    """Megahertz to hertz."""
+    return value * 1e6
+
+
+def mb_per_s(bytes_per_second: float) -> float:
+    """Bytes/second to megabytes/second (decimal MB, as in datasheets)."""
+    return bytes_per_second / 1e6
+
+
+def kib_page(n_kib: int) -> int:
+    """Page size in bytes for an ``n_kib`` KiB page."""
+    return n_kib * KIB

@@ -1,0 +1,25 @@
+"""Workload and data-pattern generators for the evaluation scenarios."""
+
+from repro.workloads.patterns import (
+    level_pattern_page,
+    pattern_for_level,
+    random_page,
+)
+from repro.workloads.traces import (
+    TraceOp,
+    TraceOpKind,
+    mixed_trace,
+    multimedia_playback_trace,
+    os_upgrade_trace,
+)
+
+__all__ = [
+    "random_page",
+    "level_pattern_page",
+    "pattern_for_level",
+    "TraceOp",
+    "TraceOpKind",
+    "multimedia_playback_trace",
+    "os_upgrade_trace",
+    "mixed_trace",
+]

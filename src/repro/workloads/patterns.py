@@ -1,0 +1,53 @@
+"""Page data patterns (paper Fig. 6 uses L1/L2/L3-only pages).
+
+With the Gray map L0=11, L1=10, L2=00, L3=01 and MSB-first bit pairing,
+the byte that programs every cell of a page to one level is:
+
+* L0 (stay erased): 0xFF
+* L1: 0xAA (bit pairs 10)
+* L2: 0x00 (bit pairs 00)
+* L3: 0x55 (bit pairs 01)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nand.levels import GRAY_MAP
+
+#: Byte filling a page so all cells target one level.
+_LEVEL_BYTES = {}
+for _level, _pattern in enumerate(GRAY_MAP):
+    _LEVEL_BYTES[_level] = (_pattern << 6) | (_pattern << 4) | (_pattern << 2) | _pattern
+
+
+def pattern_for_level(level: int) -> int:
+    """Fill byte targeting all cells at one MLC level."""
+    if level not in _LEVEL_BYTES:
+        raise ConfigurationError(f"level must be 0..3, got {level}")
+    return _LEVEL_BYTES[level]
+
+
+def level_pattern_page(level: int, page_bytes: int = 4096) -> bytes:
+    """A full page of the single-level pattern."""
+    return bytes([pattern_for_level(level)]) * page_bytes
+
+
+def random_page(page_bytes: int = 4096,
+                rng: np.random.Generator | None = None) -> bytes:
+    """Uniformly random page contents."""
+    rng = rng or np.random.default_rng()
+    return rng.integers(0, 256, page_bytes, dtype=np.uint8).tobytes()
+
+
+def compressible_page(page_bytes: int = 4096, run_length: int = 64,
+                      rng: np.random.Generator | None = None) -> bytes:
+    """Run-length-structured data (filesystem-like, for workload variety)."""
+    rng = rng or np.random.default_rng()
+    if run_length < 1:
+        raise ConfigurationError("run length must be >= 1")
+    runs = int(np.ceil(page_bytes / run_length))
+    values = rng.integers(0, 256, runs, dtype=np.uint8)
+    page = np.repeat(values, run_length)[:page_bytes]
+    return page.tobytes()

@@ -1,0 +1,122 @@
+"""Workload traces for the paper's motivating scenarios.
+
+* **multimedia playback** (section 6.3.2) — read-dominated streaming:
+  sequential reads of previously-written media with a small metadata
+  write rate; the max-read-throughput mode's target.
+* **OS upgrade / secure transaction log** (section 6.3.1) — write-then-
+  verify critical data: the min-UBER mode's target.
+* **mixed** — interleaved reads/writes for baseline characterisation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.patterns import random_page
+
+
+class TraceOpKind(enum.Enum):
+    """Host operation types."""
+
+    READ = "read"
+    WRITE = "write"
+    ERASE = "erase"
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One host operation."""
+
+    kind: TraceOpKind
+    block: int
+    page: int = 0
+    data: bytes = b""
+
+
+def _sequential_writes(
+    block: int, pages: int, page_bytes: int, rng: np.random.Generator
+) -> list[TraceOp]:
+    return [
+        TraceOp(TraceOpKind.WRITE, block, page, random_page(page_bytes, rng))
+        for page in range(pages)
+    ]
+
+
+def multimedia_playback_trace(
+    blocks: int = 2,
+    pages_per_block: int = 16,
+    read_passes: int = 4,
+    page_bytes: int = 4096,
+    seed: int = 7,
+) -> list[TraceOp]:
+    """Write media once, then stream it repeatedly (read-intensive)."""
+    if blocks < 1 or pages_per_block < 1 or read_passes < 1:
+        raise ConfigurationError("trace dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    ops: list[TraceOp] = []
+    for block in range(blocks):
+        ops.extend(_sequential_writes(block, pages_per_block, page_bytes, rng))
+    for _ in range(read_passes):
+        for block in range(blocks):
+            ops.extend(
+                TraceOp(TraceOpKind.READ, block, page)
+                for page in range(pages_per_block)
+            )
+    return ops
+
+
+def os_upgrade_trace(
+    blocks: int = 2,
+    pages_per_block: int = 16,
+    page_bytes: int = 4096,
+    seed: int = 11,
+) -> list[TraceOp]:
+    """Critical write burst followed by a full verification read pass."""
+    rng = np.random.default_rng(seed)
+    ops: list[TraceOp] = []
+    for block in range(blocks):
+        ops.extend(_sequential_writes(block, pages_per_block, page_bytes, rng))
+    for block in range(blocks):
+        ops.extend(
+            TraceOp(TraceOpKind.READ, block, page)
+            for page in range(pages_per_block)
+        )
+    return ops
+
+
+def mixed_trace(
+    blocks: int = 2,
+    pages_per_block: int = 16,
+    read_fraction: float = 0.5,
+    page_bytes: int = 4096,
+    seed: int = 13,
+) -> list[TraceOp]:
+    """Interleaved writes and re-reads with a target read fraction."""
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ConfigurationError("read fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    ops: list[TraceOp] = []
+    written: list[tuple[int, int]] = []
+    next_slot = 0
+    total_pages = blocks * pages_per_block
+    total_ops = 2 * total_pages
+    for _ in range(total_ops):
+        do_read = written and rng.random() < read_fraction
+        if do_read:
+            block, page = written[int(rng.integers(len(written)))]
+            ops.append(TraceOp(TraceOpKind.READ, block, page))
+        elif next_slot < total_pages:
+            block, page = divmod(next_slot, pages_per_block)
+            next_slot += 1
+            written.append((block, page))
+            ops.append(TraceOp(
+                TraceOpKind.WRITE, block, page, random_page(page_bytes, rng)
+            ))
+        elif written:
+            block, page = written[int(rng.integers(len(written)))]
+            ops.append(TraceOp(TraceOpKind.READ, block, page))
+    return ops

@@ -1,0 +1,45 @@
+"""ASCII rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import ascii_chart, format_table
+from repro.errors import ConfigurationError
+
+
+class TestAsciiChart:
+    def test_renders_symbols_and_legend(self):
+        x = np.array([1.0, 10.0, 100.0])
+        chart = ascii_chart(x, {"a": x, "b": 2 * x}, logx=True, logy=True)
+        assert "o=a" in chart
+        assert "x=b" in chart
+        assert "o" in chart.splitlines()[0] or any(
+            "o" in line for line in chart.splitlines()
+        )
+
+    def test_log_axis_rejects_nonpositive(self):
+        x = np.array([0.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            ascii_chart(x, {"a": x + 1}, logx=True)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart(np.array([1.0]), {})
+
+    def test_flat_series_no_crash(self):
+        x = np.array([1.0, 2.0])
+        chart = ascii_chart(x, {"flat": np.array([5.0, 5.0])})
+        assert "flat" in chart
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(["a", "bbbb"], [[1, 2.5], [10, 3.14159e-7]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1]
+        assert "3.1416e-07" in table
+
+    def test_empty_rows(self):
+        table = format_table(["h1", "h2"], [])
+        assert "h1" in table

@@ -1,0 +1,101 @@
+"""Experiment registry tests — every figure runner produces sound output."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentSuite
+
+GRID = np.logspace(0, 5, 5)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(seed=777)
+
+
+class TestFigureRunners:
+    def test_fig03_levels_separated(self, suite):
+        result = suite.run_fig03(n_cells=8192)
+        stats = result.data["stats"]
+        means = [s.mean for s in stats]
+        assert means == sorted(means)
+        assert "L0" in result.table
+
+    def test_fig04_fit_quality(self, suite):
+        result = suite.run_fig04()
+        assert result.data["fit"].rmse < 0.1
+        assert "RMSE" in result.table
+
+    def test_fig05_order_of_magnitude_gap(self, suite):
+        result = suite.run_fig05(mc_points=(1e4,), mc_cells=8192)
+        sv, dv = result.data["sv"], result.data["dv"]
+        assert np.allclose(sv / dv, 12.5)
+        assert result.chart is not None
+
+    def test_fig06_power_band_and_delta(self, suite):
+        result = suite.run_fig06(grid=np.logspace(0, 5, 3), n_cells=4096)
+        series = result.data["series"]
+        for label, values in series.columns.items():
+            assert np.all((values > 0.12) & (values < 0.20)), label
+        sv = np.mean([series.columns[f"ispp-sv-L{l}"] for l in (1, 2, 3)])
+        dv = np.mean([series.columns[f"ispp-dv-L{l}"] for l in (1, 2, 3)])
+        assert 3e-3 < dv - sv < 13e-3
+
+    def test_fig07_paper_ts(self, suite):
+        result = suite.run_fig07()
+        assert result.data["t_min"] == 3
+        assert result.data["t_sv_max"] == 65
+        assert result.data["t_dv_max"] == 14
+
+    def test_fig08_latency_divergence(self, suite):
+        result = suite.run_fig08(GRID)
+        sv_dec = result.data["sv_decode_s"]
+        dv_dec = result.data["dv_decode_s"]
+        assert sv_dec[-1] > 1.4 * dv_dec[-1]
+
+    def test_fig09_band(self, suite):
+        result = suite.run_fig09(GRID)
+        losses = result.data["losses"]
+        assert losses.min() > 30 and losses.max() < 55
+
+    def test_fig10_gap(self, suite):
+        result = suite.run_fig10(GRID)
+        gap = result.data["nominal"] - result.data["improved"]
+        assert np.all(gap > 5)
+
+    def test_fig11_gain(self, suite):
+        result = suite.run_fig11(GRID)
+        gains = result.data["gains"]
+        assert gains[-1] == pytest.approx(31, abs=5)
+
+
+class TestAblations:
+    def test_blocksize_small_blocks_overflow(self, suite):
+        result = suite.run_ablation_blocksize()
+        rows = {row[0]: row for row in result.data["rows"]}
+        assert rows[4096][4] == "yes"
+        assert rows[512][3] > rows[4096][3]  # more parity per page
+
+    def test_chien_budget_monotone(self, suite):
+        result = suite.run_ablation_chien()
+        rows = result.data["rows"]
+        # With h_max fixed at 8, a larger budget never slows decode at t=65.
+        h8 = [r for r in rows if r[1] == 8]
+        decodes = [r[4] for r in sorted(h8, key=lambda r: r[0])]
+        assert decodes == sorted(decodes, reverse=True)
+
+    def test_tworound_mitigation(self, suite):
+        result = suite.run_ablation_tworound(np.logspace(0, 5, 3))
+        for _, serial_wt, pipelined_wt, recovered in result.data["rows"]:
+            assert pipelined_wt >= serial_wt
+            assert recovered >= 0
+
+    def test_pareto_includes_dv(self, suite):
+        result = suite.run_ablation_pareto(ages=(1e5,))
+        front = result.data[1e5]
+        assert any(p.algorithm.value == "ispp-dv" for p in front)
+
+    def test_render_produces_report(self, suite):
+        result = suite.run_fig07()
+        text = result.render()
+        assert "fig07" in text and "notes" in text

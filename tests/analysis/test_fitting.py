@@ -1,0 +1,47 @@
+"""Fig. 4 model-fitting tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_cell_model, reference_ispp_dataset
+
+
+class TestReferenceDataset:
+    def test_shape_and_range(self):
+        data = reference_ispp_dataset()
+        assert data.vcg[0] == 6.0
+        assert data.vcg[-1] == 24.0
+        assert data.vth.min() < -4.0
+        assert data.vth.max() > 4.5
+
+    def test_deterministic(self):
+        a = reference_ispp_dataset(seed=1)
+        b = reference_ispp_dataset(seed=1)
+        assert np.array_equal(a.vth, b.vth)
+
+    def test_staircase_slope_one(self):
+        data = reference_ispp_dataset()
+        # In the linear region the staircase advances ~1 V per 1 V of VCG.
+        tail = np.diff(data.vth[-5:])
+        assert np.all(np.abs(tail - 1.0) < 0.25)
+
+
+class TestFit:
+    @pytest.fixture(scope="class")
+    def fit(self):
+        return fit_cell_model()
+
+    def test_rmse_below_100mv(self, fit):
+        """The compact model reproduces the measurement (Fig. 4 overlay)."""
+        assert fit.rmse < 0.100
+
+    def test_max_error_bounded(self, fit):
+        assert fit.max_abs_error < 0.35
+
+    def test_fitted_parameters_physical(self, fit):
+        assert 16.0 < fit.params.onset < 20.0
+        assert -6.5 < fit.params.vth_initial < -3.0
+        assert 0.05 < fit.params.softness < 3.0
+
+    def test_residuals_unbiased(self, fit):
+        assert abs(fit.residuals.mean()) < 0.05

@@ -1,0 +1,16 @@
+"""Consolidated report generator tests."""
+
+from repro.analysis.experiments import ExperimentSuite
+from repro.analysis.report import generate_report
+
+
+class TestReport:
+    def test_generates_full_markdown(self, tmp_path):
+        path = generate_report(tmp_path / "report.md", ExperimentSuite(seed=5))
+        text = path.read_text()
+        # Every figure and the system experiments are present.
+        for exp_id in ("fig03", "fig05", "fig07", "fig09", "fig11",
+                       "abl_retention", "abl_partition", "sys_services"):
+            assert f"## {exp_id}:" in text
+        assert "Zambelli" in text
+        assert text.count("```") % 2 == 0  # balanced code fences

@@ -1,0 +1,34 @@
+"""Lifetime series container tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import LifetimeSeries
+from repro.errors import ConfigurationError
+
+
+class TestLifetimeSeries:
+    def test_add_and_row(self):
+        series = LifetimeSeries("s", "x", np.array([1.0, 10.0]))
+        series.add("y", np.array([2.0, 3.0]))
+        assert series.row(1) == {"x": 10.0, "y": 3.0}
+
+    def test_length_mismatch_rejected(self):
+        series = LifetimeSeries("s", "x", np.array([1.0, 10.0]))
+        with pytest.raises(ConfigurationError):
+            series.add("y", np.array([1.0]))
+
+    def test_table_renders_all_rows(self):
+        series = LifetimeSeries("s", "pe", np.array([1.0, 10.0, 100.0]))
+        series.add("rber", np.array([1e-5, 2e-5, 3e-5]))
+        table = series.to_table()
+        assert table.count("\n") == 3  # header + 3 rows
+        assert "rber" in table
+
+    def test_chaining(self):
+        series = (
+            LifetimeSeries("s", "x", np.array([1.0]))
+            .add("a", np.array([1.0]))
+            .add("b", np.array([2.0]))
+        )
+        assert set(series.columns) == {"a", "b"}

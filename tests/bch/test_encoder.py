@@ -1,0 +1,72 @@
+"""Systematic BCH encoder tests."""
+
+import pytest
+
+from repro.bch.encoder import BCHEncoder
+from repro.bch.params import design_code
+from repro.bch.reference import BitSerialLFSREncoder
+from repro.gf.poly2 import poly2_mod
+
+
+class TestEncoder:
+    def test_matches_bit_serial_reference(self, small_spec, rng):
+        fast = BCHEncoder(small_spec)
+        reference = BitSerialLFSREncoder(small_spec)
+        for _ in range(10):
+            message = rng.bytes(small_spec.k // 8)
+            assert fast.encode_codeword(message) == reference.encode_codeword(message)
+
+    def test_matches_reference_medium(self, medium_spec, rng):
+        fast = BCHEncoder(medium_spec)
+        reference = BitSerialLFSREncoder(medium_spec)
+        message = rng.bytes(medium_spec.k // 8)
+        assert fast.encode_codeword(message) == reference.encode_codeword(message)
+
+    def test_codeword_is_multiple_of_generator(self, medium_spec, rng):
+        encoder = BCHEncoder(medium_spec)
+        message = rng.bytes(medium_spec.k // 8)
+        codeword_int = int.from_bytes(encoder.encode_codeword(message), "big")
+        # Stored stream = codeword * x^pad; divisibility by g is preserved.
+        assert poly2_mod(codeword_int, medium_spec.generator) == 0
+
+    def test_systematic_prefix(self, small_spec, rng):
+        encoder = BCHEncoder(small_spec)
+        message = rng.bytes(small_spec.k // 8)
+        assert encoder.encode_codeword(message)[: len(message)] == message
+
+    def test_zero_message_zero_parity(self, small_spec):
+        encoder = BCHEncoder(small_spec)
+        message = bytes(small_spec.k // 8)
+        assert encoder.encode(message) == bytes(small_spec.parity_bytes)
+
+    def test_linearity(self, small_spec, rng):
+        encoder = BCHEncoder(small_spec)
+        a = rng.bytes(small_spec.k // 8)
+        b = rng.bytes(small_spec.k // 8)
+        xor = bytes(x ^ y for x, y in zip(a, b))
+        parity_xor = bytes(
+            x ^ y for x, y in zip(encoder.encode(a), encoder.encode(b))
+        )
+        assert encoder.encode(xor) == parity_xor
+
+    def test_is_codeword(self, small_spec, rng):
+        encoder = BCHEncoder(small_spec)
+        message = rng.bytes(small_spec.k // 8)
+        codeword = bytearray(encoder.encode_codeword(message))
+        assert encoder.is_codeword(bytes(codeword))
+        codeword[0] ^= 0x01
+        assert not encoder.is_codeword(bytes(codeword))
+
+    def test_wrong_length_rejected(self, small_spec):
+        encoder = BCHEncoder(small_spec)
+        with pytest.raises(ValueError):
+            encoder.encode(bytes(3))
+        with pytest.raises(ValueError):
+            encoder.is_codeword(bytes(5))
+
+    def test_page_sized_encode(self, page_spec, rng):
+        encoder = BCHEncoder(page_spec)
+        message = rng.bytes(4096)
+        codeword = encoder.encode_codeword(message)
+        assert len(codeword) == 4096 + page_spec.parity_bytes
+        assert encoder.is_codeword(codeword)

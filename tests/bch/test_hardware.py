@@ -1,0 +1,92 @@
+"""ECC hardware latency/area model tests — Fig. 8 anchors."""
+
+import pytest
+
+from repro.bch.hardware import EccLatencyModel, chien_parallelism
+from repro.bch.params import design_code
+from repro.errors import ConfigurationError
+from repro.params import EccHardwareParams
+
+
+class TestChienParallelism:
+    def test_budget_caps_parallelism(self):
+        hw = EccHardwareParams()
+        assert hw.chien_parallelism(3) == 8      # small t: full width
+        assert hw.chien_parallelism(32) == 8     # 32*8 = 256 <= 260
+        assert hw.chien_parallelism(33) == 7
+        assert hw.chien_parallelism(65) == 4     # 260 // 65
+        assert chien_parallelism(65) == 4
+
+    def test_at_least_one_evaluator(self):
+        hw = EccHardwareParams(chien_multiplier_budget=8, chien_max_parallelism=8)
+        assert hw.chien_parallelism(100) == 1
+
+    def test_invalid_t(self):
+        hw = EccHardwareParams()
+        with pytest.raises(ConfigurationError):
+            hw.chien_parallelism(0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            EccHardwareParams(chien_multiplier_budget=2, chien_max_parallelism=8)
+        with pytest.raises(ConfigurationError):
+            EccHardwareParams(clock_hz=0)
+
+
+class TestLatencyAnchors:
+    """Absolute figures the paper quotes (80 MHz clock)."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return EccLatencyModel()
+
+    def test_encode_latency_near_51us(self, model):
+        spec = design_code(32768, 6)
+        assert model.encode_latency_s(spec) * 1e6 == pytest.approx(51.5, abs=1.5)
+
+    def test_encode_latency_nearly_t_independent(self, model):
+        low = model.encode_latency_s(design_code(32768, 3))
+        high = model.encode_latency_s(design_code(32768, 65))
+        assert (high - low) / low < 0.04  # only the parity shift-out grows
+
+    def test_decode_worst_case_near_160us(self, model):
+        spec = design_code(32768, 65)
+        assert model.decode_latency_s(spec) * 1e6 == pytest.approx(161, abs=5)
+
+    def test_decode_dv_worst_case_near_104us(self, model):
+        spec = design_code(32768, 14)
+        assert model.decode_latency_s(spec) * 1e6 == pytest.approx(104, abs=4)
+
+    def test_decode_monotone_in_t(self, model):
+        latencies = [
+            model.decode_latency_s(design_code(32768, t)) for t in (3, 14, 33, 53, 65)
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_error_free_early_exit_faster(self, model):
+        spec = design_code(32768, 30)
+        assert model.decode_latency_s(spec, with_errors=False) < (
+            0.6 * model.decode_latency_s(spec, with_errors=True)
+        )
+
+    def test_breakdown_totals(self, model):
+        spec = design_code(32768, 20)
+        breakdown = model.decode_breakdown(spec)
+        assert breakdown.total_cycles == (
+            breakdown.syndrome_cycles + breakdown.alignment_cycles
+            + breakdown.berlekamp_cycles + breakdown.chien_cycles
+            + breakdown.overhead_cycles
+        )
+        assert breakdown.error_free_cycles < breakdown.total_cycles
+
+
+class TestArea:
+    def test_area_estimate_structure(self):
+        model = EccLatencyModel()
+        spec = design_code(32768, 65)
+        area = model.area_estimate(spec, t_max=65)
+        assert area.encoder_flipflops == 16 * 65
+        assert area.syndrome_lfsrs == 130
+        assert area.chien_multipliers == 260
+        assert area.rom_polynomials == 65
+        assert 0 < area.encoder_xor_taps <= 16 * 65

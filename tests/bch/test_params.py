@@ -1,0 +1,89 @@
+"""BCH code design tests."""
+
+import pytest
+
+from repro.bch.params import (
+    design_code,
+    generator_polynomial,
+    minimum_field_degree,
+)
+from repro.errors import CodeDesignError
+from repro.gf.poly2 import poly2_deg, poly2_eval_in_field, poly2_mod
+
+
+class TestGeneratorPolynomial:
+    def test_known_bch_15_7_2(self):
+        # Classic BCH(15, 7) double-error-correcting code:
+        # g(x) = x^8 + x^7 + x^6 + x^4 + 1.
+        assert generator_polynomial(4, 2) == 0b111010001
+
+    def test_known_bch_15_5_3(self):
+        # BCH(15, 5) t=3: g(x) = x^10 + x^8 + x^5 + x^4 + x^2 + x + 1.
+        assert generator_polynomial(4, 3) == 0b10100110111
+
+    def test_generator_has_required_roots(self):
+        m, t = 6, 4
+        generator = generator_polynomial(m, t)
+        from repro.gf.field import get_field
+
+        field = get_field(m)
+        for i in range(1, 2 * t + 1):
+            assert poly2_eval_in_field(generator, field.alpha_pow(i), field) == 0
+
+    def test_generator_divides_x_n_plus_1(self):
+        m, t = 5, 3
+        n = (1 << m) - 1
+        generator = generator_polynomial(m, t)
+        assert poly2_mod((1 << n) | 1, generator) == 0
+
+    def test_degree_at_most_m_times_t(self):
+        for m, t in ((8, 5), (10, 12), (16, 20)):
+            assert poly2_deg(generator_polynomial(m, t)) <= m * t
+
+    def test_invalid_t_rejected(self):
+        with pytest.raises(CodeDesignError):
+            generator_polynomial(8, 0)
+
+
+class TestDesignCode:
+    def test_paper_code_dimensions(self):
+        spec = design_code(32768, 65)
+        assert spec.m == 16
+        assert spec.r == 16 * 65 == 1040
+        assert spec.n == 33808
+        assert spec.parity_bytes == 130
+        assert spec.pad_bits == 0
+        assert spec.n_stored == spec.n
+        assert spec.shortening == spec.n_full - spec.n
+
+    def test_minimum_field_degree_page(self):
+        assert minimum_field_degree(32768, 65) == 16
+        assert minimum_field_degree(32768, 1) == 16
+
+    def test_small_code_byte_padding(self):
+        spec = design_code(64, 3)
+        assert spec.pad_bits == 8 * spec.parity_bytes - spec.r
+        assert spec.n_stored == spec.k + 8 * spec.parity_bytes
+
+    def test_code_rate(self):
+        spec = design_code(32768, 8)
+        assert 0.99 < spec.code_rate < 1.0
+
+    def test_infeasible_design_rejected(self):
+        # k too large for any supported field.
+        with pytest.raises(CodeDesignError):
+            design_code(70000, 4)
+        # Explicit m too small for the message.
+        with pytest.raises(CodeDesignError):
+            design_code(32768, 65, m=15)
+
+    def test_invalid_message_length(self):
+        with pytest.raises(CodeDesignError):
+            design_code(0, 3)
+
+    def test_generator_cached_across_designs(self):
+        a = design_code(1024, 8)
+        b = design_code(2048, 8)
+        # Same m means literally the same generator polynomial object value.
+        if a.m == b.m:
+            assert a.generator == b.generator

@@ -1,0 +1,31 @@
+"""Reference (bit-serial) implementation self-tests."""
+
+import pytest
+
+from repro.bch.reference import bits_msb_first, bits_to_bytes, naive_syndromes
+from repro.bch.encoder import BCHEncoder
+
+
+class TestBitHelpers:
+    def test_bits_msb_first(self):
+        assert bits_msb_first(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bits_msb_first(b"\x01") == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_round_trip(self, rng):
+        data = rng.bytes(32)
+        assert bits_to_bytes(bits_msb_first(data)) == data
+
+    def test_bits_to_bytes_requires_byte_multiple(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([1, 0, 1])
+
+
+class TestNaiveSyndromes:
+    def test_clean_codeword_zero(self, small_spec, rng):
+        encoder = BCHEncoder(small_spec)
+        codeword = encoder.encode_codeword(rng.bytes(small_spec.k // 8))
+        assert not any(naive_syndromes(small_spec, codeword))
+
+    def test_length_validation(self, small_spec):
+        with pytest.raises(ValueError):
+            naive_syndromes(small_spec, b"\x00")

@@ -1,0 +1,125 @@
+"""UBER model tests — anchored to the paper's Fig. 7 checkpoints."""
+
+import math
+
+import pytest
+
+from repro.bch.uber import (
+    achieved_uber,
+    log10_uber_eq1,
+    max_rber_for_t,
+    required_t,
+    uber_eq1,
+    uber_exact,
+)
+from repro.errors import CodeDesignError
+
+
+class TestEq1:
+    def test_zero_rber(self):
+        assert uber_eq1(0.0, 33000, 5) == 0.0
+        assert log10_uber_eq1(0.0, 33000, 5) == -math.inf
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            log10_uber_eq1(1.5, 33000, 5)
+        with pytest.raises(ValueError):
+            log10_uber_eq1(1e-5, 5, 5)
+
+    def test_monotone_decreasing_in_t_on_valid_branch(self):
+        rber = 1e-4
+        previous = 0.0
+        for t in range(10, 40):
+            value = log10_uber_eq1(rber, 32768 + 16 * t, t)
+            if t > 10:
+                assert value < previous
+            previous = value
+
+    def test_monotone_increasing_in_rber(self):
+        n, t = 32768 + 16 * 8, 8
+        values = [log10_uber_eq1(r, n, t) for r in (1e-6, 1e-5, 1e-4)]
+        assert values == sorted(values)
+
+    def test_linear_scale_consistency(self):
+        n, t = 33000, 10
+        assert uber_eq1(1e-4, n, t) == pytest.approx(
+            10 ** log10_uber_eq1(1e-4, n, t)
+        )
+
+
+class TestPaperCheckpoints:
+    """The exact required-t values of Fig. 7 / 'Fig. ??'."""
+
+    @pytest.mark.parametrize(
+        "rber,expected_t",
+        [
+            (1e-6, 3),      # best case, tMIN = 3
+            (2.5e-6, 4),
+            (2.75e-4, 27),
+            (1e-3, 65),     # ISPP-SV worst case, tMAX = 65
+            (8e-5, 14),     # ISPP-DV worst case, tMAX = 14
+        ],
+    )
+    def test_required_t_matches_paper(self, rber, expected_t):
+        assert required_t(rber) == expected_t
+
+    def test_required_t_meets_target(self):
+        for rber in (1e-6, 1e-5, 1e-4, 5e-4):
+            t = required_t(rber)
+            assert achieved_uber(rber, t) <= 1e-11
+
+    def test_required_t_minimality(self):
+        rber = 1e-4
+        t = required_t(rber)
+        assert achieved_uber(rber, t - 1) > 1e-11
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(CodeDesignError):
+            required_t(5e-2)
+
+    def test_zero_rber_returns_t_min(self):
+        assert required_t(0.0, t_min=2) == 2
+
+
+class TestMaxRber:
+    def test_inverse_of_required_t(self):
+        for t in (3, 14, 30):
+            edge = max_rber_for_t(t)
+            assert required_t(edge) <= t
+            assert required_t(edge * 1.05) > t
+        # t = 65 is the provisioned ceiling: just past its edge nothing fits.
+        edge = max_rber_for_t(65)
+        assert required_t(edge) <= 65
+        with pytest.raises(CodeDesignError):
+            required_t(edge * 1.05)
+
+    def test_monotone_in_t(self):
+        values = [max_rber_for_t(t) for t in (3, 10, 30, 65)]
+        assert values == sorted(values)
+
+    def test_t65_edge_near_1e_minus_3(self):
+        assert max_rber_for_t(65) == pytest.approx(1e-3, rel=0.05)
+
+
+class TestExactTail:
+    def test_exact_upper_bounds_eq1_regime(self):
+        # Where errors are rare, the (t+1)-term dominates but the exact
+        # tail includes the heavier patterns too: exact >= eq1.
+        n, t = 32768 + 16 * 6, 6
+        rber = 1e-5
+        assert uber_exact(rber, n, t) >= uber_eq1(rber, n, t)
+
+    def test_exact_close_to_eq1_when_rare(self):
+        n, t = 32768 + 16 * 10, 10
+        rber = 1e-5
+        ratio = uber_exact(rber, n, t) / uber_eq1(rber, n, t)
+        assert 1.0 <= ratio < 2.0
+
+    def test_exact_diverges_at_high_load(self):
+        # n*p >> t: Eq. (1) underestimates catastrophically (DESIGN.md note).
+        n, t = 32768 + 16 * 6, 6
+        rber = 1e-3
+        assert uber_exact(rber, n, t) > 1e3 * uber_eq1(rber, n, t)
+
+    def test_zero_rber(self):
+        assert uber_exact(0.0, 1000, 2) == 0.0

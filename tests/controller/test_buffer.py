@@ -1,0 +1,38 @@
+"""Page buffer tests."""
+
+import pytest
+
+from repro.controller.buffer import PageBuffer
+from repro.errors import ControllerError
+
+
+class TestPageBuffer:
+    def test_load_peek_drain(self):
+        buffer = PageBuffer(128)
+        buffer.load(b"data")
+        assert buffer.occupied
+        assert buffer.peek() == b"data"
+        assert buffer.drain() == b"data"
+        assert not buffer.occupied
+
+    def test_structural_hazard(self):
+        buffer = PageBuffer(128)
+        buffer.load(b"one")
+        with pytest.raises(ControllerError):
+            buffer.load(b"two")
+
+    def test_capacity_enforced(self):
+        buffer = PageBuffer(4)
+        with pytest.raises(ControllerError):
+            buffer.load(b"too large")
+
+    def test_empty_access_rejected(self):
+        buffer = PageBuffer(16)
+        with pytest.raises(ControllerError):
+            buffer.peek()
+        with pytest.raises(ControllerError):
+            buffer.drain()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ControllerError):
+            PageBuffer(0)

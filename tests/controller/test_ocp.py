@@ -1,0 +1,45 @@
+"""OCP interface tests."""
+
+import pytest
+
+from repro.controller.ocp import OcpInterface, OcpParams
+from repro.errors import ControllerError
+
+
+class TestOcp:
+    def test_transfer_time_scales_with_size(self):
+        ocp = OcpInterface()
+        small = ocp.transfer_time_s(64)
+        large = ocp.transfer_time_s(4096)
+        assert large > small
+        assert large == pytest.approx(
+            ocp.params.burst_overhead_s + 4096 / ocp.params.bandwidth_bytes_per_s
+        )
+
+    def test_page_transfer_much_faster_than_flash(self):
+        # "The network is typically much faster than the Flash device."
+        ocp = OcpInterface()
+        assert ocp.transfer_time_s(4096) < 20e-6 < 75e-6
+
+    def test_accounting(self):
+        ocp = OcpInterface()
+        ocp.data_burst(100)
+        ocp.data_burst(200)
+        assert ocp.bytes_transferred == 300
+        assert ocp.transactions == 2
+
+    def test_config_commands_reach_registers(self):
+        ocp = OcpInterface()
+        address = ocp.registers.field("ECC_T").address
+        ocp.config_write(address, 12)
+        value, _ = ocp.config_read(address)
+        assert value == 12
+        assert ocp.transactions == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ControllerError):
+            OcpInterface().transfer_time_s(-1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ControllerError):
+            OcpParams(bandwidth_bytes_per_s=0)

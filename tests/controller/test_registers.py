@@ -1,0 +1,43 @@
+"""Register file tests."""
+
+import pytest
+
+from repro.controller.registers import REGISTER_MAP, CommandStatusRegisters
+from repro.errors import ControllerError
+
+
+class TestRegisters:
+    def test_map_addresses_unique(self):
+        addresses = [f.address for f in REGISTER_MAP]
+        assert len(addresses) == len(set(addresses))
+
+    def test_write_read_round_trip(self):
+        regs = CommandStatusRegisters()
+        ecc_t = regs.field("ECC_T")
+        regs.write(ecc_t.address, 42)
+        assert regs.read(ecc_t.address) == 42
+
+    def test_read_only_register_rejects_bus_write(self):
+        regs = CommandStatusRegisters()
+        status = regs.field("STATUS")
+        with pytest.raises(ControllerError):
+            regs.write(status.address, 1)
+        # Internal (core-controller) path may still set it.
+        regs.set_named("STATUS", 1)
+        assert regs.get_named("STATUS") == 1
+
+    def test_width_enforced(self):
+        regs = CommandStatusRegisters()
+        with pytest.raises(ControllerError):
+            regs.set_named("PROGRAM_ALGORITHM", 2)  # 1-bit field
+        with pytest.raises(ControllerError):
+            regs.write(regs.field("ECC_T").address, 256)
+
+    def test_unmapped_access(self):
+        regs = CommandStatusRegisters()
+        with pytest.raises(ControllerError):
+            regs.write(0x7F, 0)
+        with pytest.raises(ControllerError):
+            regs.read(0x7F)
+        with pytest.raises(ControllerError):
+            regs.field("NOPE")

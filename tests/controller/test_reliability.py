@@ -1,0 +1,84 @@
+"""Controller-side reliability manager tests."""
+
+import pytest
+
+from repro.bch.codec import AdaptiveBCHCodec
+from repro.controller.reliability import ReliabilityManager, ReliabilityPolicy
+from repro.core.modes import OperatingMode
+from repro.errors import ConfigurationError
+from repro.nand.ispp import IsppAlgorithm
+from tests.conftest import flip_bits
+
+
+def feed_decodes(codec: AdaptiveBCHCodec, rng, pages: int, errors_per_page: int):
+    """Push decode traffic through the codec to build an RBER estimate."""
+    codec.set_correction_capability(max(8, errors_per_page))
+    message = rng.bytes(codec.k // 8)
+    codeword = codec.encode(message)
+    n = codec.spec.n_stored
+    for _ in range(pages):
+        positions = rng.choice(n, errors_per_page, replace=False).tolist()
+        codec.decode(flip_bits(codeword, positions))
+
+
+class TestReliabilityManager:
+    def test_epoch_triggering(self, rng):
+        codec = AdaptiveBCHCodec(k=1024, t_max=16)
+        manager = ReliabilityManager(
+            codec, ReliabilityPolicy(epoch_reads=4, min_bits_for_estimate=1)
+        )
+        assert manager.after_read(IsppAlgorithm.SV) is None
+        assert manager.after_read(IsppAlgorithm.SV) is None
+        assert manager.after_read(IsppAlgorithm.SV) is None
+        decision = manager.after_read(IsppAlgorithm.SV)
+        assert decision is not None
+        assert len(manager.adaptations) == 1
+
+    def test_conservative_without_feedback(self, rng):
+        codec = AdaptiveBCHCodec(k=1024, t_max=16)
+        manager = ReliabilityManager(codec)
+        decision = manager.set_mode(OperatingMode.BASELINE, IsppAlgorithm.SV)
+        # No decode history: worst-case provisioning.
+        assert decision.config.ecc_t == codec.t_max
+        assert decision.config.algorithm is IsppAlgorithm.SV
+
+    def test_adapts_t_to_observed_rber(self, rng):
+        codec = AdaptiveBCHCodec(k=1024, t_max=16)
+        # ~1 error per ~1200-bit word: observed RBER ~8e-4, well inside
+        # what t <= 16 covers on this short code.
+        feed_decodes(codec, rng, pages=40, errors_per_page=1)
+        manager = ReliabilityManager(
+            codec, ReliabilityPolicy(min_bits_for_estimate=10_000)
+        )
+        decision = manager.set_mode(OperatingMode.BASELINE, IsppAlgorithm.SV)
+        assert decision.config.ecc_t < codec.t_max
+        assert decision.estimated_rber > 0
+
+    def test_mode_switch_changes_algorithm(self, rng):
+        codec = AdaptiveBCHCodec(k=1024, t_max=16)
+        feed_decodes(codec, rng, pages=40, errors_per_page=2)
+        manager = ReliabilityManager(
+            codec, ReliabilityPolicy(min_bits_for_estimate=10_000)
+        )
+        baseline = manager.set_mode(OperatingMode.BASELINE, IsppAlgorithm.SV)
+        min_uber = manager.set_mode(OperatingMode.MIN_UBER, IsppAlgorithm.SV)
+        assert baseline.config.algorithm is IsppAlgorithm.SV
+        assert min_uber.config.algorithm is IsppAlgorithm.DV
+        assert min_uber.config.ecc_t == baseline.config.ecc_t
+
+    def test_max_read_relaxes_t(self, rng):
+        codec = AdaptiveBCHCodec(k=1024, t_max=16)
+        feed_decodes(codec, rng, pages=40, errors_per_page=3)
+        manager = ReliabilityManager(
+            codec, ReliabilityPolicy(min_bits_for_estimate=10_000)
+        )
+        baseline = manager.set_mode(OperatingMode.BASELINE, IsppAlgorithm.SV)
+        max_read = manager.set_mode(
+            OperatingMode.MAX_READ_THROUGHPUT, IsppAlgorithm.SV
+        )
+        assert max_read.config.algorithm is IsppAlgorithm.DV
+        assert max_read.config.ecc_t <= baseline.config.ecc_t
+
+    def test_invalid_policy(self):
+        with pytest.raises(ConfigurationError):
+            ReliabilityPolicy(epoch_reads=0)

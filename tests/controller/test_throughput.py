@@ -1,0 +1,49 @@
+"""Throughput model tests."""
+
+import pytest
+
+from repro.controller.throughput import ThroughputModel
+from repro.errors import ConfigurationError
+
+
+class TestThroughput:
+    def test_serial_point(self):
+        model = ThroughputModel(4096)
+        point = model.serial_point(75e-6, 100e-6, 51e-6, 700e-6)
+        assert point.read_latency_s == pytest.approx(175e-6)
+        assert point.write_latency_s == pytest.approx(751e-6)
+        assert point.read_bytes_per_s == pytest.approx(4096 / 175e-6)
+
+    def test_pipelined_point_uses_slowest_stage(self):
+        model = ThroughputModel(4096)
+        point = model.pipelined_point(75e-6, 100e-6, 51e-6, 700e-6)
+        assert point.read_latency_s == pytest.approx(100e-6)
+        assert point.write_latency_s == pytest.approx(700e-6)
+
+    def test_pipelining_never_slower(self):
+        model = ThroughputModel()
+        serial = model.serial_point(75e-6, 150e-6, 51e-6, 1.5e-3)
+        pipe = model.pipelined_point(75e-6, 150e-6, 51e-6, 1.5e-3)
+        assert pipe.read_bytes_per_s >= serial.read_bytes_per_s
+        assert pipe.write_bytes_per_s >= serial.write_bytes_per_s
+
+    def test_gain_and_loss_percent(self):
+        assert ThroughputModel.gain_percent(130.0, 100.0) == pytest.approx(30.0)
+        assert ThroughputModel.loss_percent(60.0, 100.0) == pytest.approx(40.0)
+        with pytest.raises(ConfigurationError):
+            ThroughputModel.gain_percent(1.0, 0.0)
+
+    def test_paper_read_numbers(self):
+        # Baseline EOL: 75 us read + ~162 us decode -> ~17 MB/s;
+        # max-read mode: ~104 us decode -> ~23 MB/s (+~30%).
+        model = ThroughputModel(4096)
+        baseline = model.serial_point(75e-6, 162e-6, 0, 1)
+        relaxed = model.serial_point(75e-6, 104e-6, 0, 1)
+        gain = ThroughputModel.gain_percent(
+            relaxed.read_bytes_per_s, baseline.read_bytes_per_s
+        )
+        assert gain == pytest.approx(32, abs=3)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputModel(0)

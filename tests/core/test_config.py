@@ -1,0 +1,25 @@
+"""Cross-layer configuration tuple tests."""
+
+import pytest
+
+from repro.core.config import CrossLayerConfig
+from repro.errors import ConfigurationError
+from repro.nand.ispp import IsppAlgorithm
+
+
+class TestConfig:
+    def test_describe(self):
+        config = CrossLayerConfig(IsppAlgorithm.DV, 14)
+        assert "ispp-dv" in config.describe()
+        assert "t=14" in config.describe()
+
+    def test_equality(self):
+        a = CrossLayerConfig(IsppAlgorithm.SV, 6)
+        b = CrossLayerConfig(IsppAlgorithm.SV, 6)
+        c = CrossLayerConfig(IsppAlgorithm.DV, 6)
+        assert a == b
+        assert a != c
+
+    def test_invalid_t(self):
+        with pytest.raises(ConfigurationError):
+            CrossLayerConfig(IsppAlgorithm.SV, 0)

@@ -1,0 +1,84 @@
+"""Self-adaptive manager decision-logic tests."""
+
+import pytest
+
+from repro.bch.codec import CodecObservation
+from repro.core.manager import SelfAdaptiveManager
+from repro.core.modes import OperatingMode
+from repro.errors import ConfigurationError
+from repro.nand.ispp import IsppAlgorithm
+
+
+def observation(rber: float, bits: int = 10**7) -> CodecObservation:
+    return CodecObservation(
+        words_decoded=bits // 33000,
+        words_failed=0,
+        bits_corrected=int(rber * bits),
+        bits_processed=bits,
+        max_errors_in_word=3,
+    )
+
+
+class TestDecisions:
+    def test_insufficient_feedback_is_conservative(self):
+        manager = SelfAdaptiveManager()
+        decision = manager.decide(observation(1e-5, bits=1000), IsppAlgorithm.SV)
+        assert decision.config.ecc_t == manager.t_max
+
+    def test_baseline_tracks_estimate(self):
+        manager = SelfAdaptiveManager(safety_factor=1.0)
+        decision = manager.decide(observation(1e-5), IsppAlgorithm.SV)
+        assert decision.config.algorithm is IsppAlgorithm.SV
+        assert decision.config.ecc_t == 6
+
+    def test_safety_factor_inflates_t(self):
+        relaxed = SelfAdaptiveManager(safety_factor=1.0).decide(
+            observation(1e-4), IsppAlgorithm.SV
+        )
+        cautious = SelfAdaptiveManager(safety_factor=2.0).decide(
+            observation(1e-4), IsppAlgorithm.SV
+        )
+        assert cautious.config.ecc_t > relaxed.config.ecc_t
+
+    def test_dv_feedback_translated_to_sv_scale(self):
+        manager = SelfAdaptiveManager(
+            mode=OperatingMode.MAX_READ_THROUGHPUT, safety_factor=1.0
+        )
+        # Running DV and observing 8e-7 implies SV-equivalent 1e-5;
+        # max-read keeps DV with t for 8e-7 -> t = 3.
+        decision = manager.decide(observation(8e-7), IsppAlgorithm.DV)
+        assert decision.config.algorithm is IsppAlgorithm.DV
+        assert decision.config.ecc_t == 3
+
+    def test_min_uber_keeps_baseline_t(self):
+        manager = SelfAdaptiveManager(
+            mode=OperatingMode.MIN_UBER, safety_factor=1.0
+        )
+        decision = manager.decide(observation(1e-5), IsppAlgorithm.SV)
+        assert decision.config.algorithm is IsppAlgorithm.DV
+        assert decision.config.ecc_t == 6
+
+    def test_saturation_past_end_of_life(self):
+        manager = SelfAdaptiveManager(safety_factor=1.0)
+        decision = manager.decide(observation(5e-3), IsppAlgorithm.SV)
+        assert decision.saturated
+        assert decision.config.ecc_t == manager.t_max
+
+    def test_changed_flag(self):
+        manager = SelfAdaptiveManager(safety_factor=1.0)
+        first = manager.decide(observation(1e-5), IsppAlgorithm.SV)
+        second = manager.decide(observation(1e-5), IsppAlgorithm.SV)
+        assert first.changed
+        assert not second.changed
+
+    def test_mode_switch(self):
+        manager = SelfAdaptiveManager(safety_factor=1.0)
+        manager.decide(observation(1e-5), IsppAlgorithm.SV)
+        manager.set_mode(OperatingMode.MIN_UBER)
+        decision = manager.decide(observation(1e-5), IsppAlgorithm.SV)
+        assert decision.changed
+        assert decision.config.algorithm is IsppAlgorithm.DV
+
+    def test_invalid_safety_factor(self):
+        with pytest.raises(ConfigurationError):
+            SelfAdaptiveManager(safety_factor=0.5)

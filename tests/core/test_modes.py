@@ -1,0 +1,19 @@
+"""Operating mode tests."""
+
+import pytest
+
+from repro.core.modes import OperatingMode
+
+
+class TestModes:
+    def test_register_codes_round_trip(self):
+        for mode in OperatingMode:
+            assert OperatingMode.from_register_code(mode.register_code) is mode
+
+    def test_codes_are_distinct(self):
+        codes = {mode.register_code for mode in OperatingMode}
+        assert codes == {0, 1, 2}
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            OperatingMode.from_register_code(7)

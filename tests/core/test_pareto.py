@@ -1,0 +1,66 @@
+"""Operating-point Pareto analysis tests."""
+
+import math
+
+import pytest
+
+from repro.core.pareto import (
+    OperatingPoint,
+    ecc_power_w,
+    enumerate_operating_points,
+    pareto_front,
+)
+from repro.core.tradeoff import TradeoffAnalyzer
+from repro.nand.ispp import IsppAlgorithm
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return TradeoffAnalyzer()
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        better = OperatingPoint(IsppAlgorithm.DV, 3, 25.0, 3.0, -12.0, 0.002)
+        worse = OperatingPoint(IsppAlgorithm.SV, 10, 20.0, 3.0, -11.5, 0.003)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_no_self_domination(self):
+        p = OperatingPoint(IsppAlgorithm.SV, 5, 20.0, 3.0, -11.0, 0.002)
+        assert not p.dominates(p)
+
+    def test_incomparable_points(self):
+        fast_read = OperatingPoint(IsppAlgorithm.DV, 3, 25.0, 2.0, -11.0, 0.002)
+        fast_write = OperatingPoint(IsppAlgorithm.SV, 3, 20.0, 4.0, -11.0, 0.002)
+        assert not fast_read.dominates(fast_write)
+        assert not fast_write.dominates(fast_read)
+
+
+class TestEnumeration:
+    def test_point_count(self, analyzer):
+        points = enumerate_operating_points(analyzer, 1e4, t_values=[3, 14, 65])
+        assert len(points) == 6  # 2 algorithms x 3 capabilities
+
+    def test_ecc_power_range_matches_paper(self):
+        # Paper section 6.3.2: ~7 mW at full strength relaxing to ~1 mW.
+        assert ecc_power_w(65) == pytest.approx(7e-3, rel=0.05)
+        assert ecc_power_w(3) < 1.5e-3
+
+    def test_front_is_subset_and_nondominated(self, analyzer):
+        points = enumerate_operating_points(analyzer, 1e4, t_values=[3, 6, 14, 30, 65])
+        front = pareto_front(points)
+        assert 0 < len(front) <= len(points)
+        for p in front:
+            assert not any(q.dominates(p) for q in points)
+
+    def test_cross_layer_expands_the_front(self, analyzer):
+        """The paper's thesis: DV points reach where SV points cannot."""
+        points = enumerate_operating_points(analyzer, 1e5, t_values=[3, 14, 30, 65])
+        feasible = [p for p in points if p.log10_uber <= -11]
+        sv_only = [p for p in feasible if p.algorithm is IsppAlgorithm.SV]
+        dv_points = [p for p in feasible if p.algorithm is IsppAlgorithm.DV]
+        assert dv_points, "cross-layer points must be UBER-feasible at EOL"
+        best_sv_read = max((p.read_mb_s for p in sv_only), default=0.0)
+        best_dv_read = max(p.read_mb_s for p in dv_points)
+        assert best_dv_read > best_sv_read

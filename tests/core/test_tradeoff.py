@@ -1,0 +1,71 @@
+"""Trade-off analyzer tests — the Figs. 8-11 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import OperatingMode
+from repro.core.tradeoff import TradeoffAnalyzer
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return TradeoffAnalyzer()
+
+
+GRID = np.logspace(0, 5, 5)
+
+
+class TestPoints:
+    def test_point_structure(self, analyzer):
+        point = analyzer.point(OperatingMode.BASELINE, 0.0)
+        assert point.config.ecc_t == 6
+        assert point.encode_s > 0
+        assert point.decode_s > point.encode_s
+        assert point.program_s > point.decode_s
+        assert point.read_mb_s > 0
+        assert point.write_mb_s > 0
+        assert point.log10_uber <= -11
+
+    def test_program_cache_reused(self, analyzer):
+        analyzer.point(OperatingMode.BASELINE, 1.0)
+        before = len(analyzer._program_cache)
+        analyzer.point(OperatingMode.MIN_UBER, 1.0)  # same DV timing as maxread
+        analyzer.point(OperatingMode.MAX_READ_THROUGHPUT, 1.0)
+        after = len(analyzer._program_cache)
+        assert after == before + 1  # only one new (DV, 1.0) entry
+
+    def test_lifetime_sweep(self, analyzer):
+        points = analyzer.lifetime(OperatingMode.BASELINE, GRID)
+        assert len(points) == len(GRID)
+        ts = [p.config.ecc_t for p in points]
+        assert ts == sorted(ts)
+
+
+class TestFigureSeries:
+    def test_write_loss_in_paper_band(self, analyzer):
+        _, losses = analyzer.write_loss_series(GRID)
+        assert losses.min() > 30.0
+        assert losses.max() < 55.0
+        # Mid-band matches the paper's ~40-48%.
+        assert np.median(losses) == pytest.approx(44, abs=6)
+
+    def test_read_gain_grows_to_30pct(self, analyzer):
+        _, gains = analyzer.read_gain_series(GRID)
+        assert gains[0] == pytest.approx(0.0, abs=2.0)
+        assert gains[-1] == pytest.approx(31, abs=5)
+        assert np.all(np.diff(gains) >= -0.5)  # monotone up to noise
+
+    def test_uber_series_gap(self, analyzer):
+        _, nominal, improved = analyzer.uber_series(GRID)
+        assert np.all(nominal <= -11)          # target met
+        assert np.all(nominal > -13)           # but not overshooting much
+        assert np.all(improved < nominal - 5)  # large cross-layer gap
+
+    def test_latency_series_anchors(self, analyzer):
+        data = analyzer.latency_series(GRID)
+        sv_dec = data["sv_decode_s"] * 1e6
+        dv_dec = data["dv_decode_s"] * 1e6
+        assert sv_dec[-1] == pytest.approx(162, abs=6)
+        assert dv_dec[-1] == pytest.approx(104, abs=5)
+        enc = data["sv_encode_s"] * 1e6
+        assert np.all((enc > 49) & (enc < 55))

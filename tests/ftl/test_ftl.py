@@ -1,0 +1,109 @@
+"""Flash translation layer tests (including GC correctness)."""
+
+import numpy as np
+import pytest
+
+from repro.controller.controller import NandController
+from repro.errors import ControllerError
+from repro.ftl.ftl import FlashTranslationLayer
+from repro.nand.geometry import NandGeometry
+from repro.workloads.patterns import random_page
+
+
+@pytest.fixture()
+def controller():
+    return NandController(
+        NandGeometry(blocks=6, pages_per_block=4),
+        rng=np.random.default_rng(123),
+    )
+
+
+@pytest.fixture()
+def ftl(controller):
+    return FlashTranslationLayer(controller, blocks=[0, 1, 2, 3])
+
+
+class TestBasicOperations:
+    def test_write_read_round_trip(self, ftl, rng):
+        data = random_page(4096, rng)
+        ftl.write(0, data)
+        out, latency = ftl.read(0)
+        assert out == data
+        assert latency > 0
+        assert ftl.stats.host_writes == 1
+        assert ftl.stats.host_reads == 1
+
+    def test_update_in_place_semantics(self, ftl, rng):
+        first = random_page(4096, rng)
+        second = random_page(4096, rng)
+        ftl.write(5, first)
+        ftl.write(5, second)
+        out, _ = ftl.read(5)
+        assert out == second
+
+    def test_unmapped_read_rejected(self, ftl):
+        with pytest.raises(ControllerError):
+            ftl.read(0)
+
+    def test_trim(self, ftl, rng):
+        ftl.write(2, random_page(4096, rng))
+        assert ftl.is_mapped(2)
+        ftl.trim(2)
+        assert not ftl.is_mapped(2)
+        with pytest.raises(ControllerError):
+            ftl.read(2)
+
+    def test_lpn_bounds(self, ftl, rng):
+        with pytest.raises(ControllerError):
+            ftl.write(ftl.logical_capacity, random_page(4096, rng))
+
+    def test_logical_capacity_reserves_gc_space(self, ftl):
+        # 4 blocks x 4 pages minus one reserved block.
+        assert ftl.logical_capacity == 12
+
+
+class TestGarbageCollection:
+    def test_sustained_overwrites_trigger_gc(self, ftl, rng):
+        payloads = {}
+        # Fill the logical space, then overwrite it twice: must GC.
+        for round_index in range(3):
+            for lpn in range(ftl.logical_capacity):
+                payloads[lpn] = random_page(4096, rng)
+                ftl.write(lpn, payloads[lpn])
+        assert ftl.gc.stats.collections >= 1
+        for lpn, expected in payloads.items():
+            out, _ = ftl.read(lpn)
+            assert out == expected, f"LPN {lpn} corrupted by GC"
+
+    def test_write_amplification_reported(self, ftl, rng):
+        for round_index in range(3):
+            for lpn in range(ftl.logical_capacity):
+                ftl.write(lpn, random_page(4096, rng))
+        wa = ftl.stats.write_amplification(ftl.gc.stats)
+        assert wa >= 1.0
+
+    def test_full_partition_without_stale_pages(self, controller, rng):
+        ftl = FlashTranslationLayer(controller, blocks=[4, 5])
+        # 2 blocks x 4 pages, one block reserved -> 4 logical pages.
+        for lpn in range(ftl.logical_capacity):
+            ftl.write(lpn, random_page(4096, rng))
+        # Everything valid, nothing stale: a further new LPN must fail...
+        with pytest.raises(ControllerError):
+            ftl.write(ftl.logical_capacity, random_page(4096, rng))
+        # ...but overwriting existing data still works (creates staleness).
+        ftl.write(0, random_page(4096, rng))
+
+    def test_gc_uses_wear_levelling(self, ftl, rng):
+        from repro.ftl.gc import GarbageCollector
+
+        for round_index in range(5):
+            for lpn in range(ftl.logical_capacity):
+                ftl.write(lpn, random_page(4096, rng))
+        # Static levelling bounds the spread at its trigger threshold.
+        assert ftl.allocator.wear_spread() <= GarbageCollector.LEVELING_THRESHOLD + 1
+        # Sanity: without levelling the same workload concentrated ~15.
+        assert ftl.gc.stats.pages_migrated > 0
+
+    def test_too_few_blocks_rejected(self, controller):
+        with pytest.raises(ControllerError):
+            FlashTranslationLayer(controller, blocks=[0])

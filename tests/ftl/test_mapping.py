@@ -1,0 +1,79 @@
+"""Logical map tests."""
+
+import pytest
+
+from repro.errors import ControllerError
+from repro.ftl.mapping import LogicalMap, PhysicalLocation
+
+
+@pytest.fixture()
+def mapping():
+    return LogicalMap(blocks=[0, 1, 2], pages_per_block=4)
+
+
+class TestLogicalMap:
+    def test_bind_and_lookup(self, mapping):
+        loc = PhysicalLocation(0, 0)
+        mapping.bind(7, loc)
+        assert mapping.lookup(7) == loc
+        assert mapping.lpn_at(loc) == 7
+        assert mapping.valid_pages(0) == 1
+
+    def test_update_invalidates_previous(self, mapping):
+        first = PhysicalLocation(0, 0)
+        second = PhysicalLocation(1, 0)
+        mapping.bind(7, first)
+        mapping.bind(7, second)
+        assert mapping.lookup(7) == second
+        assert mapping.lpn_at(first) is None
+        assert mapping.stale_pages(0) == 1
+        assert mapping.valid_pages(0) == 0
+        assert mapping.valid_pages(1) == 1
+
+    def test_cannot_reuse_physical_page(self, mapping):
+        mapping.bind(1, PhysicalLocation(0, 0))
+        with pytest.raises(ControllerError):
+            mapping.bind(2, PhysicalLocation(0, 0))
+
+    def test_stale_page_not_reusable(self, mapping):
+        mapping.bind(1, PhysicalLocation(0, 0))
+        mapping.bind(1, PhysicalLocation(0, 1))  # 0/0 now stale
+        with pytest.raises(ControllerError):
+            mapping.bind(2, PhysicalLocation(0, 0))
+
+    def test_unbind(self, mapping):
+        mapping.bind(3, PhysicalLocation(2, 1))
+        stale = mapping.unbind(3)
+        assert stale == PhysicalLocation(2, 1)
+        assert mapping.lookup(3) is None
+        assert mapping.stale_pages(2) == 1
+        with pytest.raises(ControllerError):
+            mapping.unbind(3)
+
+    def test_release_block(self, mapping):
+        mapping.bind(1, PhysicalLocation(0, 0))
+        mapping.bind(1, PhysicalLocation(0, 1))
+        orphans = mapping.release_block(0)
+        assert orphans == [1]  # still-valid page reported
+        assert mapping.stale_pages(0) == 0
+        assert mapping.valid_pages(0) == 0
+        mapping.bind(9, PhysicalLocation(0, 0))  # reusable again
+
+    def test_capacity_and_mapped(self, mapping):
+        assert mapping.capacity_pages == 12
+        mapping.bind(5, PhysicalLocation(1, 2))
+        assert mapping.mapped_lpns() == [5]
+
+    def test_unmanaged_block_rejected(self, mapping):
+        with pytest.raises(ControllerError):
+            mapping.bind(0, PhysicalLocation(9, 0))
+        with pytest.raises(ControllerError):
+            mapping.valid_pages(9)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ControllerError):
+            LogicalMap([], 4)
+        with pytest.raises(ControllerError):
+            LogicalMap([0, 0], 4)
+        with pytest.raises(ControllerError):
+            LogicalMap([0], 0)

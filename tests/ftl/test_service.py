@@ -1,0 +1,108 @@
+"""Differentiated storage service tests — the paper's future work."""
+
+import numpy as np
+import pytest
+
+from repro.controller.controller import NandController
+from repro.errors import ControllerError
+from repro.ftl.service import DifferentiatedStorage, ServiceClass
+from repro.nand.geometry import NandGeometry
+from repro.nand.ispp import IsppAlgorithm
+from repro.workloads.patterns import random_page
+
+
+@pytest.fixture()
+def storage():
+    controller = NandController(
+        NandGeometry(blocks=12, pages_per_block=4),
+        rng=np.random.default_rng(321),
+    )
+    return DifferentiatedStorage(controller)
+
+
+class TestProvisioning:
+    def test_service_class_mode_mapping(self):
+        assert ServiceClass.MISSION_CRITICAL.operating_mode.value == "min-uber"
+        assert ServiceClass.STREAMING.operating_mode.value == "max-read-throughput"
+        assert ServiceClass.DEFAULT.operating_mode.value == "baseline"
+
+    def test_namespace_configs(self, storage):
+        critical = storage.create_namespace(
+            "vault", ServiceClass.MISSION_CRITICAL, blocks=3
+        )
+        stream = storage.create_namespace("media", ServiceClass.STREAMING, blocks=3)
+        default = storage.create_namespace("misc", ServiceClass.DEFAULT, blocks=3)
+        assert critical.config.algorithm is IsppAlgorithm.DV
+        assert stream.config.algorithm is IsppAlgorithm.DV
+        assert default.config.algorithm is IsppAlgorithm.SV
+        # Fresh device: baseline/min-UBER share t=6, streaming relaxes to 3.
+        assert critical.config.ecc_t == default.config.ecc_t == 6
+        assert stream.config.ecc_t == 3
+
+    def test_partitions_disjoint(self, storage):
+        a = storage.create_namespace("a", ServiceClass.DEFAULT, blocks=3)
+        b = storage.create_namespace("b", ServiceClass.STREAMING, blocks=3)
+        assert set(a.ftl.mapping.blocks).isdisjoint(b.ftl.mapping.blocks)
+
+    def test_over_provisioning_rejected(self, storage):
+        storage.create_namespace("big", ServiceClass.DEFAULT, blocks=10)
+        with pytest.raises(ControllerError):
+            storage.create_namespace("more", ServiceClass.DEFAULT, blocks=3)
+
+    def test_duplicate_name_rejected(self, storage):
+        storage.create_namespace("x", ServiceClass.DEFAULT, blocks=2)
+        with pytest.raises(ControllerError):
+            storage.create_namespace("x", ServiceClass.DEFAULT, blocks=2)
+
+
+class TestDataPath:
+    def test_round_trip_per_namespace(self, storage, rng):
+        storage.create_namespace("vault", ServiceClass.MISSION_CRITICAL, blocks=3)
+        storage.create_namespace("media", ServiceClass.STREAMING, blocks=3)
+        vault_data = random_page(4096, rng)
+        media_data = random_page(4096, rng)
+        storage.write("vault", 0, vault_data)
+        storage.write("media", 0, media_data)
+        assert storage.read("vault", 0)[0] == vault_data
+        assert storage.read("media", 0)[0] == media_data
+
+    def test_writes_use_namespace_algorithm(self, storage, rng):
+        storage.create_namespace("vault", ServiceClass.MISSION_CRITICAL, blocks=3)
+        storage.create_namespace("misc", ServiceClass.DEFAULT, blocks=3)
+        storage.write("vault", 0, random_page(4096, rng))
+        assert storage.controller.device.program_algorithm is IsppAlgorithm.DV
+        storage.write("misc", 0, random_page(4096, rng))
+        assert storage.controller.device.program_algorithm is IsppAlgorithm.SV
+
+    def test_interleaved_namespaces_stay_consistent(self, storage, rng):
+        storage.create_namespace("a", ServiceClass.STREAMING, blocks=3)
+        storage.create_namespace("b", ServiceClass.DEFAULT, blocks=3)
+        payloads = {}
+        for i in range(6):
+            name = "a" if i % 2 == 0 else "b"
+            payloads[(name, i)] = random_page(4096, rng)
+            storage.write(name, i % 4, payloads[(name, i)])
+        # Last write per (name, lpn) wins.
+        assert storage.read("a", 0)[0] == payloads[("a", 4)]
+        assert storage.read("b", 1)[0] == payloads[("b", 5)]
+
+    def test_unknown_namespace(self, storage):
+        with pytest.raises(ControllerError):
+            storage.read("ghost", 0)
+
+    def test_report(self, storage, rng):
+        storage.create_namespace("media", ServiceClass.STREAMING, blocks=3)
+        storage.write("media", 0, random_page(4096, rng))
+        storage.read("media", 0)
+        rows = storage.report()
+        assert rows[0]["namespace"] == "media"
+        assert rows[0]["host_writes"] == 1
+        assert rows[0]["host_reads"] == 1
+        assert "ispp-dv" in rows[0]["config"]
+
+    def test_refresh_configs_with_age(self, storage):
+        ns = storage.create_namespace("media", ServiceClass.STREAMING, blocks=3)
+        assert ns.config.ecc_t == 3
+        storage.controller.device.array._wear[:] = 100_000
+        storage.refresh_configs()
+        assert ns.config.ecc_t == 14

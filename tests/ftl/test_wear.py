@@ -1,0 +1,63 @@
+"""Wear-aware allocator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ControllerError
+from repro.ftl.wear import WearAwareAllocator
+from repro.nand.device import NandFlashDevice
+from repro.nand.geometry import NandGeometry
+
+
+@pytest.fixture()
+def device(rng):
+    return NandFlashDevice(NandGeometry(blocks=4, pages_per_block=4), rng=rng)
+
+
+class TestAllocator:
+    def test_sequential_allocation_within_block(self, device):
+        allocator = WearAwareAllocator(device, [0, 1])
+        pages = [allocator.allocate() for _ in range(4)]
+        assert len({p.block for p in pages}) == 1
+        assert [p.page for p in pages] == [0, 1, 2, 3]
+
+    def test_opens_next_block_when_full(self, device):
+        allocator = WearAwareAllocator(device, [0, 1])
+        for _ in range(5):
+            last = allocator.allocate()
+        assert last.page == 0
+        assert allocator.free_pages() == 3
+
+    def test_prefers_least_worn_block(self, device):
+        device.array._wear[0] = 10
+        device.array._wear[1] = 2
+        allocator = WearAwareAllocator(device, [0, 1])
+        assert allocator.allocate().block == 1
+
+    def test_exhaustion_raises(self, device):
+        allocator = WearAwareAllocator(device, [0])
+        for _ in range(4):
+            allocator.allocate()
+        with pytest.raises(ControllerError):
+            allocator.allocate()
+
+    def test_reclaim_returns_block_to_pool(self, device):
+        allocator = WearAwareAllocator(device, [0, 1])
+        for _ in range(8):
+            allocator.allocate()
+        with pytest.raises(ControllerError):
+            allocator.allocate()
+        # Can't reclaim the open block, but the other one is fine.
+        other = 0 if allocator.open_block == 1 else 1
+        allocator.reclaim(other)
+        assert allocator.allocate().block == other
+
+    def test_wear_spread(self, device):
+        device.array._wear[0] = 7
+        allocator = WearAwareAllocator(device, [0, 1, 2])
+        assert allocator.wear_spread() == 7
+
+    def test_unmanaged_reclaim_rejected(self, device):
+        allocator = WearAwareAllocator(device, [0])
+        with pytest.raises(ControllerError):
+            allocator.reclaim(3)

@@ -1,0 +1,98 @@
+"""GF(2)[x] integer-polynomial tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.field import get_field
+from repro.gf.poly2 import (
+    poly2_add,
+    poly2_deg,
+    poly2_divmod,
+    poly2_eval_in_field,
+    poly2_mod,
+    poly2_mul,
+    poly2_to_coeff_list,
+)
+
+polys = st.integers(min_value=0, max_value=(1 << 64) - 1)
+nonzero_polys = st.integers(min_value=1, max_value=(1 << 64) - 1)
+
+
+class TestBasics:
+    def test_degree(self):
+        assert poly2_deg(0) == -1
+        assert poly2_deg(1) == 0
+        assert poly2_deg(0b1000) == 3
+
+    def test_add_self_cancels(self):
+        assert poly2_add(0b1011, 0b1011) == 0
+
+    def test_mul_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert poly2_mul(0b11, 0b11) == 0b101
+        # (x^2 + x + 1)(x + 1) = x^3 + 1
+        assert poly2_mul(0b111, 0b11) == 0b1001
+
+    def test_mul_zero_and_one(self):
+        assert poly2_mul(0, 0b1101) == 0
+        assert poly2_mul(1, 0b1101) == 0b1101
+
+    def test_divmod_known(self):
+        quotient, remainder = poly2_divmod(0b1001, 0b11)  # x^3+1 / x+1
+        assert quotient == 0b111
+        assert remainder == 0
+
+    def test_divmod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly2_divmod(0b101, 0)
+
+    def test_coeff_list(self):
+        assert poly2_to_coeff_list(0b1011) == [1, 1, 0, 1]
+        assert poly2_to_coeff_list(0b11, length=4) == [1, 1, 0, 0]
+        with pytest.raises(ValueError):
+            poly2_to_coeff_list(0b11111, length=3)
+
+
+class TestDivisionProperties:
+    @given(a=polys, b=nonzero_polys)
+    @settings(max_examples=300)
+    def test_divmod_reconstruction(self, a, b):
+        quotient, remainder = poly2_divmod(a, b)
+        assert poly2_mul(quotient, b) ^ remainder == a
+        assert poly2_deg(remainder) < poly2_deg(b)
+
+    @given(a=polys, b=nonzero_polys)
+    @settings(max_examples=200)
+    def test_mod_consistency(self, a, b):
+        assert poly2_mod(a, b) == poly2_divmod(a, b)[1]
+
+    @given(a=polys, b=polys, c=nonzero_polys)
+    @settings(max_examples=200)
+    def test_mod_is_ring_homomorphism(self, a, b, c):
+        lhs = poly2_mod(poly2_mul(a, b), c)
+        rhs = poly2_mod(poly2_mul(poly2_mod(a, c), poly2_mod(b, c)), c)
+        assert lhs == rhs
+
+
+class TestFieldEvaluation:
+    def test_eval_at_one_counts_parity(self):
+        field = get_field(4)
+        # p(1) over GF(2) subfield = parity of coefficients.
+        assert poly2_eval_in_field(0b111, 1, field) == 1
+        assert poly2_eval_in_field(0b11, 1, field) == 0
+
+    def test_eval_primitive_poly_at_alpha_is_zero(self):
+        field = get_field(8)
+        assert poly2_eval_in_field(field.primitive_poly, field.alpha_pow(1), field) == 0
+
+    def test_eval_linearity(self, rng):
+        field = get_field(8)
+        a, b = 0b110101, 0b1001101
+        for e in range(1, 10):
+            point = field.alpha_pow(e)
+            lhs = poly2_eval_in_field(a ^ b, point, field)
+            rhs = poly2_eval_in_field(a, point, field) ^ poly2_eval_in_field(
+                b, point, field
+            )
+            assert lhs == rhs

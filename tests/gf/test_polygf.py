@@ -1,0 +1,108 @@
+"""Polynomials over GF(2^m)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GaloisFieldError
+from repro.gf.field import get_field
+from repro.gf.polygf import GFPoly
+
+coeff_lists = st.lists(st.integers(min_value=0, max_value=15), max_size=8)
+
+
+def poly16(coeffs):
+    return GFPoly(get_field(4), coeffs)
+
+
+class TestConstruction:
+    def test_trailing_zeros_trimmed(self):
+        assert poly16([1, 2, 0, 0]).coeffs == [1, 2]
+
+    def test_zero_polynomial(self, gf16):
+        zero = GFPoly.zero(gf16)
+        assert zero.is_zero()
+        assert zero.degree == -1
+        assert zero.leading_coeff() == 0
+
+    def test_coefficient_range_validated(self, gf16):
+        with pytest.raises(GaloisFieldError):
+            GFPoly(gf16, [16])
+
+    def test_monomial(self, gf16):
+        mono = GFPoly.monomial(gf16, 3, coeff=5)
+        assert mono.degree == 3
+        assert mono.coeff(3) == 5
+        assert mono.coeff(2) == 0
+        with pytest.raises(GaloisFieldError):
+            GFPoly.monomial(gf16, -1)
+
+    def test_from_roots(self, gf16):
+        roots = [gf16.alpha_pow(i) for i in (1, 3, 6)]
+        poly = GFPoly.from_roots(gf16, roots)
+        assert poly.degree == 3
+        for r in roots:
+            assert poly(r) == 0
+        # Non-roots must not evaluate to zero.
+        non_roots = [x for x in range(1, gf16.q) if x not in roots]
+        assert all(poly(x) != 0 for x in non_roots)
+
+
+class TestArithmetic:
+    def test_add_is_coefficientwise_xor(self):
+        assert (poly16([1, 2]) + poly16([3, 2, 7])).coeffs == [2, 0, 7]
+
+    def test_mixed_field_rejected(self, gf16, gf256):
+        with pytest.raises(GaloisFieldError):
+            GFPoly(gf16, [1]) + GFPoly(gf256, [1])
+
+    @given(a=coeff_lists, b=coeff_lists)
+    @settings(max_examples=100)
+    def test_mul_commutative(self, a, b):
+        pa, pb = poly16(a), poly16(b)
+        assert pa * pb == pb * pa
+
+    @given(a=coeff_lists, b=coeff_lists, c=coeff_lists)
+    @settings(max_examples=100)
+    def test_mul_distributes_over_add(self, a, b, c):
+        pa, pb, pc = poly16(a), poly16(b), poly16(c)
+        assert pa * (pb + pc) == pa * pb + pa * pc
+
+    def test_scale_and_shift(self, gf16):
+        p = poly16([1, 2, 3])
+        assert p.scale(1) == p
+        assert p.shift(2).coeffs == [0, 0, 1, 2, 3]
+        assert p.scale(0).is_zero()
+
+    @given(a=coeff_lists, b=coeff_lists)
+    @settings(max_examples=100)
+    def test_divmod_reconstruction(self, a, b):
+        pa, pb = poly16(a), poly16(b)
+        if pb.is_zero():
+            with pytest.raises(ZeroDivisionError):
+                pa.divmod(pb)
+            return
+        quotient, remainder = pa.divmod(pb)
+        assert quotient * pb + remainder == pa
+        assert remainder.degree < pb.degree
+
+
+class TestEvaluation:
+    def test_horner_matches_direct(self, gf16):
+        p = poly16([5, 1, 7])
+        for x in range(gf16.q):
+            expected = 5 ^ gf16.mul(1, x) ^ gf16.mul(7, gf16.mul(x, x))
+            assert p(x) == expected
+
+    def test_roots_brute_force(self, gf16):
+        roots = [1, gf16.alpha_pow(5)]
+        poly = GFPoly.from_roots(gf16, roots)
+        assert sorted(poly.roots()) == sorted(roots)
+
+    def test_formal_derivative_char2(self):
+        # d/dx (a + bx + cx^2 + dx^3) = b + d x^2 over characteristic 2.
+        p = poly16([3, 5, 7, 9])
+        assert p.formal_derivative().coeffs == [5, 0, 9]
+
+    def test_derivative_of_constant_is_zero(self, gf16):
+        assert GFPoly(gf16, [7]).formal_derivative().is_zero()

@@ -1,0 +1,68 @@
+"""Dickson charge-pump model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hv.charge_pump import DicksonPump, DicksonPumpParams, standard_pumps
+
+
+class TestPumpCharacteristics:
+    def test_open_circuit_voltage_grows_with_stages(self):
+        pumps = standard_pumps()
+        assert (
+            pumps["verify"].open_circuit_voltage
+            < pumps["inhibit"].open_circuit_voltage
+            < pumps["program"].open_circuit_voltage
+        )
+
+    def test_program_pump_reaches_19v(self):
+        pump = standard_pumps()["program"]
+        assert pump.open_circuit_voltage > 19.0
+        assert pump.max_load_current(19.0) > 0
+
+    def test_inhibit_and_verify_targets_feasible(self):
+        pumps = standard_pumps()
+        assert pumps["inhibit"].max_load_current(8.0) > 1e-3
+        assert pumps["verify"].max_load_current(4.5) > 5e-3
+
+    def test_output_current_zero_when_disabled(self):
+        pump = standard_pumps()["program"]
+        pump.enabled = False
+        assert pump.output_current(10.0) == 0.0
+        pump.enabled = True
+        assert pump.output_current(10.0) > 0.0
+
+    def test_output_current_decreases_with_vout(self):
+        pump = standard_pumps()["program"]
+        pump.enabled = True
+        assert pump.output_current(10.0) > pump.output_current(18.0)
+        assert pump.output_current(pump.open_circuit_voltage + 1) == 0.0
+
+    def test_input_current_model(self):
+        pump = standard_pumps()["program"]
+        base = pump.input_current(0.0)
+        assert base == pytest.approx(pump.parasitic_current())
+        loaded = pump.input_current(1e-3)
+        assert loaded == pytest.approx(base + 13 * 1e-3)
+
+    def test_efficiency_bounded(self):
+        pump = standard_pumps()["program"]
+        eff = pump.efficiency(19.0, 0.5e-3)
+        assert 0.0 < eff < 1.0
+        assert pump.efficiency(19.0, 0.0) == 0.0
+
+    def test_negative_load_rejected(self):
+        pump = standard_pumps()["program"]
+        with pytest.raises(ConfigurationError):
+            pump.input_current(-1e-3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            DicksonPumpParams("x", stages=0, stage_capacitance=1e-12, clock_hz=1e6)
+        with pytest.raises(ConfigurationError):
+            DicksonPumpParams("x", stages=4, stage_capacitance=0, clock_hz=1e6)
+        with pytest.raises(ConfigurationError):
+            DicksonPumpParams(
+                "x", stages=4, stage_capacitance=1e-12, clock_hz=1e6,
+                parasitic_ratio=1.5,
+            )

@@ -1,0 +1,86 @@
+"""FlashPower model tests — Fig. 6 anchors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hv.power import ArrayLoadParams, FlashPowerModel
+from repro.hv.waveform import build_program_waveform
+from repro.nand.ispp import IsppAlgorithm, IsppEngine
+from repro.nand.program import PageProgrammer
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FlashPowerModel()
+
+
+@pytest.fixture(scope="module")
+def programmer():
+    return PageProgrammer(rng=np.random.default_rng(61))
+
+
+def program_power(model, programmer, algorithm, level=None, pe=0.0):
+    if level is None:
+        outcome = programmer.program_random_page(8192, algorithm, pe)
+    else:
+        targets = programmer.uniform_pattern_levels(level, 8192)
+        outcome = programmer.program_levels(targets, algorithm, pe)
+    return model.program_breakdown(build_program_waveform(outcome.ispp))
+
+
+class TestPhasePowers:
+    def test_verify_phase_draws_most(self, model, programmer):
+        breakdown = program_power(model, programmer, IsppAlgorithm.SV)
+        waveform_verify_power = breakdown.verify_energy_j
+        assert waveform_verify_power > breakdown.pulse_energy_j
+
+    def test_breakdown_totals(self, model, programmer):
+        b = program_power(model, programmer, IsppAlgorithm.SV)
+        assert b.total_energy_j == pytest.approx(
+            b.pulse_energy_j + b.verify_energy_j + b.setup_energy_j
+            + b.background_energy_j
+        )
+        assert b.average_power_w == pytest.approx(b.total_energy_j / b.duration_s)
+
+
+class TestFig6Anchors:
+    def test_average_power_in_band(self, model, programmer):
+        for algorithm in IsppAlgorithm:
+            for level in (1, 2, 3):
+                power = program_power(model, programmer, algorithm, level)
+                assert 0.12 < power.average_power_w < 0.20
+
+    def test_dv_minus_sv_near_7mw(self, model, programmer):
+        deltas = []
+        for level in (1, 2, 3):
+            sv = program_power(model, programmer, IsppAlgorithm.SV, level)
+            dv = program_power(model, programmer, IsppAlgorithm.DV, level)
+            deltas.append(dv.average_power_w - sv.average_power_w)
+        mean_delta_mw = 1e3 * sum(deltas) / len(deltas)
+        assert 4.0 < mean_delta_mw < 12.0  # paper: ~7.5 mW
+
+    def test_pattern_ordering_l1_l2_l3(self, model, programmer):
+        powers = [
+            program_power(model, programmer, IsppAlgorithm.SV, level).average_power_w
+            for level in (1, 2, 3)
+        ]
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_read_energy_positive(self, model):
+        assert model.read_energy_j(75e-6) > 0
+
+
+class TestValidation:
+    def test_missing_pump_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlashPowerModel(pumps={})
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArrayLoadParams(verify_load=-1)
+
+    def test_program_load_grows_with_vpp(self):
+        loads = ArrayLoadParams()
+        assert loads.program_load(19.0) > loads.program_load(14.0)

@@ -1,0 +1,42 @@
+"""Hysteretic regulator tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hv.regulator import HystereticRegulator, RegulatorParams
+
+
+class TestRegulator:
+    def test_divider_ratio(self):
+        params = RegulatorParams(target_voltage=19.0, reference_voltage=1.2)
+        assert params.divider_ratio == pytest.approx(1.2 / 19.0)
+
+    def test_hysteresis_band(self):
+        params = RegulatorParams(target_voltage=10.0, hysteresis=0.05)
+        assert params.reenable_voltage == pytest.approx(9.5)
+
+    def test_bang_bang_cycle(self):
+        reg = HystereticRegulator(RegulatorParams(target_voltage=10.0))
+        assert reg.update(5.0) is True          # below target: pumping
+        assert reg.update(10.1) is False        # crossed target: off
+        assert reg.update(9.8) is False         # inside band: still off
+        assert reg.update(9.4) is True          # droop below band: back on
+        assert reg.switch_count == 2
+
+    def test_retarget(self):
+        reg = HystereticRegulator(RegulatorParams(target_voltage=14.0))
+        reg.update(14.5)
+        assert not reg.pump_enabled
+        reg.retarget(15.0)
+        assert reg.update(14.5) is True  # new target is higher
+
+    def test_in_regulation(self):
+        reg = HystereticRegulator(RegulatorParams(target_voltage=10.0))
+        assert reg.in_regulation(9.5)
+        assert not reg.in_regulation(5.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            RegulatorParams(target_voltage=0)
+        with pytest.raises(ConfigurationError):
+            RegulatorParams(target_voltage=10, hysteresis=0.6)

@@ -1,0 +1,68 @@
+"""Transient solver tests — pump ramp and regulation dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hv.charge_pump import standard_pumps
+from repro.hv.regulator import HystereticRegulator, RegulatorParams
+from repro.hv.spice import PumpCircuit, TransientSolver
+
+
+def make_circuit(load=0.2e-3, target=19.0):
+    pump = standard_pumps()["program"]
+    return PumpCircuit(
+        pump=pump,
+        regulator=HystereticRegulator(RegulatorParams(target_voltage=target)),
+        load_current=load,
+        v_initial=1.8,
+    )
+
+
+class TestTransient:
+    def test_ramp_reaches_regulation(self):
+        result = TransientSolver().run(make_circuit(), 40e-6)
+        assert result.vout[-1] == pytest.approx(19.0, rel=0.08)
+        assert result.settle_time_s < 30e-6
+
+    def test_ripple_within_hysteresis_band(self):
+        result = TransientSolver().run(make_circuit(), 60e-6)
+        # Peak-to-peak ripple bounded by the 5% hysteresis plus one step.
+        assert result.ripple_v < 0.06 * 19.0 + 0.5
+
+    def test_regulation_duty_cycles_pump(self):
+        result = TransientSolver().run(make_circuit(), 60e-6)
+        tail = result.pump_enabled[len(result.pump_enabled) // 2:]
+        duty = tail.mean()
+        assert 0.0 < duty < 1.0  # pump toggles instead of running flat out
+
+    def test_supply_current_positive_while_pumping(self):
+        result = TransientSolver().run(make_circuit(), 40e-6)
+        pumping = result.supply_current[result.pump_enabled]
+        assert np.all(pumping > 0)
+        assert result.average_supply_power(1.8) > 0
+
+    def test_heavier_load_slows_ramp(self):
+        light = TransientSolver().run(make_circuit(load=0.05e-3), 60e-6)
+        heavy = TransientSolver().run(make_circuit(load=0.8e-3), 60e-6)
+        assert heavy.settle_time_s >= light.settle_time_s
+
+    def test_extra_sources(self):
+        circuit = make_circuit()
+        circuit.extra_sources.append(lambda t, v: -0.1e-3)  # extra sink
+        result = TransientSolver().run(circuit, 40e-6)
+        assert result.vout[-1] > 15.0  # still regulates
+
+    def test_invalid_usage(self):
+        with pytest.raises(ConfigurationError):
+            TransientSolver(dt=0)
+        with pytest.raises(SimulationError):
+            TransientSolver().run(make_circuit(), duration=0)
+        with pytest.raises(SimulationError):
+            TransientSolver(dt=1e-6).run(make_circuit(), duration=2e-6)
+        with pytest.raises(ConfigurationError):
+            PumpCircuit(
+                pump=standard_pumps()["program"],
+                regulator=HystereticRegulator(RegulatorParams(target_voltage=19)),
+                load_current=-1e-3,
+            )

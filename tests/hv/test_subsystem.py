@@ -1,0 +1,36 @@
+"""High-voltage subsystem facade tests."""
+
+import numpy as np
+import pytest
+
+from repro.hv.subsystem import PUMP_TARGETS, HighVoltageSubsystem
+from repro.nand.ispp import IsppAlgorithm
+from repro.nand.program import PageProgrammer
+
+
+@pytest.fixture(scope="module")
+def hv():
+    return HighVoltageSubsystem()
+
+
+class TestSubsystem:
+    def test_three_pumps_present(self, hv):
+        assert set(hv.pumps) == {"program", "inhibit", "verify"}
+        assert set(PUMP_TARGETS) == set(hv.pumps)
+
+    def test_program_power_for_both_algorithms(self, hv):
+        programmer = PageProgrammer(rng=np.random.default_rng(5))
+        sv = programmer.program_random_page(8192, IsppAlgorithm.SV)
+        dv = programmer.program_random_page(8192, IsppAlgorithm.DV)
+        p_sv = hv.program_power(sv.ispp)
+        p_dv = hv.program_power(dv.ispp)
+        assert p_dv.total_energy_j > p_sv.total_energy_j
+        assert p_dv.average_power_w > p_sv.average_power_w
+
+    @pytest.mark.parametrize("name", ["program", "inhibit", "verify"])
+    def test_pump_characterisation(self, hv, name):
+        result = hv.characterise_pump(name)
+        assert result.target_v == PUMP_TARGETS[name]
+        assert result.settle_time_s < 40e-6
+        assert result.average_supply_power_w > 0
+        assert result.ripple_v < 0.1 * result.target_v + 0.5

@@ -1,0 +1,74 @@
+"""ISPP waveform builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hv.waveform import Phase, PhaseKind, build_program_waveform
+from repro.nand.ispp import IsppAlgorithm, IsppEngine
+from repro.params import NandTimingParams
+
+
+@pytest.fixture()
+def results(rng):
+    engine = IsppEngine(rng=rng)
+    targets = rng.integers(0, 4, 4096)
+    return {
+        alg: engine.program_page(targets, alg) for alg in IsppAlgorithm
+    }
+
+
+class TestWaveform:
+    def test_phase_counts(self, results):
+        sv = results[IsppAlgorithm.SV]
+        waveform = build_program_waveform(sv)
+        kinds = [p.kind for p in waveform.phases]
+        assert kinds.count(PhaseKind.SETUP) == sv.pulses
+        assert kinds.count(PhaseKind.PULSE) == sv.pulses
+        assert kinds.count(PhaseKind.VERIFY) == sv.verify_ops + sv.preverify_ops
+
+    def test_duration_matches_timing_model(self, results):
+        from repro.nand.timing import NandTimingModel
+
+        for alg, result in results.items():
+            waveform = build_program_waveform(result)
+            timing = NandTimingModel().program_timing(result)
+            # Waveform excludes the fixed command overhead.
+            assert waveform.duration_s == pytest.approx(
+                timing.total_s - timing.overhead_s
+            )
+
+    def test_pump_enable_sets(self, results):
+        waveform = build_program_waveform(results[IsppAlgorithm.SV])
+        for phase in waveform.phases:
+            if phase.kind is PhaseKind.PULSE:
+                assert phase.pumps == {"program", "inhibit"}
+            elif phase.kind is PhaseKind.SETUP:
+                assert phase.pumps == {"inhibit"}
+            else:
+                assert phase.pumps == {"verify"}
+
+    def test_pump_duty_fractions(self, results):
+        waveform = build_program_waveform(results[IsppAlgorithm.DV])
+        program_duty = waveform.pump_duty("program")
+        verify_duty = waveform.pump_duty("verify")
+        assert 0 < program_duty < 0.5
+        assert 0.4 < verify_duty < 0.95
+        assert waveform.pump_duty("nonexistent") == 0.0
+
+    def test_dv_has_higher_verify_duty(self, results):
+        sv_wf = build_program_waveform(results[IsppAlgorithm.SV])
+        dv_wf = build_program_waveform(results[IsppAlgorithm.DV])
+        assert dv_wf.pump_duty("verify") > sv_wf.pump_duty("verify")
+
+    def test_vpp_follows_staircase(self, results):
+        waveform = build_program_waveform(results[IsppAlgorithm.SV])
+        pulse_vpps = [
+            p.vpp for p in waveform.phases if p.kind is PhaseKind.PULSE
+        ]
+        assert pulse_vpps == sorted(pulse_vpps)
+        assert pulse_vpps[0] == pytest.approx(14.0)
+
+    def test_phase_validation(self):
+        with pytest.raises(ConfigurationError):
+            Phase(PhaseKind.PULSE, duration_s=0, vpp=14.0, pumps=frozenset())

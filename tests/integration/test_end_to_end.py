@@ -1,0 +1,109 @@
+"""End-to-end integration: controller + codec + device across modes."""
+
+import numpy as np
+import pytest
+
+from repro.controller.controller import ControllerConfig, NandController
+from repro.core.modes import OperatingMode
+from repro.nand.geometry import NandGeometry
+from repro.nand.ispp import IsppAlgorithm
+from repro.workloads.patterns import random_page
+
+
+def controller_at_age(age: float, seed: int = 55, **kwargs) -> NandController:
+    rng = np.random.default_rng(seed)
+    controller = NandController(
+        NandGeometry(blocks=4, pages_per_block=8), rng=rng, **kwargs
+    )
+    # Pre-age block 0 directly (simulating prior lifetime).
+    controller.device.array._wear[0] = int(age)
+    return controller
+
+
+class TestLifecycle:
+    def test_all_modes_round_trip_fresh(self, rng):
+        for mode in OperatingMode:
+            controller = controller_at_age(0)
+            controller.set_mode(mode)
+            data = random_page(4096, rng)
+            controller.write(1, 0, data)
+            out, report = controller.read(1, 0)
+            assert out == data, mode
+
+    def test_aged_device_errors_are_corrected(self, rng):
+        controller = controller_at_age(100_000)
+        controller.set_mode(OperatingMode.BASELINE, pe_reference=1e5)
+        assert controller.codec.t == 65
+        data = random_page(4096, rng)
+        controller.write(0, 0, data)
+        total_corrected = 0
+        for _ in range(4):
+            out, report = controller.read(0, 0)
+            assert out == data
+            assert report.success
+            total_corrected += report.corrected_bits
+        # RBER ~1e-3 over ~34.8k stored bits: ~35 errors per read.
+        assert total_corrected > 60
+
+    def test_underprovisioned_ecc_fails_on_aged_device(self, rng):
+        controller = controller_at_age(
+            100_000, config=ControllerConfig(strict_decode=False)
+        )
+        # Force the fresh-device configuration onto an end-of-life block.
+        controller.apply_config(IsppAlgorithm.SV, 3)
+        data = random_page(4096, rng)
+        controller.write(0, 0, data)
+        failures = 0
+        for _ in range(6):
+            _, report = controller.read(0, 0)
+            if not report.success:
+                failures += 1
+        assert failures >= 1  # t=3 cannot stand ~35 errors/page
+
+    def test_min_uber_mode_reduces_errors_on_aged_device(self, rng):
+        corrected = {}
+        for mode in (OperatingMode.BASELINE, OperatingMode.MIN_UBER):
+            controller = controller_at_age(100_000, seed=77)
+            controller.set_mode(mode, pe_reference=1e5)
+            data = random_page(4096, rng)
+            controller.write(0, 0, data)
+            total = 0
+            for _ in range(6):
+                out, report = controller.read(0, 0)
+                assert out == data
+                total += report.corrected_bits
+            corrected[mode] = total
+        # ISPP-DV pages exhibit ~12.5x fewer raw errors.
+        assert corrected[OperatingMode.MIN_UBER] < corrected[OperatingMode.BASELINE] / 3
+
+    def test_max_read_latency_advantage_on_aged_device(self, rng):
+        latencies = {}
+        for mode in (OperatingMode.BASELINE, OperatingMode.MAX_READ_THROUGHPUT):
+            controller = controller_at_age(100_000, seed=88)
+            controller.set_mode(mode, pe_reference=1e5)
+            data = random_page(4096, rng)
+            controller.write(0, 0, data)
+            _, report = controller.read(0, 0)
+            latencies[mode] = report.latencies.read_array_s + report.latencies.decode_s
+        gain = (
+            latencies[OperatingMode.BASELINE]
+            / latencies[OperatingMode.MAX_READ_THROUGHPUT]
+            - 1.0
+        )
+        assert gain == pytest.approx(0.32, abs=0.06)  # paper: up to ~30%
+
+    def test_write_latency_penalty(self, rng):
+        latencies = {}
+        for mode in (OperatingMode.BASELINE, OperatingMode.MAX_READ_THROUGHPUT):
+            controller = controller_at_age(0, seed=99)
+            controller.set_mode(mode)
+            data = random_page(4096, rng)
+            report = controller.write(0, 0, data)
+            latencies[mode] = (
+                report.latencies.encode_s + report.latencies.program_s
+            )
+        loss = 1.0 - (
+            latencies[OperatingMode.BASELINE]
+            / latencies[OperatingMode.MAX_READ_THROUGHPUT]
+        )
+        assert 0.30 < loss < 0.55  # paper: ~40-48%

@@ -1,0 +1,53 @@
+"""Endurance/aging model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nand.aging import AgingModel, AgingParams
+
+
+class TestAgingModel:
+    def test_fresh_device_floor(self):
+        model = AgingModel()
+        assert model.sigma_instability(0.0) == pytest.approx(
+            model.params.sigma_fresh
+        )
+        assert model.onset_shift(0.0) == 0.0
+        assert model.granularity_growth(0.0) == 1.0
+
+    def test_sigma_monotone_in_cycles(self):
+        model = AgingModel()
+        values = [model.sigma_instability(n) for n in (0, 1e2, 1e4, 1e5)]
+        assert values == sorted(values)
+
+    def test_onset_shift_negative_and_log_scaled(self):
+        model = AgingModel()
+        shift_1e2 = model.onset_shift(1e2)
+        shift_1e4 = model.onset_shift(1e4)
+        assert shift_1e4 < shift_1e2 < 0.0
+        assert shift_1e4 == pytest.approx(2 * shift_1e2, rel=1e-6)
+
+    def test_granularity_growth_monotone(self):
+        model = AgingModel()
+        values = [model.granularity_growth(n) for n in (0, 1e3, 1e4, 1e5)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(
+            1.0 + model.params.granularity_growth_coeff, rel=1e-6
+        )
+
+    def test_negative_cycles_rejected(self):
+        model = AgingModel()
+        with pytest.raises(ConfigurationError):
+            model.sigma_instability(-1)
+        with pytest.raises(ConfigurationError):
+            model.onset_shift(-1)
+        with pytest.raises(ConfigurationError):
+            model.granularity_growth(-1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            AgingParams(sigma_coeff=-0.1)
+        with pytest.raises(ConfigurationError):
+            AgingParams(n_ref=0)
+        with pytest.raises(ConfigurationError):
+            AgingParams(granularity_growth_coeff=-1)

@@ -1,0 +1,80 @@
+"""Behavioural NAND array tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NandOperationError
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+
+
+@pytest.fixture()
+def array(rng):
+    return NandArray(NandGeometry(blocks=4, pages_per_block=4), rng)
+
+
+class TestArray:
+    def test_program_read_round_trip(self, array):
+        data = bytes(range(256)) * 16
+        array.program_page(0, 0, data)
+        assert array.read_page(0, 0) == data
+        assert array.is_programmed(0, 0)
+
+    def test_reprogram_without_erase_forbidden(self, array):
+        array.program_page(1, 2, b"abc")
+        with pytest.raises(NandOperationError):
+            array.program_page(1, 2, b"xyz")
+
+    def test_erase_clears_and_wears(self, array):
+        array.program_page(2, 0, b"abc")
+        assert array.wear(2) == 0
+        array.erase_block(2)
+        assert array.wear(2) == 1
+        assert not array.is_programmed(2, 0)
+        array.program_page(2, 0, b"new")  # now allowed again
+
+    def test_erased_page_reads_ff(self, array):
+        data = array.read_page(3, 3)
+        assert data == bytes([0xFF]) * array.geometry.page_bytes
+
+    def test_oversized_data_rejected(self, array):
+        with pytest.raises(NandOperationError):
+            array.program_page(0, 1, bytes(array.geometry.page_bytes + 1))
+
+    def test_error_injection_rate(self, rng):
+        array = NandArray(NandGeometry(blocks=1, pages_per_block=1), rng)
+        data = bytes(4320)
+        array.program_page(0, 0, data)
+        rber = 0.01
+        n_bits = len(data) * 8
+        flipped = []
+        for _ in range(20):
+            read = array.read_page(0, 0, rber=rber)
+            errors = sum(
+                bin(a ^ b).count("1") for a, b in zip(read, data)
+            )
+            flipped.append(errors)
+        mean_errors = np.mean(flipped)
+        assert mean_errors == pytest.approx(n_bits * rber, rel=0.2)
+
+    def test_zero_rber_returns_exact_data(self, array):
+        data = b"\x12\x34" * 100
+        array.program_page(0, 3, data)
+        assert array.read_page(0, 3, rber=0.0) == data
+
+    def test_invalid_rber(self, array):
+        array.program_page(0, 0, b"x")
+        with pytest.raises(NandOperationError):
+            array.read_page(0, 0, rber=1.0)
+
+    def test_max_wear(self, array):
+        array.erase_block(0)
+        array.erase_block(0)
+        array.erase_block(1)
+        assert array.max_wear() == 2
+
+    def test_block_bounds(self, array):
+        with pytest.raises(NandOperationError):
+            array.erase_block(4)
+        with pytest.raises(NandOperationError):
+            array.wear(-1)

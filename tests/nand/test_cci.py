@@ -1,0 +1,47 @@
+"""Cell-to-cell interference tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nand.cci import CciModel, CciParams
+
+
+class TestCci:
+    def test_shift_is_non_negative(self, rng):
+        model = CciModel(rng=rng)
+        vth = rng.normal(1.0, 0.1, 1000)
+        deltas = rng.uniform(0, 4, 1000)
+        shifted = model.apply(vth, deltas)
+        assert np.all(shifted >= vth)
+
+    def test_x_coupling_deterministic(self, rng):
+        model = CciModel(CciParams(gamma_x=0.1, gamma_y=0.0, enable_y=False), rng)
+        vth = np.zeros(3)
+        deltas = np.array([0.0, 2.0, 0.0])
+        shifted = model.apply(vth, deltas)
+        # Middle cell has no aggressor swing next to it except itself;
+        # neighbours each receive gamma_x * 2.0.
+        assert shifted[0] == pytest.approx(0.2)
+        assert shifted[2] == pytest.approx(0.2)
+        assert shifted[1] == pytest.approx(0.0)
+
+    def test_zero_coupling_identity(self, rng):
+        model = CciModel(CciParams(gamma_x=0.0, gamma_y=0.0, enable_y=False), rng)
+        vth = rng.normal(0, 1, 100)
+        assert np.array_equal(model.apply(vth, np.ones(100)), vth)
+
+    def test_mean_shift_scales_with_gamma(self, rng):
+        deltas = np.full(10_000, 3.0)
+        vth = np.zeros(10_000)
+        weak = CciModel(CciParams(gamma_x=0.005, gamma_y=0.01), np.random.default_rng(1))
+        strong = CciModel(CciParams(gamma_x=0.01, gamma_y=0.02), np.random.default_rng(1))
+        weak_shift = (weak.apply(vth, deltas) - vth).mean()
+        strong_shift = (strong.apply(vth, deltas) - vth).mean()
+        assert strong_shift == pytest.approx(2 * weak_shift, rel=0.05)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            CciParams(gamma_x=0.6)
+        with pytest.raises(ConfigurationError):
+            CciParams(gamma_y=-0.1)

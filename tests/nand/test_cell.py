@@ -1,0 +1,61 @@
+"""Compact cell model tests (the Fig. 4 physics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nand.cell import CellParams, ispp_staircase, pulse_update
+
+
+class TestPulseUpdate:
+    def test_strong_overdrive_tracks_asymptote(self):
+        vth = np.array([0.0])
+        out = pulse_update(vth, np.array([20.0]), np.array([14.0]), softness=0.1)
+        assert out[0] == pytest.approx(6.0, abs=0.05)
+
+    def test_below_onset_barely_moves(self):
+        vth = np.array([0.0])
+        out = pulse_update(vth, np.array([10.0]), np.array([14.0]), softness=0.5)
+        assert out[0] < 0.01
+
+    def test_monotone_non_decreasing(self):
+        vth = np.linspace(-4, 4, 50)
+        out = pulse_update(vth, np.full(50, 16.0), np.full(50, 14.0), 0.3)
+        assert np.all(out >= vth)
+
+    def test_numerical_stability_extreme_overdrive(self):
+        vth = np.array([-100.0])
+        out = pulse_update(vth, np.array([25.0]), np.array([14.0]), 0.5)
+        assert np.isfinite(out).all()
+
+
+class TestStaircase:
+    def test_steady_state_slope_equals_delta(self):
+        params = CellParams(onset=16.0, softness=0.3, vth_initial=-4.0)
+        vcg, vth = ispp_staircase(params, 10.0, 26.0, 1.0)
+        # Once well past onset, consecutive pulses advance by exactly delta.
+        steps = np.diff(vth[-5:])
+        assert np.allclose(steps, 1.0, atol=1e-3)
+
+    def test_plateau_before_onset(self):
+        params = CellParams(onset=18.0, softness=0.3, vth_initial=-4.0)
+        _, vth = ispp_staircase(params, 6.0, 24.0, 1.0)
+        assert vth[0] == pytest.approx(-4.0, abs=0.05)
+
+    def test_vcg_axis(self):
+        params = CellParams()
+        vcg, vth = ispp_staircase(params, 6.0, 24.0, 1.0)
+        assert vcg[0] == 6.0
+        assert vcg[-1] == 24.0
+        assert len(vcg) == len(vth) == 19
+
+    def test_monotone_trace(self):
+        params = CellParams(onset=15.0, softness=0.5, vth_initial=-3.0)
+        _, vth = ispp_staircase(params, 10.0, 22.0, 0.5)
+        assert np.all(np.diff(vth) >= -1e-12)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ispp_staircase(CellParams(), 10.0, 20.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            CellParams(softness=0.0)

@@ -1,0 +1,44 @@
+"""Distribution statistics tests (Fig. 3 machinery)."""
+
+import numpy as np
+
+from repro.nand.distributions import (
+    distribution_report,
+    histogram_per_level,
+    level_statistics,
+)
+from repro.nand.ispp import IsppAlgorithm
+
+
+class TestLevelStatistics:
+    def test_basic_stats(self, rng):
+        levels = np.array([0] * 100 + [1] * 100)
+        vth = np.concatenate([
+            rng.normal(-3.0, 0.3, 100), rng.normal(1.0, 0.1, 100)
+        ])
+        stats = level_statistics(levels, vth)
+        assert stats[0].count == 100
+        assert abs(stats[0].mean + 3.0) < 0.15
+        assert abs(stats[1].mean - 1.0) < 0.05
+        assert stats[2].count == 0
+        assert np.isnan(stats[2].mean)
+
+    def test_from_real_program(self, programmer):
+        outcome = programmer.program_random_page(8192, IsppAlgorithm.SV)
+        stats = level_statistics(outcome.levels, outcome.vth)
+        assert all(s.count > 1500 for s in stats)
+        # Sigma of programmed levels dominated by the ISPP overshoot.
+        for s in stats[1:]:
+            assert 0.02 < s.sigma < 0.3
+
+    def test_histograms_cover_population(self, programmer):
+        outcome = programmer.program_random_page(4096, IsppAlgorithm.SV)
+        hists = histogram_per_level(outcome.levels, outcome.vth)
+        total = sum(int(counts.sum()) for _, counts in hists.values())
+        assert total == 4096
+
+    def test_report_renders(self, programmer):
+        outcome = programmer.program_random_page(2048, IsppAlgorithm.SV)
+        report = distribution_report(outcome.levels, outcome.vth)
+        assert "L0" in report and "L3" in report
+        assert "read levels" in report

@@ -1,0 +1,44 @@
+"""NAND geometry tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nand.geometry import NandGeometry
+
+
+class TestGeometry:
+    def test_defaults_match_paper_device(self):
+        g = NandGeometry()
+        assert g.page_data_bytes == 4096
+        assert g.page_spare_bytes == 224
+        assert g.page_bytes == 4320
+        assert g.bits_per_cell == 2
+        assert g.cells_per_page == 16384
+
+    def test_capacity(self):
+        g = NandGeometry(blocks=4, pages_per_block=8)
+        assert g.pages == 32
+        assert g.capacity_bytes == 32 * 4096
+
+    def test_address_round_trip(self):
+        g = NandGeometry(blocks=16, pages_per_block=64)
+        for block, page in ((0, 0), (3, 17), (15, 63)):
+            flat = g.page_address(block, page)
+            assert g.split_address(flat) == (block, page)
+
+    def test_out_of_range_addresses(self):
+        g = NandGeometry(blocks=4, pages_per_block=8)
+        with pytest.raises(ConfigurationError):
+            g.page_address(4, 0)
+        with pytest.raises(ConfigurationError):
+            g.page_address(0, 8)
+        with pytest.raises(ConfigurationError):
+            g.split_address(32)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            NandGeometry(page_data_bytes=0)
+        with pytest.raises(ConfigurationError):
+            NandGeometry(bits_per_cell=4)
+        with pytest.raises(ConfigurationError):
+            NandGeometry(blocks=0)

@@ -1,0 +1,74 @@
+"""MLC level plan and Gray-mapping tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nand.levels import GRAY_MAP, LEVEL_OF_PATTERN, MlcLevels
+
+
+class TestGrayMap:
+    def test_adjacent_levels_differ_by_one_bit(self):
+        for a, b in zip(GRAY_MAP[:-1], GRAY_MAP[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_inverse_map(self):
+        for level, pattern in enumerate(GRAY_MAP):
+            assert LEVEL_OF_PATTERN[pattern] == level
+
+    def test_bits_round_trip(self):
+        levels = np.array([0, 1, 2, 3, 2, 1])
+        upper, lower = MlcLevels.bits_from_levels(levels)
+        assert np.array_equal(MlcLevels.levels_from_bits(upper, lower), levels)
+
+
+class TestLevelPlan:
+    def test_default_plan_is_ordered(self):
+        plan = MlcLevels()
+        assert plan.read[0] < plan.verify[0] < plan.read[1] < plan.verify[1]
+        assert plan.read[2] < plan.verify[2] < plan.over_program
+
+    def test_verify_targets(self):
+        plan = MlcLevels()
+        assert plan.verify_target(0) is None
+        assert plan.verify_target(1) == plan.verify[0]
+        assert plan.verify_target(3) == plan.verify[2]
+        with pytest.raises(ConfigurationError):
+            plan.verify_target(4)
+
+    def test_classification(self):
+        plan = MlcLevels()
+        vth = np.array([-3.0, 0.9, 2.2, 3.5])
+        assert plan.classify(vth).tolist() == [0, 1, 2, 3]
+
+    def test_bit_errors_counts_gray_distance(self):
+        plan = MlcLevels()
+        programmed = np.array([1, 1, 2])
+        # First cell reads correctly, second reads as L2 (1 bit),
+        # third reads as L0 (2 bits away in the Gray map: 00 vs 11).
+        vth = np.array([0.9, 2.0, -3.0])
+        assert plan.bit_errors(programmed, vth) == 0 + 1 + 2
+
+    def test_over_programming_counts_two_bits(self):
+        plan = MlcLevels()
+        programmed = np.array([3])
+        vth = np.array([plan.over_program + 0.5])
+        # Reads as L3 (no gray error) but OP adds a whole-cell failure.
+        assert plan.bit_errors(programmed, vth) == 2
+
+    def test_margins_positive(self):
+        margins = MlcLevels().margins()
+        assert all(v > 0 for v in margins.values())
+        # Sensing margins should be roughly symmetric (~0.6 V).
+        assert margins["L2_lower"] == pytest.approx(0.6, abs=0.1)
+        assert margins["L2_upper"] == pytest.approx(0.6, abs=0.1)
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MlcLevels(verify=(2.0, 0.8, 3.2))
+        with pytest.raises(ConfigurationError):
+            MlcLevels(read=(-1.0, 2.845, 1.645))
+        with pytest.raises(ConfigurationError):
+            MlcLevels(over_program=1.0)
+        with pytest.raises(ConfigurationError):
+            MlcLevels(read=(-4.0, 1.645, 2.845))

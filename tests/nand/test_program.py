@@ -1,0 +1,86 @@
+"""PageProgrammer integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.nand.ispp import IsppAlgorithm
+from repro.nand.program import PageProgrammer
+from repro.workloads.patterns import level_pattern_page
+
+
+class TestDataMapping:
+    def test_levels_from_known_bytes(self, programmer):
+        # 0xAA = bit pairs (1,0) -> L1; 0x00 -> L2; 0x55 -> L3; 0xFF -> L0.
+        levels = programmer.levels_from_page(bytes([0xAA, 0x00, 0x55, 0xFF]))
+        assert levels[:4].tolist() == [1, 1, 1, 1]
+        assert levels[4:8].tolist() == [2, 2, 2, 2]
+        assert levels[8:12].tolist() == [3, 3, 3, 3]
+        assert levels[12:16].tolist() == [0, 0, 0, 0]
+
+    def test_pattern_page_maps_uniformly(self, programmer):
+        for level in range(4):
+            page = level_pattern_page(level, 64)
+            levels = programmer.levels_from_page(page)
+            assert np.all(levels == level)
+
+    def test_empty_page_rejected(self, programmer):
+        from repro.errors import NandOperationError
+
+        with pytest.raises(NandOperationError):
+            programmer.levels_from_page(b"")
+
+    def test_uniform_pattern_levels(self, programmer):
+        levels = programmer.uniform_pattern_levels(2, 100)
+        assert np.all(levels == 2)
+        from repro.errors import NandOperationError
+
+        with pytest.raises(NandOperationError):
+            programmer.uniform_pattern_levels(5, 10)
+
+
+class TestProgramming:
+    def test_program_page_produces_timing(self, programmer):
+        outcome = programmer.program_random_page(4096, IsppAlgorithm.SV)
+        assert outcome.timing.total_s > 0
+        assert outcome.timing.pulses == outcome.ispp.pulses
+        assert outcome.cells == 4096
+
+    def test_dv_slower_than_sv(self, programmer):
+        sv = programmer.program_random_page(8192, IsppAlgorithm.SV)
+        dv = programmer.program_random_page(8192, IsppAlgorithm.DV)
+        ratio = dv.timing.total_s / sv.timing.total_s
+        assert 1.4 < ratio < 2.3  # the write-loss band of Fig. 9
+
+    def test_cci_can_be_disabled(self, programmer):
+        targets = programmer.uniform_pattern_levels(2, 2048)
+        with_cci = programmer.program_levels(targets, apply_cci=True)
+        without = programmer.program_levels(targets, apply_cci=False)
+        assert with_cci.vth.mean() > without.vth.mean()
+
+    def test_read_vth_adds_noise(self, programmer):
+        outcome = programmer.program_random_page(4096, IsppAlgorithm.SV)
+        read1 = programmer.read_vth(outcome)
+        read2 = programmer.read_vth(outcome)
+        assert not np.array_equal(read1, read2)
+
+    def test_fresh_page_has_few_bit_errors(self, programmer):
+        outcome = programmer.program_random_page(16384, IsppAlgorithm.SV, 0.0)
+        errors = programmer.count_bit_errors(outcome)
+        # 32768 bits at RBER ~1e-5: expect 0-3 errors.
+        assert errors <= 5
+
+    def test_aged_page_has_more_errors(self):
+        programmer = PageProgrammer(rng=np.random.default_rng(77))
+        fresh = sum(
+            programmer.count_bit_errors(
+                programmer.program_random_page(16384, IsppAlgorithm.SV, 0.0)
+            )
+            for _ in range(3)
+        )
+        aged = sum(
+            programmer.count_bit_errors(
+                programmer.program_random_page(16384, IsppAlgorithm.SV, 1e5)
+            )
+            for _ in range(3)
+        )
+        assert aged > fresh

@@ -1,0 +1,66 @@
+"""Monte-Carlo vs canonical RBER calibration (the Fig. 5 cross-check).
+
+The physics-based Monte-Carlo and the canonical analytic lifetime model
+are independent paths to RBER(N, algorithm); they must agree within a
+small factor across the lifetime for both program algorithms, and the MC
+must reproduce the qualitative Fig. 5 statements (DV below SV, growth
+with cycling).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nand.ispp import IsppAlgorithm
+from repro.nand.program import PageProgrammer
+from repro.nand.rber import LifetimeRberModel, MonteCarloRber
+
+#: Maximum tolerated |log10(MC / canonical)| — a factor of ~3.5.
+TOLERANCE_DECADES = 0.55
+
+
+@pytest.fixture(scope="module")
+def mc():
+    return MonteCarloRber(PageProgrammer(rng=np.random.default_rng(20120312)))
+
+
+@pytest.fixture(scope="module")
+def canonical():
+    return LifetimeRberModel()
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("pe_cycles", [0.0, 1e2, 1e4, 1e5])
+    @pytest.mark.parametrize("algorithm", list(IsppAlgorithm))
+    def test_mc_tracks_canonical(self, mc, canonical, pe_cycles, algorithm):
+        estimate = mc.estimate(pe_cycles, algorithm, n_cells=16384, pages=2)
+        expected = canonical.rber(algorithm, pe_cycles)
+        deviation = abs(math.log10(estimate.rber) - math.log10(expected))
+        assert deviation <= TOLERANCE_DECADES, (
+            f"{algorithm.value} at N={pe_cycles:g}: MC {estimate.rber:.2e} vs "
+            f"canonical {expected:.2e} ({deviation:.2f} decades)"
+        )
+
+    def test_dv_always_better_than_sv(self, mc):
+        for pe_cycles in (0.0, 1e4, 1e5):
+            sv = mc.estimate(pe_cycles, IsppAlgorithm.SV).rber
+            dv = mc.estimate(pe_cycles, IsppAlgorithm.DV).rber
+            assert dv < sv
+
+    def test_rber_grows_with_cycling(self, mc):
+        fresh = mc.estimate(0.0, IsppAlgorithm.SV).rber
+        aged = mc.estimate(1e5, IsppAlgorithm.SV).rber
+        assert aged > 10 * fresh
+
+    def test_estimate_structure(self, mc):
+        est = mc.estimate(1e4, IsppAlgorithm.SV)
+        assert est.rber == pytest.approx(est.tail_rber + est.outlier_rber)
+        assert est.cells == 2 * 16384
+        assert all(s > 0 for s in est.level_sigmas)
+
+    def test_empirical_matches_analytic_at_high_rber(self, mc, canonical):
+        # At end of life the SV RBER is ~1e-3: direct counting is viable.
+        empirical = mc.empirical(1e5, IsppAlgorithm.SV, n_cells=16384, pages=4)
+        expected = canonical.rber_sv(1e5)
+        assert empirical == pytest.approx(expected, rel=3.0)

@@ -1,0 +1,58 @@
+"""Read-disturb model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NandOperationError
+from repro.nand.device import NandFlashDevice, ReadDisturbParams
+from repro.nand.geometry import NandGeometry
+
+
+class TestReadDisturbParams:
+    def test_factor_growth(self):
+        params = ReadDisturbParams(coefficient=1.0, reads_ref=1000.0)
+        assert params.factor(0) == 1.0
+        assert params.factor(500) == pytest.approx(1.5)
+        assert params.factor(2000) == pytest.approx(3.0)
+
+    def test_negative_reads_rejected(self):
+        with pytest.raises(NandOperationError):
+            ReadDisturbParams().factor(-1)
+
+
+class TestDeviceIntegration:
+    @pytest.fixture()
+    def device(self, rng):
+        return NandFlashDevice(
+            NandGeometry(blocks=2, pages_per_block=2),
+            disturb=ReadDisturbParams(coefficient=1.0, reads_ref=100.0),
+            rng=rng,
+        )
+
+    def test_reads_counted_and_reset_on_erase(self, device):
+        device.program_page(0, 0, bytes(64))
+        for _ in range(5):
+            device.read_page(0, 0)
+        assert device.array.reads_since_erase(0) == 5
+        device.erase_block(0)
+        assert device.array.reads_since_erase(0) == 0
+
+    def test_rber_grows_with_reads(self, device):
+        device.array._wear[0] = 10_000  # measurable base RBER
+        device.program_page(0, 0, bytes(4096))
+        _, first = device.read_page(0, 0)
+        for _ in range(200):
+            device.read_page(0, 0)
+        _, later = device.read_page(0, 0)
+        assert later.rber > 2.5 * first.rber
+
+    def test_scrub_by_erase_restores_rber(self, device, rng):
+        device.array._wear[0] = 10_000
+        device.program_page(0, 0, bytes(4096))
+        for _ in range(150):
+            device.read_page(0, 0)
+        _, disturbed = device.read_page(0, 0)
+        device.erase_block(0)
+        device.program_page(0, 0, bytes(4096))
+        _, fresh = device.read_page(0, 0)
+        assert fresh.rber < disturbed.rber

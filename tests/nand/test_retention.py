@@ -1,0 +1,71 @@
+"""Data-retention model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nand.ispp import IsppAlgorithm
+from repro.nand.program import PageProgrammer
+from repro.nand.rber import MonteCarloRber
+from repro.nand.retention import RetentionModel, RetentionParams
+
+
+class TestRetentionModel:
+    def test_no_shift_before_onset(self):
+        model = RetentionModel()
+        assert model.mean_shift(0.5) == 0.0
+        assert model.sigma(0.5) == 0.0
+
+    def test_charge_loss_is_downward_and_log_time(self):
+        model = RetentionModel()
+        at_10h = model.mean_shift(10.0)
+        at_1000h = model.mean_shift(1000.0)
+        assert at_10h < 0
+        assert at_1000h == pytest.approx(3 * at_10h, rel=1e-6)
+
+    def test_cycling_accelerates_loss(self):
+        model = RetentionModel()
+        fresh = model.mean_shift(1000.0, pe_cycles=0)
+        worn = model.mean_shift(1000.0, pe_cycles=1e5)
+        assert worn < fresh  # more negative
+        assert worn / fresh == pytest.approx(2 ** 0.62, rel=0.01)
+
+    def test_sigma_grows_with_time(self):
+        model = RetentionModel()
+        values = [model.sigma(h) for h in (1.0, 10.0, 100.0, 1000.0)]
+        assert values == sorted(values)
+
+    def test_shift_sample_statistics(self, rng):
+        model = RetentionModel()
+        shifts = model.shift_sample(100_000, 1000.0, 1e4, rng)
+        assert shifts.mean() == pytest.approx(
+            model.mean_shift(1000.0, 1e4), abs=2e-3
+        )
+        assert shifts.std() == pytest.approx(model.sigma(1000.0, 1e4), rel=0.05)
+
+    def test_invalid_inputs(self):
+        model = RetentionModel()
+        with pytest.raises(ConfigurationError):
+            model.mean_shift(-1.0)
+        with pytest.raises(ConfigurationError):
+            model.sigma(10.0, pe_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            RetentionParams(mean_loss_per_decade=-0.1)
+
+
+class TestRetentionRberImpact:
+    @pytest.fixture(scope="class")
+    def mc(self):
+        return MonteCarloRber(PageProgrammer(rng=np.random.default_rng(2003)))
+
+    def test_retention_degrades_rber(self, mc):
+        baseline = mc.estimate(1e4, IsppAlgorithm.SV, 8192).rber
+        stored = mc.estimate(1e4, IsppAlgorithm.SV, 8192, retention_h=5000.0).rber
+        assert stored > 2 * baseline
+
+    def test_dv_retains_headroom(self, mc):
+        """The cross-layer consequence: ISPP-DV after long storage still
+        beats ISPP-SV after the same storage."""
+        sv = mc.estimate(1e4, IsppAlgorithm.SV, 8192, retention_h=5000.0).rber
+        dv = mc.estimate(1e4, IsppAlgorithm.DV, 8192, retention_h=5000.0).rber
+        assert dv < sv

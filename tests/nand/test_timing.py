@@ -1,0 +1,64 @@
+"""NAND timing model tests."""
+
+import numpy as np
+import pytest
+
+from repro.nand.ispp import IsppAlgorithm, IsppEngine
+from repro.nand.timing import NandTimingModel
+from repro.params import NandTimingParams
+
+
+@pytest.fixture()
+def sv_result(rng):
+    engine = IsppEngine(rng=rng)
+    return engine.program_page(rng.integers(0, 4, 8192), IsppAlgorithm.SV)
+
+
+class TestTimingModel:
+    def test_program_decomposition(self, sv_result):
+        model = NandTimingModel()
+        timing = model.program_timing(sv_result)
+        p = model.params
+        assert timing.pulse_time_s == pytest.approx(
+            sv_result.pulses * (p.t_pulse_setup + p.t_program_pulse)
+        )
+        assert timing.verify_time_s == pytest.approx(
+            sv_result.verify_ops * p.t_verify
+        )
+        assert timing.total_s == pytest.approx(
+            timing.pulse_time_s + timing.verify_time_s + timing.overhead_s
+        )
+
+    def test_sv_program_time_in_expected_band(self, sv_result):
+        timing = NandTimingModel().program_timing(sv_result)
+        # Calibrated ISPP-SV program time: several hundred microseconds.
+        assert 0.4e-3 < timing.total_s < 1.2e-3
+
+    def test_dv_program_time_near_paper_value(self, rng):
+        engine = IsppEngine(rng=rng)
+        result = engine.program_page(rng.integers(0, 4, 8192), IsppAlgorithm.DV)
+        timing = NandTimingModel().program_timing(result)
+        # Paper quotes ~1.5 ms for the ISPP-DV program.
+        assert 1.0e-3 < timing.total_s < 1.8e-3
+
+    def test_preverify_charged_separately(self, rng):
+        engine = IsppEngine(rng=rng)
+        result = engine.program_page(rng.integers(0, 4, 4096), IsppAlgorithm.DV)
+        params = NandTimingParams()
+        timing = NandTimingModel(params).program_timing(result)
+        expected = (
+            result.verify_ops * params.t_verify
+            + result.preverify_ops * params.t_preverify
+        )
+        assert timing.verify_time_s == pytest.approx(expected)
+
+    def test_read_and_erase_times(self):
+        model = NandTimingModel()
+        assert model.read_time_s() == pytest.approx(75e-6)
+        assert model.erase_time_s() == pytest.approx(2.5e-3)
+
+    def test_invalid_params(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            NandTimingParams(t_verify=0)

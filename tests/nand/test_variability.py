@@ -1,0 +1,55 @@
+"""Variability sampler tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nand.variability import VariabilityParams, VariabilitySampler
+
+
+class TestParams:
+    def test_sigma_onset_quadrature(self):
+        p = VariabilityParams(sigma_geometry=0.3, sigma_oxide=0.4, sigma_doping=0.0)
+        assert p.sigma_onset == pytest.approx(0.5)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VariabilityParams(sigma_geometry=-0.1)
+        with pytest.raises(ConfigurationError):
+            VariabilityParams(granularity_coeff=-1e-3)
+
+
+class TestSampler:
+    def test_onset_statistics(self, rng):
+        params = VariabilityParams()
+        sampler = VariabilitySampler(params, rng)
+        onsets = sampler.sample_onsets(200_000)
+        assert onsets.mean() == pytest.approx(params.onset_mean, abs=0.01)
+        assert onsets.std() == pytest.approx(params.sigma_onset, rel=0.02)
+
+    def test_onset_shift_applied(self, rng):
+        params = VariabilityParams()
+        sampler = VariabilitySampler(params, rng)
+        onsets = sampler.sample_onsets(50_000, onset_shift=-0.3)
+        assert onsets.mean() == pytest.approx(params.onset_mean - 0.3, abs=0.02)
+
+    def test_step_noise_shot_scaling(self, rng):
+        params = VariabilityParams(granularity_coeff=0.01)
+        sampler = VariabilitySampler(params, rng)
+        small = sampler.step_noise(np.full(100_000, 0.1))
+        large = sampler.step_noise(np.full(100_000, 0.4))
+        # Variance proportional to step: sigma ratio = sqrt(4) = 2.
+        assert large.std() / small.std() == pytest.approx(2.0, rel=0.05)
+        assert small.std() == pytest.approx(math.sqrt(0.01 * 0.1), rel=0.05)
+
+    def test_zero_step_no_noise(self, rng):
+        sampler = VariabilitySampler(VariabilityParams(), rng)
+        noise = sampler.step_noise(np.zeros(100))
+        assert np.all(noise == 0.0)
+
+    def test_explicit_coefficient_override(self, rng):
+        sampler = VariabilitySampler(VariabilityParams(granularity_coeff=0.001), rng)
+        noisy = sampler.step_noise(np.full(100_000, 0.25), coeff=0.04)
+        assert noisy.std() == pytest.approx(math.sqrt(0.04 * 0.25), rel=0.05)

@@ -1,0 +1,92 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimEngine
+
+
+class TestEngine:
+    def test_single_process_advances_clock(self):
+        log = []
+
+        def process():
+            log.append("a")
+            yield 5.0
+            log.append("b")
+            yield 2.0
+            log.append("c")
+
+        engine = SimEngine()
+        engine.spawn(process())
+        final = engine.run()
+        assert log == ["a", "b", "c"]
+        assert final == pytest.approx(7.0)
+
+    def test_two_processes_interleave(self):
+        log = []
+
+        def make(name, delay):
+            def process():
+                for i in range(3):
+                    log.append((name, i))
+                    yield delay
+            return process()
+
+        engine = SimEngine()
+        engine.spawn(make("fast", 1.0))
+        engine.spawn(make("slow", 2.5))
+        engine.run()
+        # fast's second step (t=1) precedes slow's second step (t=2.5).
+        assert log.index(("fast", 1)) < log.index(("slow", 1))
+
+    def test_run_until_bounds_virtual_time(self):
+        def process():
+            while True:
+                yield 1.0
+
+        engine = SimEngine()
+        engine.spawn(process())
+        final = engine.run(until_s=10.0, max_events=1000)
+        assert final == pytest.approx(10.0)
+        assert engine.events_processed <= 11
+
+    def test_deterministic_tie_breaking(self):
+        log = []
+
+        def make(name):
+            def process():
+                log.append(name)
+                yield 1.0
+                log.append(name)
+            return process()
+
+        engine = SimEngine()
+        engine.spawn(make("first"))
+        engine.spawn(make("second"))
+        engine.run()
+        assert log == ["first", "second", "first", "second"]
+
+    def test_runaway_guard(self):
+        def process():
+            while True:
+                yield 0.0
+
+        engine = SimEngine()
+        engine.spawn(process())
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_invalid_yield(self):
+        def process():
+            yield -1.0
+
+        engine = SimEngine()
+        engine.spawn(process())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_negative_spawn_delay(self):
+        engine = SimEngine()
+        with pytest.raises(SimulationError):
+            engine.spawn(iter(()), delay_s=-1.0)

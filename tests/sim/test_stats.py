@@ -1,0 +1,39 @@
+"""Statistics collector tests."""
+
+import pytest
+
+from repro.sim.stats import LatencyStats, ThroughputStats
+
+
+class TestLatencyStats:
+    def test_streaming_moments(self):
+        stats = LatencyStats()
+        for v in (1.0, 2.0, 3.0):
+            stats.observe(v)
+        assert stats.count == 3
+        assert stats.mean_s == pytest.approx(2.0)
+        assert stats.min_s == 1.0
+        assert stats.max_s == 3.0
+        assert stats.stdev_s == pytest.approx((2 / 3) ** 0.5)
+
+    def test_empty_stats(self):
+        stats = LatencyStats()
+        assert stats.mean_s == 0.0
+        assert stats.stdev_s == 0.0
+
+
+class TestThroughputStats:
+    def test_accounting(self):
+        stats = ThroughputStats()
+        stats.observe_read(4096, 100e-6)
+        stats.observe_read(4096, 120e-6)
+        stats.observe_write(4096, 800e-6)
+        assert stats.reads == 2
+        assert stats.writes == 1
+        assert stats.bytes_read == 8192
+        assert stats.read_mb_s(1.0) == pytest.approx(8192 / 1e6)
+        assert stats.write_latency.mean_s == pytest.approx(800e-6)
+
+    def test_zero_elapsed(self):
+        stats = ThroughputStats()
+        assert stats.read_mb_s(0.0) == 0.0

@@ -1,0 +1,45 @@
+"""Data pattern tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nand.program import PageProgrammer
+from repro.workloads.patterns import (
+    compressible_page,
+    level_pattern_page,
+    pattern_for_level,
+    random_page,
+)
+
+
+class TestPatterns:
+    def test_level_bytes(self):
+        assert pattern_for_level(0) == 0xFF
+        assert pattern_for_level(1) == 0xAA
+        assert pattern_for_level(2) == 0x00
+        assert pattern_for_level(3) == 0x55
+        with pytest.raises(ConfigurationError):
+            pattern_for_level(4)
+
+    def test_pattern_pages_map_to_single_level(self):
+        programmer = PageProgrammer(rng=np.random.default_rng(1))
+        for level in range(4):
+            page = level_pattern_page(level, 32)
+            assert len(page) == 32
+            levels = programmer.levels_from_page(page)
+            assert np.all(levels == level)
+
+    def test_random_page_deterministic_with_seed(self):
+        a = random_page(128, np.random.default_rng(9))
+        b = random_page(128, np.random.default_rng(9))
+        assert a == b
+        assert len(a) == 128
+
+    def test_compressible_page_runs(self):
+        page = compressible_page(256, run_length=32, rng=np.random.default_rng(3))
+        assert len(page) == 256
+        # First 32 bytes identical (one run).
+        assert len(set(page[:32])) == 1
+        with pytest.raises(ConfigurationError):
+            compressible_page(64, run_length=0)

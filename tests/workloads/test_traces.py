@@ -1,0 +1,75 @@
+"""Workload trace generator tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.traces import (
+    TraceOpKind,
+    mixed_trace,
+    multimedia_playback_trace,
+    os_upgrade_trace,
+)
+
+
+def op_counts(trace):
+    counts = {kind: 0 for kind in TraceOpKind}
+    for op in trace:
+        counts[op.kind] += 1
+    return counts
+
+
+class TestTraces:
+    def test_multimedia_is_read_intensive(self):
+        trace = multimedia_playback_trace(blocks=2, pages_per_block=8, read_passes=4)
+        counts = op_counts(trace)
+        assert counts[TraceOpKind.WRITE] == 16
+        assert counts[TraceOpKind.READ] == 64
+        assert counts[TraceOpKind.READ] > 3 * counts[TraceOpKind.WRITE]
+
+    def test_reads_follow_writes(self):
+        trace = multimedia_playback_trace(blocks=1, pages_per_block=4, read_passes=1)
+        written = set()
+        for op in trace:
+            if op.kind is TraceOpKind.WRITE:
+                written.add((op.block, op.page))
+            elif op.kind is TraceOpKind.READ:
+                assert (op.block, op.page) in written
+
+    def test_os_upgrade_full_verification(self):
+        trace = os_upgrade_trace(blocks=2, pages_per_block=4)
+        counts = op_counts(trace)
+        assert counts[TraceOpKind.WRITE] == counts[TraceOpKind.READ] == 8
+
+    def test_mixed_trace_respects_fraction(self):
+        trace = mixed_trace(blocks=2, pages_per_block=8, read_fraction=0.5)
+        counts = op_counts(trace)
+        total = counts[TraceOpKind.READ] + counts[TraceOpKind.WRITE]
+        assert counts[TraceOpKind.READ] / total == pytest.approx(0.5, abs=0.2)
+
+    def test_mixed_trace_reads_only_written_pages(self):
+        trace = mixed_trace(blocks=1, pages_per_block=8)
+        written = set()
+        for op in trace:
+            if op.kind is TraceOpKind.WRITE:
+                written.add((op.block, op.page))
+            elif op.kind is TraceOpKind.READ:
+                assert (op.block, op.page) in written
+
+    def test_write_data_attached(self):
+        trace = os_upgrade_trace(blocks=1, pages_per_block=2, page_bytes=512)
+        for op in trace:
+            if op.kind is TraceOpKind.WRITE:
+                assert len(op.data) == 512
+
+    def test_deterministic_by_seed(self):
+        a = mixed_trace(seed=5)
+        b = mixed_trace(seed=5)
+        assert [(o.kind, o.block, o.page) for o in a] == [
+            (o.kind, o.block, o.page) for o in b
+        ]
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            multimedia_playback_trace(blocks=0)
+        with pytest.raises(ConfigurationError):
+            mixed_trace(read_fraction=1.5)
