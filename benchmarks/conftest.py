@@ -4,6 +4,12 @@ Each benchmark regenerates one paper figure through
 :mod:`repro.analysis.experiments`, records its runtime via
 pytest-benchmark, prints the same rows/series the paper reports and saves
 the rendered report under ``benchmarks/out/<exp_id>.txt``.
+
+The repo-root ``conftest.py`` registers the ``slow`` marker and the
+``--quick`` option: long sweeps (e.g. ``bench_ecc_throughput``) carry
+``@pytest.mark.slow`` and honour ``--quick`` via the :func:`quick`
+fixture, so ``pytest benchmarks -m "not slow"`` stays snappy and
+``pytest benchmarks --quick`` smoke-runs everything.
 """
 
 from __future__ import annotations
@@ -15,6 +21,12 @@ import pytest
 from repro.analysis.experiments import ExperimentResult, ExperimentSuite
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture()
+def quick(request) -> bool:
+    """True when the run asked for reduced benchmark sizes (``--quick``)."""
+    return bool(request.config.getoption("--quick"))
 
 
 @pytest.fixture(scope="session")

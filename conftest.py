@@ -1,0 +1,24 @@
+"""Repo-level pytest configuration shared by ``tests/`` and ``benchmarks/``.
+
+Registers the ``slow`` marker (so ``pytest -m "not slow"`` keeps tier-1
+fast while the throughput benchmarks run on demand) and the ``--quick``
+knob that shrinks benchmark batch sizes for smoke runs.
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark batch sizes for a fast smoke run",
+    )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running benchmark or sweep; deselect with -m 'not slow'",
+    )

@@ -8,9 +8,15 @@ initiate" in a small ROM per correction capability; here the candidate set
 is derived from n directly.
 
 The software implementation is numpy-vectorized over all candidate
-positions (equivalent to an h = n fully-parallel evaluator); the hardware
-latency model in :mod:`repro.bch.hardware` accounts for the real h-way
-datapath.
+positions (equivalent to an h = n fully-parallel evaluator) and runs in
+two passes: a uint8 screen XOR-accumulates only the *low byte* of every
+``coeff * alpha^(-j*i)`` term (half the gather traffic of a full
+evaluation; a zero value implies a zero low byte, so no root is missed),
+then the few surviving candidates (~n/256 plus the real roots) are
+evaluated exactly.  Per-degree position exponents ``(i * -j) mod order``
+come from a lazily-built int32 table, so the screen loop is one add, one
+gather and one XOR per locator coefficient.  The hardware latency model
+in :mod:`repro.bch.hardware` accounts for the real h-way datapath.
 """
 
 from __future__ import annotations
@@ -35,6 +41,32 @@ class ChienSearch:
         # lambda at alpha^e with e = (-j) mod order for j = 0..n-1.
         exponents = (order - np.arange(n, dtype=np.int64)) % order
         self._eval_logs = exponents
+        # Lazy fast-path tables (built to the highest degree seen so far).
+        self._ipl: np.ndarray | None = None
+        self._exp2_lo: np.ndarray | None = None
+        self._acc8: np.ndarray | None = None
+        self._scratch: np.ndarray | None = None
+
+    def _degree_exponents(self, degree: int) -> np.ndarray:
+        """Rows 0..degree of ``(i * eval_log_j) mod order``.
+
+        Stored as intp: numpy re-casts any other index dtype to intp on
+        every fancy-indexing gather, which would cost a full extra pass
+        per locator coefficient.
+        """
+        if self._ipl is None or self._ipl.shape[0] <= degree:
+            order = np.intp(self.field.order)
+            pl = (self._eval_logs % self.field.order).astype(np.intp)
+            rows = np.empty((max(degree + 1, 2), pl.size), dtype=np.intp)
+            rows[0] = 0
+            rows[1] = pl
+            for i in range(2, rows.shape[0]):
+                np.add(rows[i - 1], pl, out=rows[i])
+                np.subtract(
+                    rows[i], order, out=rows[i], where=rows[i] >= order
+                )
+            self._ipl = rows
+        return self._ipl
 
     def error_positions(self, locator: GFPoly) -> list[int]:
         """Bit positions (0 = MSB of byte 0) whose locator inverse is a root.
@@ -46,11 +78,32 @@ class ChienSearch:
             raise ValueError("locator polynomial is over a different field")
         if locator.degree <= 0:
             return []
-        values = self.field.eval_poly_vec(
-            np.asarray(locator.coeffs, dtype=np.int64), self._eval_logs
-        )
-        exponents_j = np.nonzero(values == 0)[0]  # j = power of x
+        coeffs = np.asarray(locator.coeffs, dtype=np.int64)
+        nz = np.flatnonzero(coeffs)
+        coeff_logs = self.field.log[coeffs[nz]].astype(np.intp)
+        ipl = self._degree_exponents(int(nz[-1]))
+        if self._exp2_lo is None:
+            self._exp2_lo = (self.field.exp2_u16 & 0xFF).astype(np.uint8)
         n = self.spec.n_stored
+        if self._acc8 is None or self._acc8.size != n:
+            self._acc8 = np.empty(n, dtype=np.uint8)
+            self._scratch = np.empty(n, dtype=np.intp)
+        # Pass 1: XOR only the low byte of every term over all positions.
+        acc8, scratch = self._acc8, self._scratch
+        acc8[:] = 0
+        exp2_lo = self._exp2_lo
+        for row, log_c in zip(nz, coeff_logs):
+            np.add(ipl[row], log_c, out=scratch)
+            acc8 ^= exp2_lo[scratch]
+        candidates = np.flatnonzero(acc8 == 0)
+        if candidates.size == 0:
+            return []
+        # Pass 2: exact evaluation at the surviving candidates only.
+        exp2 = self.field.exp2_u16
+        values = np.zeros(candidates.size, dtype=np.uint16)
+        for row, log_c in zip(nz, coeff_logs):
+            values ^= exp2[ipl[row, candidates] + log_c]
+        exponents_j = candidates[values == 0]  # j = power of x
         positions = sorted(int(n - 1 - j) for j in exponents_j)
         return positions
 

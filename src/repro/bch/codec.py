@@ -5,10 +5,16 @@ capability can be changed at runtime through ``set_correction_capability``
 — the "dedicated input port" of the paper's adaptable ECC block.  Designed
 codes, encoder reduction tables and syndrome tables are cached per t,
 mirroring the small ROM of characteristic polynomials in the hardware.
+
+``encode_batch``/``decode_batch`` expose the vectorized batch datapath
+(see :mod:`repro.bch` for the design): whole page groups move through
+numpy kernels with per-word results and telemetry identical to the
+scalar calls.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.bch.decoder import BCHDecoder, DecodeResult
@@ -137,13 +143,18 @@ class AdaptiveBCHCodec:
         t = self._t if t is None else t
         return self._encoder(t).encode_codeword(message)
 
-    def decode(
-        self, codeword: bytes, t: int | None = None, strict: bool = True
-    ) -> DecodeResult:
-        """Decode and record feedback for the reliability manager."""
+    def encode_batch(
+        self, messages: Sequence[bytes], t: int | None = None
+    ) -> list[bytes]:
+        """Systematic codewords for a batch of messages (one capability).
+
+        Routed through the encoder's slicing-by-8 batched LFSR; bit-exact
+        against per-message :meth:`encode`.
+        """
         t = self._t if t is None else t
-        result = self._decoder(t).decode(codeword, strict=strict)
-        n = self.spec_for(t).n
+        return self._encoder(t).encode_codeword_batch(messages)
+
+    def _observe_decode(self, result: DecodeResult, n: int) -> None:
         self._words_decoded += 1
         self._bits_processed += n
         if result.success:
@@ -151,7 +162,34 @@ class AdaptiveBCHCodec:
             self._max_errors = max(self._max_errors, result.corrected_bits)
         else:
             self._words_failed += 1
+
+    def decode(
+        self, codeword: bytes, t: int | None = None, strict: bool = True
+    ) -> DecodeResult:
+        """Decode and record feedback for the reliability manager."""
+        t = self._t if t is None else t
+        result = self._decoder(t).decode(codeword, strict=strict)
+        self._observe_decode(result, self.spec_for(t).n)
         return result
+
+    def decode_batch(
+        self,
+        codewords: Sequence[bytes],
+        t: int | None = None,
+        strict: bool = True,
+    ) -> list[DecodeResult]:
+        """Decode a batch of same-capability codewords.
+
+        One vectorized syndrome pass covers the whole batch and clean
+        pages early-exit before Berlekamp-Massey; telemetry is recorded
+        per word exactly as with :meth:`decode`.
+        """
+        t = self._t if t is None else t
+        results = self._decoder(t).decode_batch(codewords, strict=strict)
+        n = self.spec_for(t).n
+        for result in results:
+            self._observe_decode(result, n)
+        return results
 
     # -- telemetry -----------------------------------------------------------
 

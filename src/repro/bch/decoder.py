@@ -4,10 +4,20 @@ Mirrors Fig. 2 of the paper, including the error-free early exit after the
 syndrome stage.  Decoding failures (more than t errors) raise
 :class:`repro.errors.DecodingFailure` or, in permissive mode, are reported
 in the :class:`DecodeResult`.
+
+Fast path: single-word decodes use the vectorized bit-unpack syndrome
+kernel by default (``vectorized=False`` restores the byte-serial seed
+path, kept as the benchmark/cross-check reference), and
+:meth:`BCHDecoder.decode_batch` decodes a whole batch of pages with one
+batched syndrome computation — the all-zero-syndrome early exit is
+evaluated vectorized across the batch, so clean pages never reach
+Berlekamp-Massey.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass, field as dataclass_field
 
 from repro.bch.berlekamp import berlekamp_massey
@@ -47,7 +57,9 @@ class DecoderStats:
     bits_corrected: int = 0
     bits_processed: int = 0
     max_errors_in_word: int = 0
-    recent_error_counts: list[int] = dataclass_field(default_factory=list)
+    recent_error_counts: deque[int] = dataclass_field(
+        default_factory=lambda: deque(maxlen=1024)
+    )
 
     def observe(self, corrected: int, n_bits: int, failed: bool) -> None:
         """Record one decode outcome."""
@@ -61,8 +73,6 @@ class DecoderStats:
         self.bits_corrected += corrected
         self.max_errors_in_word = max(self.max_errors_in_word, corrected)
         self.recent_error_counts.append(corrected)
-        if len(self.recent_error_counts) > 1024:
-            del self.recent_error_counts[:512]
 
     @property
     def observed_rber(self) -> float:
@@ -73,13 +83,30 @@ class DecoderStats:
 
 
 class BCHDecoder:
-    """Decoder for one fixed :class:`BCHCodeSpec`."""
+    """Decoder for one fixed :class:`BCHCodeSpec`.
 
-    def __init__(self, spec: BCHCodeSpec):
+    Parameters
+    ----------
+    spec:
+        The designed code.
+    vectorized:
+        Use the numpy bit-unpack syndrome kernel for single-word decodes
+        (default).  ``False`` selects the byte-serial reference path —
+        identical results, kept for cross-checking and as the benchmark
+        baseline.
+    """
+
+    def __init__(self, spec: BCHCodeSpec, vectorized: bool = True):
         self.spec = spec
+        self.vectorized = vectorized
         self.syndrome_calculator = SyndromeCalculator(spec)
         self.chien = ChienSearch(spec)
         self.stats = DecoderStats()
+
+    def _check_length(self, codeword: bytes) -> None:
+        expected = self.spec.k // 8 + self.spec.parity_bytes
+        if len(codeword) != expected:
+            raise ValueError(f"codeword must be {expected} bytes, got {len(codeword)}")
 
     def decode(self, codeword: bytes, strict: bool = True) -> DecodeResult:
         """Correct up to t bit errors in ``codeword`` (message || parity).
@@ -93,22 +120,61 @@ class BCHDecoder:
             words; otherwise return a :class:`DecodeResult` with
             ``success=False`` carrying the uncorrected message bytes.
         """
-        spec = self.spec
-        expected = spec.k // 8 + spec.parity_bytes
-        if len(codeword) != expected:
-            raise ValueError(f"codeword must be {expected} bytes, got {len(codeword)}")
-
-        syndromes = self.syndrome_calculator.syndromes(codeword)
-        message_bytes = spec.k // 8
-
+        self._check_length(codeword)
+        calc = self.syndrome_calculator
+        syndromes = (
+            calc.syndromes_vectorized(codeword)
+            if self.vectorized
+            else calc.syndromes(codeword)
+        )
         if SyndromeCalculator.all_zero(syndromes):
-            self.stats.observe(0, spec.n, failed=False)
+            self.stats.observe(0, self.spec.n, failed=False)
             return DecodeResult(
-                data=bytes(codeword[:message_bytes]),
+                data=bytes(codeword[: self.spec.k // 8]),
                 corrected_bits=0,
                 early_exit=True,
             )
+        return self._correct(codeword, syndromes, strict)
 
+    def decode_batch(
+        self, codewords: Sequence[bytes], strict: bool = True
+    ) -> list[DecodeResult]:
+        """Decode a batch of codewords (same contract as :meth:`decode`).
+
+        All syndromes are computed in one vectorized pass; the error-free
+        early exit is applied across the whole batch at once and only the
+        errored words proceed to Berlekamp-Massey + Chien.
+        """
+        for codeword in codewords:
+            self._check_length(codeword)
+        if not codewords:
+            return []
+        syndromes = self.syndrome_calculator.syndromes_batch(codewords)
+        clean = SyndromeCalculator.all_zero_batch(syndromes)
+        message_bytes = self.spec.k // 8
+        results: list[DecodeResult] = []
+        for b, codeword in enumerate(codewords):
+            if clean[b]:
+                self.stats.observe(0, self.spec.n, failed=False)
+                results.append(
+                    DecodeResult(
+                        data=bytes(codeword[:message_bytes]),
+                        corrected_bits=0,
+                        early_exit=True,
+                    )
+                )
+            else:
+                results.append(
+                    self._correct(codeword, syndromes[b].tolist(), strict)
+                )
+        return results
+
+    def _correct(
+        self, codeword: bytes, syndromes: list[int], strict: bool
+    ) -> DecodeResult:
+        """Shared BM + Chien + bit-flip stage for a nonzero syndrome word."""
+        spec = self.spec
+        message_bytes = spec.k // 8
         bm = berlekamp_massey(spec.field(), syndromes)
         positions = self.chien.error_positions(bm.error_locator)
 

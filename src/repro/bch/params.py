@@ -112,8 +112,14 @@ def generator_polynomial(m: int, t: int) -> int:
     return _generator_polynomial(m, t)
 
 
+@lru_cache(maxsize=None)
 def design_code(k: int, t: int, m: int | None = None) -> BCHCodeSpec:
     """Design a (possibly shortened) BCH code for a k-bit message.
+
+    Memoized at module level: separate codecs, controllers and experiment
+    suites asking for the same (k, t, m) share one frozen
+    :class:`BCHCodeSpec` instead of re-deriving the generator polynomial
+    and minimal-polynomial products each time.
 
     Parameters
     ----------

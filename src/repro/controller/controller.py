@@ -149,10 +149,7 @@ class NandController:
             algorithm=self.device.program_algorithm,
         )
 
-    def read(self, block: int, page: int) -> tuple[bytes, ReadReport]:
-        """Read and correct one page; updates reliability telemetry."""
-        flow = self.fsm.read_page(block, page, strict=self.config.strict_decode)
-        assert flow.decode is not None
+    def _update_telemetry_registers(self) -> None:
         obs = self.codec.observation()
         self.registers.set_named(
             "CORRECTED_BITS", obs.bits_corrected & 0xFFFFFFFF
@@ -160,16 +157,66 @@ class NandController:
         self.registers.set_named(
             "DECODE_FAILURES", obs.words_failed & 0xFFFFFFFF
         )
-        if self.config.self_adaptive or self.registers.get_named("SELF_ADAPTIVE"):
-            decision = self.reliability.after_read(self.device.program_algorithm)
-            if decision is not None and decision.changed:
-                self.apply_config(decision.config.algorithm, decision.config.ecc_t)
-        return flow.data, ReadReport(
+
+    @property
+    def _self_adaptive(self) -> bool:
+        return bool(
+            self.config.self_adaptive
+            or self.registers.get_named("SELF_ADAPTIVE")
+        )
+
+    def _maybe_adapt(self) -> None:
+        decision = self.reliability.after_read(self.device.program_algorithm)
+        if decision is not None and decision.changed:
+            self.apply_config(decision.config.algorithm, decision.config.ecc_t)
+
+    def _read_report(self, flow) -> ReadReport:
+        assert flow.decode is not None
+        return ReadReport(
             latencies=flow.latencies,
             ecc_t=self.codec.t,
             corrected_bits=flow.decode.corrected_bits,
             success=flow.decode.success,
         )
+
+    def read(self, block: int, page: int) -> tuple[bytes, ReadReport]:
+        """Read and correct one page; updates reliability telemetry."""
+        flow = self.fsm.read_page(block, page, strict=self.config.strict_decode)
+        self._update_telemetry_registers()
+        if self._self_adaptive:
+            self._maybe_adapt()
+        return flow.data, self._read_report(flow)
+
+    def write_batch(
+        self, ops: list[tuple[int, int, bytes]]
+    ) -> list[WriteReport]:
+        """Encode and program a batch of pages through the vectorized ECC
+        datapath (one ``encode_batch`` for the whole group)."""
+        flows = self.fsm.write_pages(ops)
+        return [
+            WriteReport(
+                latencies=flow.latencies,
+                ecc_t=self.codec.t,
+                algorithm=self.device.program_algorithm,
+            )
+            for flow in flows
+        ]
+
+    def read_batch(
+        self, addresses: list[tuple[int, int]]
+    ) -> list[tuple[bytes, ReadReport]]:
+        """Read and correct a batch of pages (one ``decode_batch`` per
+        stored capability); telemetry matches per-page :meth:`read`.
+
+        In self-adaptive mode adaptation decisions must observe the
+        telemetry grow page by page (an epoch boundary can fall inside
+        the batch), so that mode keeps the serial flow.
+        """
+        if self._self_adaptive:
+            return [self.read(block, page) for block, page in addresses]
+        flows = self.fsm.read_pages(addresses, strict=self.config.strict_decode)
+        self._update_telemetry_registers()
+        return [(flow.data, self._read_report(flow)) for flow in flows]
 
     def erase(self, block: int) -> float:
         """Erase a block; returns the erase latency."""

@@ -101,6 +101,53 @@ class CoreControllerFsm:
             ),
         )
 
+    def write_pages(
+        self, ops: list[tuple[int, int, bytes]]
+    ) -> list[FlowResult]:
+        """Batched write flow: one codec ``encode_batch`` for all pages.
+
+        Semantically identical to calling :meth:`write_page` per op (same
+        device call order, same latency accounting); the ECC encode of the
+        whole batch runs through the vectorized datapath.
+        """
+        expected = self.device.geometry.page_data_bytes
+        parity_bytes = self.codec.parity_bytes()
+        if not self.spare.fits(parity_bytes):
+            raise ControllerError(
+                f"t={self.codec.t} parity ({parity_bytes} B) exceeds the "
+                f"spare-area budget ({self.spare.parity_budget_bytes} B)"
+            )
+        staged: list[bytes] = []
+        transfers: list[float] = []
+        for _, _, data in ops:
+            if len(data) != expected:
+                raise ControllerError(
+                    f"write data must be one page ({expected} B), "
+                    f"got {len(data)}"
+                )
+            transfers.append(self.ocp.data_burst(len(data)))
+            self.buffer.load(data)
+            staged.append(self.buffer.drain())
+        codewords = self.codec.encode_batch(staged)
+        encode_s = self.codec.encode_latency_s()
+        results = []
+        for (block, page, _), data, codeword, transfer_s in zip(
+            ops, staged, codewords, transfers
+        ):
+            report = self.device.program_page(block, page, codeword)
+            self._written_t[(block, page)] = self.codec.t
+            results.append(
+                FlowResult(
+                    data=data,
+                    latencies=StageLatencies(
+                        transfer_s=transfer_s,
+                        encode_s=encode_s,
+                        program_s=report.latency_s,
+                    ),
+                )
+            )
+        return results
+
     def erase_block(self, block: int) -> float:
         """Erase a block and forget its pages' codeword metadata."""
         report = self.device.erase_block(block)
@@ -127,6 +174,55 @@ class CoreControllerFsm:
                 "stored page shorter than its codeword (corrupt spare area?)"
             )
         result = self.codec.decode(codeword, t=written_t, strict=strict)
+        return self._finish_read(result, report.latency_s, written_t)
+
+    def read_pages(
+        self, addresses: list[tuple[int, int]], strict: bool = True
+    ) -> list[FlowResult]:
+        """Batched read flow: pages sharing a stored capability decode
+        through one ``decode_batch`` call (clean pages early-exit in the
+        vectorized syndrome pass).
+
+        Semantically identical to calling :meth:`read_page` per address.
+        """
+        raws: list[tuple[bytes, float, int]] = []
+        for block, page in addresses:
+            raw, report = self.device.read_page(block, page)
+            written_t = self._written_t.get((block, page))
+            if written_t is None:
+                raise ControllerError(
+                    f"page {block}/{page} holds no ECC-protected data"
+                )
+            raws.append((raw, report.latency_s, written_t))
+        data_bytes = self.device.geometry.page_data_bytes
+        codewords: list[bytes] = []
+        for raw, _, written_t in raws:
+            parity_bytes = self.codec.parity_bytes(written_t)
+            codeword = raw[: data_bytes + parity_bytes]
+            if len(codeword) < data_bytes + parity_bytes:
+                raise ControllerError(
+                    "stored page shorter than its codeword (corrupt spare area?)"
+                )
+            codewords.append(codeword)
+        # Group by stored capability: decode_batch requires a uniform t.
+        groups: dict[int, list[int]] = {}
+        for index, (_, _, written_t) in enumerate(raws):
+            groups.setdefault(written_t, []).append(index)
+        decoded: dict[int, DecodeResult] = {}
+        for written_t, indices in groups.items():
+            batch = self.codec.decode_batch(
+                [codewords[i] for i in indices], t=written_t, strict=strict
+            )
+            decoded.update(zip(indices, batch))
+        return [
+            self._finish_read(decoded[i], raws[i][1], raws[i][2])
+            for i in range(len(addresses))
+        ]
+
+    def _finish_read(
+        self, result: DecodeResult, read_array_s: float, written_t: int
+    ) -> FlowResult:
+        """Latency accounting + OCP-out stage shared by both read flows."""
         decode_s = self.codec.decode_latency_s(
             t=written_t, with_errors=not result.early_exit
         )
@@ -136,7 +232,7 @@ class CoreControllerFsm:
         return FlowResult(
             data=out,
             latencies=StageLatencies(
-                read_array_s=report.latency_s,
+                read_array_s=read_array_s,
                 decode_s=decode_s,
                 transfer_s=transfer_s,
             ),

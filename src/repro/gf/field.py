@@ -61,7 +61,10 @@ class GF2m:
     through all 2^m - 1 nonzero elements.
     """
 
-    __slots__ = ("m", "q", "order", "primitive_poly", "exp", "log", "_exp2")
+    __slots__ = (
+        "m", "q", "order", "primitive_poly", "exp", "log", "_exp2",
+        "_exp2_u16", "_exp2_list", "_log_list",
+    )
 
     def __init__(self, m: int, primitive_poly: int | None = None):
         if not 2 <= m <= 16:
@@ -98,6 +101,10 @@ class GF2m:
         self.log = log
         # Doubled exponent table: avoids the modulo reduction in scalar mul.
         self._exp2 = np.concatenate([exp, exp])
+        # Lazily-built variants for hot paths (see the accessors below).
+        self._exp2_u16 = None
+        self._exp2_list = None
+        self._log_list = None
 
     # -- scalar operations -------------------------------------------------
 
@@ -148,6 +155,29 @@ class GF2m:
 
         return self.order // gcd(self.order, loga)
 
+    # -- hot-path table accessors --------------------------------------------
+
+    @property
+    def exp2_u16(self) -> np.ndarray:
+        """Doubled antilog table as uint16 (halves gather traffic; m <= 16)."""
+        if self._exp2_u16 is None:
+            self._exp2_u16 = self._exp2.astype(np.uint16)
+        return self._exp2_u16
+
+    @property
+    def exp2_list(self) -> list[int]:
+        """Doubled antilog table as a plain list (fast scalar indexing)."""
+        if self._exp2_list is None:
+            self._exp2_list = self._exp2.tolist()
+        return self._exp2_list
+
+    @property
+    def log_list(self) -> list[int]:
+        """Log table as a plain list (fast scalar indexing; log[0] = -1)."""
+        if self._log_list is None:
+            self._log_list = self.log.tolist()
+        return self._log_list
+
     # -- vectorized operations ---------------------------------------------
 
     def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -164,6 +194,15 @@ class GF2m:
         """Vectorized ``alpha**e`` for an array of integer exponents."""
         exponents = np.asarray(exponents, dtype=np.int64) % self.order
         return self.exp[exponents]
+
+    def square_vec(self, a: np.ndarray) -> np.ndarray:
+        """Element-wise field squaring (used for even BCH syndromes)."""
+        a = np.asarray(a, dtype=np.int64)
+        out = np.zeros(a.shape, dtype=np.int64)
+        nz = a != 0
+        # 2*log < 2*order, so the doubled table needs no modulo reduction.
+        out[nz] = self._exp2[2 * self.log[a[nz]]]
+        return out
 
     def eval_poly_vec(self, coeffs: np.ndarray, points_log: np.ndarray) -> np.ndarray:
         """Evaluate a polynomial at many field points simultaneously.
@@ -183,14 +222,31 @@ class GF2m:
         """
         coeffs = np.asarray(coeffs, dtype=np.int64)
         points_log = np.asarray(points_log, dtype=np.int64)
-        acc = np.zeros(points_log.shape, dtype=np.int64)
-        for i, c in enumerate(coeffs):
-            c = int(c)
-            if c == 0:
-                continue
-            exps = (int(self.log[c]) + i * points_log) % self.order
-            acc ^= self.exp[exps]
-        return acc
+        acc16 = np.zeros(points_log.shape, dtype=np.uint16)
+        nz = np.flatnonzero(coeffs)
+        if nz.size == 0:
+            return acc16.astype(np.int64)
+        # All nonzero-coefficient logs in one table pass (no per-item int()).
+        coeff_logs = self.log[coeffs[nz]].astype(np.int32)
+        last = int(nz[-1])
+        order = np.int32(self.order)
+        exp2 = self.exp2_u16
+        # Walk i*points_log mod order incrementally: one add plus one
+        # conditional subtract per degree beats a full modulo per
+        # coefficient, and the two buffers are reused across the loop.
+        pl32 = (points_log % self.order).astype(np.int32)
+        ipl = np.zeros(pl32.shape, dtype=np.int32)
+        scratch = np.empty(pl32.shape, dtype=np.int32)
+        pos = 0
+        for i in range(last + 1):
+            if pos < nz.size and nz[pos] == i:
+                np.add(ipl, coeff_logs[pos], out=scratch)
+                acc16 ^= exp2[scratch]
+                pos += 1
+            if i < last:
+                ipl += pl32
+                np.subtract(ipl, order, out=ipl, where=ipl >= order)
+        return acc16.astype(np.int64)
 
     # -- dunder helpers ------------------------------------------------------
 

@@ -127,6 +127,26 @@ class PageProgrammer:
         targets = self.rng.integers(0, 4, n_cells)
         return self.program_levels(targets, algorithm, pe_cycles)
 
+    def program_random_pages(
+        self,
+        n_cells: int,
+        pages: int,
+        algorithm: IsppAlgorithm = IsppAlgorithm.SV,
+        pe_cycles: float = 0.0,
+    ) -> ProgramOutcome:
+        """Program ``pages`` random pages in one fused ISPP pass.
+
+        All ``pages * n_cells`` cells go through a single vectorized engine
+        call instead of one call per page — the batched feed used by the
+        Monte-Carlo RBER estimators.  The returned outcome concatenates
+        the pages; slice ``levels``/``vth`` in ``n_cells`` strides for
+        per-page analysis.
+        """
+        if pages < 1:
+            raise NandOperationError(f"page count must be >= 1, got {pages}")
+        targets = self.rng.integers(0, 4, pages * n_cells)
+        return self.program_levels(targets, algorithm, pe_cycles)
+
     # -- read-back ---------------------------------------------------------------
 
     def read_vth(self, outcome: ProgramOutcome, pe_cycles: float | None = None) -> np.ndarray:

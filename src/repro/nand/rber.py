@@ -152,18 +152,22 @@ class MonteCarloRber:
             3: [(plan.read[2], -1, 1), (plan.over_program, +1, 2)],
         }
 
+        # One fused ISPP pass programs all pages (batched Monte-Carlo
+        # feed); the per-page, per-level Gaussian fits below slice it back.
+        outcome = self.programmer.program_random_pages(
+            n_cells, pages, algorithm, pe_cycles
+        )
         tail_err_bits = 0.0
         outlier_err_bits = 0.0
-        total_bits = 0
+        total_bits = 2 * n_cells * pages
         sigmas = []
-        for _ in range(pages):
-            outcome = self.programmer.program_random_page(
-                n_cells, algorithm, pe_cycles
-            )
-            total_bits += 2 * n_cells
+        for page in range(pages):
+            cells = slice(page * n_cells, (page + 1) * n_cells)
+            page_levels = outcome.levels[cells]
+            page_vth = outcome.vth[cells]
             for level in range(4):
-                mask = outcome.levels == level
-                values = outcome.vth[mask]
+                mask = page_levels == level
+                values = page_vth[mask]
                 if values.size < 8:
                     continue
                 mean = float(values.mean())
@@ -209,12 +213,7 @@ class MonteCarloRber:
         pages: int = 4,
     ) -> float:
         """Direct error counting (meaningful only when RBER * bits >> 1)."""
-        errors = 0
-        bits = 0
-        for _ in range(pages):
-            outcome = self.programmer.program_random_page(
-                n_cells, algorithm, pe_cycles
-            )
-            errors += self.programmer.count_bit_errors(outcome)
-            bits += 2 * n_cells
-        return errors / bits
+        outcome = self.programmer.program_random_pages(
+            n_cells, pages, algorithm, pe_cycles
+        )
+        return self.programmer.count_bit_errors(outcome) / (2 * n_cells * pages)

@@ -18,11 +18,19 @@ from repro.workloads.traces import TraceOp, TraceOpKind
 
 @dataclass
 class HostWorkload:
-    """One host stream: a named sequence of trace operations."""
+    """One host stream: a named sequence of trace operations.
+
+    ``batch_pages`` > 1 groups runs of consecutive same-kind reads or
+    writes and issues them through the controller's batched ECC datapath
+    (``read_batch`` / ``write_batch``) — the host-side analogue of a deep
+    I/O queue.  Latency accounting and statistics are identical to the
+    serial flow; only the software encode/decode work is batched.
+    """
 
     name: str
     operations: list[TraceOp]
     think_time_s: float = 0.0
+    batch_pages: int = 1
 
 
 @dataclass
@@ -46,27 +54,58 @@ class WorkloadResult:
         return self.stats.write_mb_s(self.elapsed_s)
 
 
+def _batched_ops(operations: list[TraceOp], batch_pages: int):
+    """Split a trace into runs of consecutive same-kind ops (<= batch)."""
+    group: list[TraceOp] = []
+    for op in operations:
+        if group and (op.kind is not group[0].kind or len(group) >= batch_pages):
+            yield group
+            group = []
+        group.append(op)
+    if group:
+        yield group
+
+
 def _host_process(
     controller: NandController,
     workload: HostWorkload,
     result: WorkloadResult,
 ) -> Process:
     page_bytes = controller.geometry.page_data_bytes
-    for op in workload.operations:
-        if op.kind is TraceOpKind.WRITE:
-            report = controller.write(op.block, op.page, op.data)
-            latency = report.latencies.total_s
-            result.stats.observe_write(page_bytes, latency)
-        elif op.kind is TraceOpKind.READ:
-            _, report = controller.read(op.block, op.page)
-            latency = report.latencies.total_s
-            result.stats.observe_read(page_bytes, latency)
-            result.corrected_bits += report.corrected_bits
-            if not report.success:
-                result.uncorrectable_pages += 1
-        else:  # ERASE
-            latency = controller.erase(op.block)
-        yield latency + workload.think_time_s
+    batch_pages = max(1, workload.batch_pages)
+    for group in _batched_ops(workload.operations, batch_pages):
+        kind = group[0].kind
+        latency = 0.0
+        if kind is TraceOpKind.WRITE:
+            if len(group) == 1:
+                reports = [controller.write(group[0].block, group[0].page,
+                                            group[0].data)]
+            else:
+                reports = controller.write_batch(
+                    [(op.block, op.page, op.data) for op in group]
+                )
+            for report in reports:
+                op_latency = report.latencies.total_s
+                result.stats.observe_write(page_bytes, op_latency)
+                latency += op_latency
+        elif kind is TraceOpKind.READ:
+            if len(group) == 1:
+                reads = [controller.read(group[0].block, group[0].page)]
+            else:
+                reads = controller.read_batch(
+                    [(op.block, op.page) for op in group]
+                )
+            for _, report in reads:
+                op_latency = report.latencies.total_s
+                result.stats.observe_read(page_bytes, op_latency)
+                result.corrected_bits += report.corrected_bits
+                if not report.success:
+                    result.uncorrectable_pages += 1
+                latency += op_latency
+        else:  # ERASE (never grouped with data ops; issue one at a time)
+            for op in group:
+                latency += controller.erase(op.block)
+        yield latency + len(group) * workload.think_time_s
 
 
 def run_host_workload(

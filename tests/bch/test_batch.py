@@ -1,0 +1,138 @@
+"""Property tests: batch/vectorized kernels agree bit-for-bit with the
+scalar reference across capabilities and error weights (0..t+2, i.e.
+including uncorrectable words)."""
+
+import numpy as np
+import pytest
+
+from repro.bch.decoder import BCHDecoder, DecoderStats
+from repro.bch.encoder import BCHEncoder
+from repro.bch.codec import AdaptiveBCHCodec
+from repro.bch.params import design_code
+from repro.errors import DecodingFailure
+from tests.conftest import flip_bits
+
+#: (k, t) matrix covering the required t range; page-sized at high t.
+SPECS = [(1024, 1), (1024, 3), (8192, 14), (32768, 65)]
+
+
+def _random_weights(t: int, rng: np.random.Generator, samples: int = 6):
+    """Random error weights drawn from 0..t+2 (always includes the ends)."""
+    extremes = [0, 1, t, t + 2]
+    drawn = rng.integers(0, t + 3, size=samples).tolist()
+    return sorted(set(extremes + drawn))
+
+
+@pytest.mark.parametrize("k,t", SPECS)
+class TestBatchAgainstScalar:
+    def test_encode_batch_matches_scalar(self, k, t, rng):
+        encoder = BCHEncoder(design_code(k, t))
+        messages = [rng.bytes(k // 8) for _ in range(5)]
+        assert encoder.encode_batch(messages) == [
+            encoder.encode(m) for m in messages
+        ]
+        assert encoder.encode_codeword_batch(messages) == [
+            encoder.encode_codeword(m) for m in messages
+        ]
+
+    def test_syndromes_vectorized_and_batch_match_reference(self, k, t, rng):
+        spec = design_code(k, t)
+        encoder = BCHEncoder(spec)
+        calc = BCHDecoder(spec).syndrome_calculator
+        words = []
+        for weight in _random_weights(t, rng):
+            codeword = encoder.encode_codeword(rng.bytes(k // 8))
+            positions = rng.choice(
+                spec.n_stored, size=weight, replace=False
+            ).tolist()
+            words.append(flip_bits(codeword, positions))
+        batch = calc.syndromes_batch(words)
+        for row, word in zip(batch, words):
+            reference = calc.syndromes(word)
+            assert calc.syndromes_vectorized(word) == reference
+            assert row.tolist() == reference
+
+    def test_decode_batch_matches_scalar_permissive(self, k, t, rng):
+        spec = design_code(k, t)
+        encoder = BCHEncoder(spec)
+        batch_decoder = BCHDecoder(spec)
+        scalar_decoder = BCHDecoder(spec, vectorized=False)
+        words = []
+        for weight in _random_weights(t, rng):
+            codeword = encoder.encode_codeword(rng.bytes(k // 8))
+            positions = rng.choice(
+                spec.n_stored, size=weight, replace=False
+            ).tolist()
+            words.append(flip_bits(codeword, positions))
+        batch_results = batch_decoder.decode_batch(words, strict=False)
+        for word, batch_result in zip(words, batch_results):
+            scalar_result = scalar_decoder.decode(word, strict=False)
+            assert scalar_result.data == batch_result.data
+            assert scalar_result.corrected_bits == batch_result.corrected_bits
+            assert (scalar_result.error_positions
+                    == batch_result.error_positions)
+            assert scalar_result.success == batch_result.success
+            assert scalar_result.early_exit == batch_result.early_exit
+        # Aggregate decoder telemetry also agrees word-for-word.
+        assert batch_decoder.stats == scalar_decoder.stats
+
+
+class TestBatchBehaviour:
+    def test_decode_batch_strict_raises(self, medium_spec, rng):
+        encoder = BCHEncoder(medium_spec)
+        decoder = BCHDecoder(medium_spec)
+        clean = encoder.encode_codeword(rng.bytes(medium_spec.k // 8))
+        hopeless = flip_bits(
+            clean,
+            rng.choice(
+                medium_spec.n_stored,
+                size=medium_spec.t + 2,
+                replace=False,
+            ).tolist(),
+        )
+        with pytest.raises(DecodingFailure):
+            decoder.decode_batch([clean, hopeless], strict=True)
+
+    def test_decode_batch_empty(self, medium_spec):
+        assert BCHDecoder(medium_spec).decode_batch([]) == []
+
+    def test_decode_batch_early_exit_flags(self, medium_spec, rng):
+        encoder = BCHEncoder(medium_spec)
+        decoder = BCHDecoder(medium_spec)
+        clean = encoder.encode_codeword(rng.bytes(medium_spec.k // 8))
+        dirty = flip_bits(clean, [7])
+        results = decoder.decode_batch([clean, dirty, clean])
+        assert [r.early_exit for r in results] == [True, False, True]
+        assert decoder.stats.words_clean == 2
+
+    def test_codec_batch_roundtrip_and_telemetry(self, rng):
+        batch_codec = AdaptiveBCHCodec(k=1024, t_max=8)
+        scalar_codec = AdaptiveBCHCodec(k=1024, t_max=8)
+        for codec in (batch_codec, scalar_codec):
+            codec.set_correction_capability(8)
+        spec = batch_codec.spec
+        messages = [rng.bytes(128) for _ in range(6)]
+        codewords = batch_codec.encode_batch(messages)
+        assert codewords == [scalar_codec.encode(m) for m in messages]
+        corrupted = [
+            flip_bits(
+                cw,
+                rng.choice(spec.n_stored, size=w, replace=False).tolist(),
+            )
+            for cw, w in zip(codewords, [0, 1, 3, 8, 9, 10])
+        ]
+        batch_results = batch_codec.decode_batch(corrupted, strict=False)
+        scalar_results = [
+            scalar_codec.decode(cw, strict=False) for cw in corrupted
+        ]
+        for batch_result, scalar_result in zip(batch_results, scalar_results):
+            assert batch_result.data == scalar_result.data
+            assert batch_result.success == scalar_result.success
+        assert batch_codec.observation() == scalar_codec.observation()
+
+    def test_stats_deque_bounded(self):
+        stats = DecoderStats()
+        for i in range(3000):
+            stats.observe(i % 4, 1024, failed=False)
+        assert len(stats.recent_error_counts) == 1024
+        assert stats.words_decoded == 3000
