@@ -1,0 +1,293 @@
+"""Device datapath throughput: serial seed path vs batched ``read_pages``.
+
+Measures NAND-device page read and program throughput (MB/s over the
+full page footprint) at batch sizes 1/16/64/256 and three lifetime
+points (fresh, midlife 1e4, end-of-life 1e5 P/E cycles — RBER spans
+~1e-5..1e-3 on the ISPP-SV curve).
+
+The serial reference is a faithful replica of the seed storage
+substrate: ``dict[int, bytes]`` page store, per-position Python loop for
+error injection, ``dict[int, _PageMeta]`` metadata and scalar RBER /
+read-disturb arithmetic per page.  The batch path is the array-backed
+store with vectorized RBER + skip-sampling injection.  Outputs are
+cross-checked byte-identical at RBER = 0 before timing.  Run standalone
+(``python benchmarks/bench_device_throughput.py``) or through pytest;
+the full sweep is marked ``slow`` and ``--quick`` shrinks repetitions.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.nand.device import NandFlashDevice, OperationReport, ReadDisturbParams
+from repro.nand.geometry import NandGeometry
+from repro.nand.ispp import IsppAlgorithm
+from repro.nand.rber import LifetimeRberModel
+from repro.nand.timing import NandTimingModel
+
+BATCH_SIZES = (1, 16, 64, 256)
+WEAR_POINTS = (0.0, 1e4, 1e5)
+
+#: Acceptance floor: batched reads at batch 64, end-of-life RBER.
+MIN_READ_SPEEDUP = 5.0
+
+
+# -- serial seed-path replica ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _PageMeta:
+    algorithm: IsppAlgorithm
+    programmed_at_wear: int
+
+
+class _SeedDevice:
+    """The pre-refactor device datapath: dict store + per-bit Python loop."""
+
+    def __init__(self, geometry: NandGeometry, rng: np.random.Generator):
+        self.geometry = geometry
+        self.rng = rng
+        self._pages: dict[int, bytes] = {}
+        self._wear = np.zeros(geometry.blocks, dtype=np.int64)
+        self._reads_since_erase = np.zeros(geometry.blocks, dtype=np.int64)
+        self.rber_model = LifetimeRberModel()
+        self.timing = NandTimingModel()
+        self.disturb = ReadDisturbParams()
+        self._algorithm = IsppAlgorithm.SV
+        self._page_meta: dict[int, _PageMeta] = {}
+        self._timing_cache: dict[tuple[IsppAlgorithm, int], float] = {}
+
+    def _flat(self, block: int, page: int) -> int:
+        return block * self.geometry.pages_per_block + page
+
+    def _program_time_s(self, pe_cycles: float) -> float:
+        decade = 0 if pe_cycles < 1 else int(math.floor(math.log10(pe_cycles)))
+        # Timing-model Monte-Carlo elided (identical cached cost on both
+        # paths); a constant keeps the comparison about the datapath.
+        return self._timing_cache.setdefault((self._algorithm, decade), 600e-6)
+
+    def program_page(self, block: int, page: int, data: bytes) -> OperationReport:
+        flat = self._flat(block, page)
+        if flat in self._pages:
+            raise RuntimeError("already programmed")
+        self._pages[flat] = bytes(data)
+        wear = int(self._wear[block])
+        self._page_meta[flat] = _PageMeta(self._algorithm, wear)
+        return OperationReport(
+            latency_s=self._program_time_s(wear), algorithm=self._algorithm
+        )
+
+    def read_array(self, block: int, page: int, rber: float) -> bytes:
+        """The seed ``NandArray.read_page``: binomial + per-position loop."""
+        flat = self._flat(block, page)
+        self._reads_since_erase[block] += 1
+        stored = self._pages.get(flat)
+        if stored is None:
+            return bytes([0xFF]) * self.geometry.page_bytes
+        if rber <= 0.0:
+            return stored
+        n_bits = len(stored) * 8
+        n_errors = int(self.rng.binomial(n_bits, rber))
+        if n_errors == 0:
+            return stored
+        corrupted = bytearray(stored)
+        for pos in self.rng.choice(n_bits, size=n_errors, replace=False):
+            corrupted[pos // 8] ^= 0x80 >> (pos % 8)
+        return bytes(corrupted)
+
+    def read_page(self, block: int, page: int) -> tuple[bytes, OperationReport]:
+        flat = self._flat(block, page)
+        meta = self._page_meta.get(flat)
+        if meta is None:
+            data = self.read_array(block, page, 0.0)
+            return data, OperationReport(latency_s=self.timing.read_time_s())
+        rber = self.rber_model.rber(meta.algorithm, int(self._wear[block]))
+        rber *= self.disturb.factor(int(self._reads_since_erase[block]))
+        data = self.read_array(block, page, rber)
+        return data, OperationReport(
+            latency_s=self.timing.read_time_s(),
+            rber=rber,
+            algorithm=meta.algorithm,
+        )
+
+    def erase_block(self, block: int) -> None:
+        start = block * self.geometry.pages_per_block
+        for flat in range(start, start + self.geometry.pages_per_block):
+            self._pages.pop(flat, None)
+            self._page_meta.pop(flat, None)
+        self._wear[block] += 1
+        self._reads_since_erase[block] = 0
+
+
+# -- harness -------------------------------------------------------------------
+
+
+def _geometry(pages: int) -> NandGeometry:
+    blocks = max(2, (pages + 63) // 64)
+    return NandGeometry(blocks=blocks, pages_per_block=64)
+
+
+def _addresses(geometry: NandGeometry, pages: int) -> list[tuple[int, int]]:
+    return [divmod(i, geometry.pages_per_block) for i in range(pages)]
+
+
+def _mb_s(pages: int, page_bytes: int, seconds: float) -> float:
+    return pages * page_bytes / max(seconds, 1e-12) / 1e6
+
+
+def _fill(device, addresses, payloads) -> None:
+    for (block, page), data in zip(addresses, payloads):
+        device.program_page(block, page, data)
+
+
+def _crosscheck_zero_rber(pages: int = 32) -> None:
+    """Batch reads must be byte-identical to serial reads at RBER = 0."""
+    geometry = _geometry(pages)
+    addresses = _addresses(geometry, pages)
+    rng = np.random.default_rng(1)
+    payloads = [rng.bytes(geometry.page_bytes) for _ in range(pages)]
+    seed = _SeedDevice(geometry, np.random.default_rng(2))
+    new = NandFlashDevice(geometry, rng=np.random.default_rng(2))
+    _fill(seed, addresses, payloads)
+    new.program_pages(addresses, payloads)
+    raw = new.array.read_pages(
+        np.arange(pages, dtype=np.int64), np.zeros(pages)
+    )
+    for row, (block, page) in zip(raw, addresses):
+        reference = seed.read_array(block, page, 0.0)
+        assert row.tobytes() == reference, "zero-RBER read mismatch"
+
+
+def _bench_reads(wear: float, batch: int, reps: int) -> dict:
+    geometry = _geometry(batch)
+    addresses = _addresses(geometry, batch)
+    rng = np.random.default_rng(99)
+    payloads = [rng.bytes(geometry.page_bytes) for _ in range(batch)]
+
+    seed = _SeedDevice(geometry, np.random.default_rng(5))
+    new = NandFlashDevice(geometry, rng=np.random.default_rng(5))
+    seed._wear[:] = int(wear)
+    new.array._wear[:] = int(wear)
+    _fill(seed, addresses, payloads)
+    new.program_pages(addresses, payloads)
+
+    rber = seed.rber_model.rber_sv(wear)
+    seed_best = new_best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        for block, page in addresses:
+            seed.read_page(block, page)
+        seed_best = min(seed_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        new.read_pages(addresses)
+        new_best = min(new_best, time.perf_counter() - start)
+    return {
+        "wear": wear,
+        "rber": rber,
+        "batch": batch,
+        "serial_mb_s": _mb_s(batch, geometry.page_bytes, seed_best),
+        "batch_mb_s": _mb_s(batch, geometry.page_bytes, new_best),
+    }
+
+
+def _bench_programs(batch: int, reps: int) -> dict:
+    geometry = _geometry(batch)
+    addresses = _addresses(geometry, batch)
+    rng = np.random.default_rng(7)
+    payloads = [rng.bytes(geometry.page_bytes) for _ in range(batch)]
+    seed = _SeedDevice(geometry, np.random.default_rng(8))
+    new = NandFlashDevice(geometry, rng=np.random.default_rng(8))
+    new.program_pages(addresses[:1], payloads[:1])  # warm the timing cache
+    new.erase_block(0)
+    seed_best = new_best = float("inf")
+    for _ in range(reps):
+        for block in range(geometry.blocks):
+            seed.erase_block(block)
+            new.erase_block(block)
+        start = time.perf_counter()
+        for (block, page), data in zip(addresses, payloads):
+            seed.program_page(block, page, data)
+        seed_best = min(seed_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        new.program_pages(addresses, payloads)
+        new_best = min(new_best, time.perf_counter() - start)
+    return {
+        "batch": batch,
+        "serial_mb_s": _mb_s(batch, geometry.page_bytes, seed_best),
+        "batch_mb_s": _mb_s(batch, geometry.page_bytes, new_best),
+    }
+
+
+def run_benchmark(reps: int = 5) -> tuple[str, dict]:
+    """Full sweep; returns (report text, read speedups by (wear, batch))."""
+    _crosscheck_zero_rber()
+    lines = [
+        "Device datapath throughput, serial seed path (dict store, "
+        "per-position loop) vs batched read_pages/program_pages",
+        "(MB/s over the full page footprint, best of "
+        f"{reps} repetitions)",
+        "",
+        "READS",
+        f"{'pe_cycles':>10} {'RBER':>9} {'batch':>6} {'serial MB/s':>12} "
+        f"{'batch MB/s':>11} {'speedup':>8}",
+    ]
+    read_speedups: dict = {}
+    for wear in WEAR_POINTS:
+        for batch in BATCH_SIZES:
+            row = _bench_reads(wear, batch, reps)
+            speedup = row["batch_mb_s"] / row["serial_mb_s"]
+            read_speedups[(wear, batch)] = speedup
+            lines.append(
+                f"{row['wear']:>10.0f} {row['rber']:>9.1e} {row['batch']:>6} "
+                f"{row['serial_mb_s']:>12.1f} {row['batch_mb_s']:>11.1f} "
+                f"{speedup:>7.1f}x"
+            )
+    lines += [
+        "",
+        "PROGRAMS",
+        f"{'batch':>6} {'serial MB/s':>12} {'batch MB/s':>11} {'speedup':>8}",
+    ]
+    for batch in BATCH_SIZES:
+        row = _bench_programs(batch, reps)
+        speedup = row["batch_mb_s"] / row["serial_mb_s"]
+        lines.append(
+            f"{row['batch']:>6} {row['serial_mb_s']:>12.1f} "
+            f"{row['batch_mb_s']:>11.1f} {speedup:>7.1f}x"
+        )
+    return "\n".join(lines) + "\n", read_speedups
+
+
+def _save(text: str) -> None:
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "device_throughput.txt").write_text(text)
+    print("\n" + text)
+
+
+@pytest.mark.slow
+def test_device_throughput(quick):
+    """Record the device-path trajectory and enforce the batch floor."""
+    text, speedups = run_benchmark(reps=3 if quick else 5)
+    _save(text)
+    eol = WEAR_POINTS[-1]
+    assert speedups[(eol, 64)] >= MIN_READ_SPEEDUP, (
+        f"batch-64 EOL read speedup {speedups[(eol, 64)]:.1f}x below the "
+        f"{MIN_READ_SPEEDUP:.0f}x floor"
+    )
+
+
+if __name__ == "__main__":
+    report, speedups = run_benchmark(reps=3 if "--quick" in sys.argv else 5)
+    _save(report)
+    eol_speedup = speedups[(WEAR_POINTS[-1], 64)]
+    ok = eol_speedup >= MIN_READ_SPEEDUP
+    print(f"batch-64 EOL read floor ({MIN_READ_SPEEDUP:.0f}x): "
+          f"{eol_speedup:.1f}x {'PASS' if ok else 'FAIL'}")
+    sys.exit(0 if ok else 1)

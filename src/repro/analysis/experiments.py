@@ -88,21 +88,35 @@ class ExperimentSuite:
     def ecc_mc_batch(self, rber: float, t: int, pages: int) -> dict:
         """Push one batch of pages through the real codec at the given RBER.
 
-        Random pages are encoded with ``encode_batch``, corrupted with
-        i.i.d. bit flips at ``rber``, and decoded with ``decode_batch``
-        (permissive) — the software analogue of one Monte-Carlo UBER
-        sample batch.  Returns summary statistics.
+        Random pages are encoded with ``encode_batch``, stored in a
+        scratch :class:`~repro.nand.array.NandArray` and read back through
+        its batched error-injection kernel at ``rber``, then decoded with
+        ``decode_batch`` (permissive) — one Monte-Carlo UBER sample batch
+        through the same storage substrate the system simulation uses.
+        Returns summary statistics.
         """
+        from repro.nand.array import NandArray
+        from repro.nand.geometry import NandGeometry
+
         spec = self.codec.spec_for(t)
         messages = [self.rng.bytes(spec.k // 8) for _ in range(pages)]
         codewords = self.codec.encode_batch(messages, t=t)
-        corrupted = []
-        injected = []
-        for codeword in codewords:
-            bits = np.unpackbits(np.frombuffer(codeword, dtype=np.uint8))
-            flips = self.rng.random(spec.n_stored) < rber
-            injected.append(int(flips.sum()))
-            corrupted.append(np.packbits(bits ^ flips).tobytes())
+        word_bytes = len(codewords[0])
+        scratch = NandArray(
+            NandGeometry(
+                blocks=1, pages_per_block=pages,
+                page_data_bytes=word_bytes, page_spare_bytes=0,
+            ),
+            self.rng,
+        )
+        flats = np.arange(pages)
+        scratch.program_pages(flats, codewords)
+        raw = scratch.read_pages(flats, np.full(pages, rber))
+        reference = np.frombuffer(
+            b"".join(codewords), dtype=np.uint8
+        ).reshape(pages, word_bytes)
+        injected = np.unpackbits(raw ^ reference, axis=1).sum(axis=1)
+        corrupted = [row.tobytes() for row in raw]
         results = self.codec.decode_batch(corrupted, t=t, strict=False)
         recovered = sum(
             1
@@ -113,7 +127,7 @@ class ExperimentSuite:
             "rber": rber,
             "t": t,
             "pages": pages,
-            "mean_injected": float(np.mean(injected)) if injected else 0.0,
+            "mean_injected": float(injected.mean()) if injected.size else 0.0,
             "mean_corrected": float(
                 np.mean([r.corrected_bits for r in results])
             ),
@@ -746,14 +760,20 @@ class ExperimentSuite:
         latencies: dict[str, dict[str, float]] = {}
         for name in ("vault", "media", "misc"):
             ns = storage.namespace(name)
-            write_s = read_s = 0.0
             writes = min(8, ns.logical_capacity)
-            for lpn in range(writes):
-                write_s += storage.write(name, lpn, random_page(4096, rng))
+            # Whole namespaces stream through the batched FTL datapath
+            # (one allocation pass + encode_batch per write burst, one
+            # read_pages + decode_batch per read pass).
+            write_s = sum(storage.write_many(
+                name,
+                [(lpn, random_page(4096, rng)) for lpn in range(writes)],
+            ))
+            read_s = 0.0
             for _ in range(3):
-                for lpn in range(writes):
-                    _, latency = storage.read(name, lpn)
-                    read_s += latency
+                read_s += sum(
+                    latency
+                    for _, latency in storage.read_many(name, list(range(writes)))
+                )
             latencies[name] = {
                 "write_us": write_s / writes * 1e6,
                 "read_us": read_s / (3 * writes) * 1e6,
@@ -784,7 +804,15 @@ class ExperimentSuite:
         )
 
     def run_system_des(self) -> ExperimentResult:
-        """End-to-end controller simulation on the motivating workloads."""
+        """End-to-end controller simulation on the motivating workloads.
+
+        Each workload runs twice: straight into the controller (physical
+        addressing) and through an FTL (logical addressing with
+        out-of-place updates), both on the batched datapath.
+        """
+        from repro.ftl.ftl import FlashTranslationLayer
+        from repro.sim.host import run_ftl_workload
+
         rows = []
         for mode in (OperatingMode.BASELINE, OperatingMode.MAX_READ_THROUGHPUT):
             for name, trace in (
@@ -800,12 +828,22 @@ class ExperimentSuite:
                 result = run_host_workload(
                     controller, HostWorkload(name, trace, batch_pages=8)
                 )
+                ftl_controller = NandController(
+                    policy=self.policy, rng=np.random.default_rng(99)
+                )
+                ftl_controller.set_mode(mode)
+                ftl_result = run_ftl_workload(
+                    FlashTranslationLayer(ftl_controller, blocks=[0, 1]),
+                    HostWorkload(name, trace, batch_pages=8),
+                )
                 rows.append([
                     mode.value, name, result.read_mb_s, result.write_mb_s,
+                    ftl_result.read_mb_s, ftl_result.write_mb_s,
                     result.corrected_bits, result.uncorrectable_pages,
                 ])
         table = format_table(
             ["mode", "workload", "read MB/s", "write MB/s",
+             "FTL read MB/s", "FTL write MB/s",
              "corrected bits", "uncorrectable"],
             rows,
         )
@@ -816,7 +854,8 @@ class ExperimentSuite:
             data={"rows": rows},
             notes=(
                 "read-dominated workloads gain from max-read mode; "
-                "write-heavy ones pay the ISPP-DV program-time penalty"
+                "write-heavy ones pay the ISPP-DV program-time penalty; "
+                "the FTL columns add map/GC overhead on the same traces"
             ),
         )
 

@@ -6,14 +6,17 @@ paper's r-bit LFSR does.  Two datapaths share the same math:
 * **Scalar** (:meth:`BCHEncoder.parity_int` / :meth:`encode`): a
   byte-at-a-time precomputed reduction table over a big-int LFSR state,
   kept as the cross-checked reference.
-* **Batched slicing-by-8** (:meth:`BCHEncoder.encode_batch`): the whole
-  batch of messages advances in lockstep through a word-sliced LFSR.  The
-  r-bit state of every message lives in one ``(B, ceil(r/64))`` uint64
-  numpy array; each step absorbs 8 message bytes at once by folding the
-  state's top word with the next message word and XOR-ing eight chunked
-  256-entry reduction tables ``T_p[v] = v(x) * x^(r + 8*(7-p)) mod g``.
-  Per message-byte work shrinks from one Python big-int update to 1/8th
-  of a handful of vectorized ops shared by the batch.
+* **Batched word-sliced LFSR** (:meth:`BCHEncoder.encode_batch`): the
+  whole batch of messages advances in lockstep through a word-sliced
+  LFSR.  The r-bit state of every message lives in one
+  ``(B, ceil(r/64))`` uint64 numpy array; each step absorbs a slice of
+  S message bytes at once by folding the state's top S/8 words with the
+  next message words and XOR-ing S chunked 256-entry reduction tables
+  ``T_p[v] = v(x) * x^(r + 8*(S-1-p)) mod g``.  Codes with r >= 128
+  parity bits slice by 16 bytes (two words per step — half the Python
+  loop iterations); smaller codes with r >= 64 slice by 8.  Per
+  message-byte work shrinks from one Python big-int update to 1/S-th of
+  a handful of vectorized ops shared by the batch.
 
 Bit convention: the MSB of the first message byte is the highest-degree
 coefficient; the codeword is ``message || parity``.
@@ -29,8 +32,10 @@ from repro.bch.params import BCHCodeSpec
 from repro.errors import CodeDesignError
 from repro.gf.poly2 import poly2_mod
 
-#: Message bytes absorbed per batched LFSR step (slicing-by-N).
+#: Message bytes absorbed per batched LFSR step (slicing-by-N); wide
+#: slices need at least two full 64-bit state words (r >= 128).
 _SLICE_BYTES = 8
+_WIDE_SLICE_BYTES = 16
 
 
 class BCHEncoder:
@@ -46,8 +51,9 @@ class BCHEncoder:
         self._shift = spec.r - 8
         # table[v] = (v(x) * x^r) mod g(x) for each byte value v.
         self._table = [poly2_mod(v << spec.r, spec.generator) for v in range(256)]
-        # Lazily-built slicing-by-8 tables for the batched datapath.
-        self._slice_tables: list[np.ndarray] | None = None
+        # Lazily-built slicing tables for the batched datapath, keyed by
+        # slice width in bytes.
+        self._slice_tables: dict[int, list[np.ndarray]] = {}
 
     def parity_int(self, message: bytes) -> int:
         """Parity bits as an integer polynomial (bit i = coeff of x^i)."""
@@ -92,6 +98,21 @@ class BCHEncoder:
     # -- batched slicing-by-8 datapath ----------------------------------------
 
     @property
+    def slice_bytes(self) -> int:
+        """Message bytes absorbed per batched LFSR step for this code.
+
+        Codes with r >= 128 (at least two 64-bit state words) and a
+        message splitting into 128-bit chunks run the wide 16-byte slice;
+        otherwise the 8-byte slice applies.
+        """
+        if (
+            self.spec.r >= 8 * _WIDE_SLICE_BYTES
+            and self.spec.k % (8 * _WIDE_SLICE_BYTES) == 0
+        ):
+            return _WIDE_SLICE_BYTES
+        return _SLICE_BYTES
+
+    @property
     def supports_batch_kernel(self) -> bool:
         """Whether the word-sliced kernel applies to this code's shape.
 
@@ -101,20 +122,20 @@ class BCHEncoder:
         """
         return self.spec.r >= 64 and self.spec.k % 64 == 0
 
-    def _batch_tables(self) -> list[np.ndarray]:
-        """Chunked reduction tables: T_p[v] = v * x^(r + 8*(7-p)) mod g.
+    def _batch_tables(self, slice_bytes: int) -> list[np.ndarray]:
+        """Chunked reduction tables: T_p[v] = v * x^(r + 8*(S-1-p)) mod g.
 
         Rows are left-aligned into ``ceil(r/64)`` uint64 words and
         byteswapped so word 0 holds the polynomial's top 64 bits as a
         native integer (the quantity folded with incoming message words).
         """
-        if self._slice_tables is None:
+        if slice_bytes not in self._slice_tables:
             r, g = self.spec.r, self.spec.generator
             state_words = (r + 63) // 64
             align = 64 * state_words - r
             tables = []
-            for p in range(_SLICE_BYTES):
-                shift = r + 8 * (_SLICE_BYTES - 1 - p)
+            for p in range(slice_bytes):
+                shift = r + 8 * (slice_bytes - 1 - p)
                 rows = b"".join(
                     (poly2_mod(v << shift, g) << align).to_bytes(
                         8 * state_words, "big"
@@ -128,14 +149,16 @@ class BCHEncoder:
                     .astype(np.uint64)
                 )
                 tables.append(table)
-            self._slice_tables = tables
-        return self._slice_tables
+            self._slice_tables[slice_bytes] = tables
+        return self._slice_tables[slice_bytes]
 
     def _parity_batch_kernel(self, messages: Sequence[bytes]) -> list[bytes]:
         """Lockstep LFSR over the whole batch; returns stored parity bytes."""
         spec = self.spec
         batch = len(messages)
-        tables = self._batch_tables()
+        slice_bytes = self.slice_bytes
+        slice_words = slice_bytes // 8
+        tables = self._batch_tables(slice_bytes)
         state_words = (spec.r + 63) // 64
         raw = np.frombuffer(b"".join(messages), dtype=np.uint8)
         chunks = (
@@ -144,17 +167,20 @@ class BCHEncoder:
             .astype(np.uint64)
         )
         state = np.zeros((batch, state_words), dtype=np.uint64)
-        u = np.empty(batch, dtype=np.uint64)
+        u = np.empty((batch, slice_words), dtype=np.uint64)
         byte_mask = np.uint64(0xFF)
-        for i in range(chunks.shape[1]):
-            # Fold the state's top word with the next 8 message bytes...
-            np.bitwise_xor(state[:, 0], chunks[:, i], out=u)
-            # ...shift the state left one word (x^64)...
-            state[:, :-1] = state[:, 1:]
-            state[:, -1] = 0
-            # ...and reduce the folded word byte-by-byte through the tables.
-            for p in range(_SLICE_BYTES):
-                idx = (u >> np.uint64(8 * (_SLICE_BYTES - 1 - p))) & byte_mask
+        for i in range(0, chunks.shape[1], slice_words):
+            # Fold the state's top words with the next S message bytes...
+            np.bitwise_xor(
+                state[:, :slice_words], chunks[:, i:i + slice_words], out=u
+            )
+            # ...shift the state left by the slice (x^(8*S))...
+            state[:, :-slice_words] = state[:, slice_words:]
+            state[:, -slice_words:] = 0
+            # ...and reduce the folded words byte-by-byte through the
+            # tables (byte p of the slice lives in word p//8 of u).
+            for p in range(slice_bytes):
+                idx = (u[:, p // 8] >> np.uint64(8 * (7 - p % 8))) & byte_mask
                 state ^= tables[p][idx.astype(np.intp)]
         # Left-aligned state words == parity << pad_bits within the first
         # parity_bytes of the big-endian byte stream.

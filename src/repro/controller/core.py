@@ -130,11 +130,13 @@ class CoreControllerFsm:
             staged.append(self.buffer.drain())
         codewords = self.codec.encode_batch(staged)
         encode_s = self.codec.encode_latency_s()
+        reports = self.device.program_pages(
+            [(block, page) for block, page, _ in ops], codewords
+        )
         results = []
-        for (block, page, _), data, codeword, transfer_s in zip(
-            ops, staged, codewords, transfers
+        for (block, page, _), data, report, transfer_s in zip(
+            ops, staged, reports, transfers
         ):
-            report = self.device.program_page(block, page, codeword)
             self._written_t[(block, page)] = self.codec.t
             results.append(
                 FlowResult(
@@ -179,26 +181,27 @@ class CoreControllerFsm:
     def read_pages(
         self, addresses: list[tuple[int, int]], strict: bool = True
     ) -> list[FlowResult]:
-        """Batched read flow: pages sharing a stored capability decode
-        through one ``decode_batch`` call (clean pages early-exit in the
-        vectorized syndrome pass).
+        """Batched read flow: one device ``read_pages`` senses the whole
+        batch (vectorized RBER + error injection), then pages sharing a
+        stored capability decode through one ``decode_batch`` call (clean
+        pages early-exit in the vectorized syndrome pass).
 
         Semantically identical to calling :meth:`read_page` per address.
         """
-        raws: list[tuple[bytes, float, int]] = []
+        stored_ts: list[int] = []
         for block, page in addresses:
-            raw, report = self.device.read_page(block, page)
             written_t = self._written_t.get((block, page))
             if written_t is None:
                 raise ControllerError(
                     f"page {block}/{page} holds no ECC-protected data"
                 )
-            raws.append((raw, report.latency_s, written_t))
+            stored_ts.append(written_t)
+        raw, batch_report = self.device.read_pages(addresses)
         data_bytes = self.device.geometry.page_data_bytes
         codewords: list[bytes] = []
-        for raw, _, written_t in raws:
+        for row, written_t in zip(raw, stored_ts):
             parity_bytes = self.codec.parity_bytes(written_t)
-            codeword = raw[: data_bytes + parity_bytes]
+            codeword = row[: data_bytes + parity_bytes].tobytes()
             if len(codeword) < data_bytes + parity_bytes:
                 raise ControllerError(
                     "stored page shorter than its codeword (corrupt spare area?)"
@@ -206,7 +209,7 @@ class CoreControllerFsm:
             codewords.append(codeword)
         # Group by stored capability: decode_batch requires a uniform t.
         groups: dict[int, list[int]] = {}
-        for index, (_, _, written_t) in enumerate(raws):
+        for index, written_t in enumerate(stored_ts):
             groups.setdefault(written_t, []).append(index)
         decoded: dict[int, DecodeResult] = {}
         for written_t, indices in groups.items():
@@ -215,7 +218,7 @@ class CoreControllerFsm:
             )
             decoded.update(zip(indices, batch))
         return [
-            self._finish_read(decoded[i], raws[i][1], raws[i][2])
+            self._finish_read(decoded[i], batch_report.latency_s, stored_ts[i])
             for i in range(len(addresses))
         ]
 

@@ -2,6 +2,9 @@
 
 Out-of-place updates through the wear-aware allocator, on-demand garbage
 collection when the free-page pool runs low, and full latency accounting.
+``read_many``/``write_many`` move whole batches through the controller's
+vectorized datapath with a single map-lookup/allocation pass and one GC
+provision per batch; the scalar ``read``/``write`` are wrappers over them.
 One FTL instance manages one block partition, so several FTLs with
 different cross-layer configurations can share a device — the substrate of
 the differentiated-service layer.
@@ -61,25 +64,66 @@ class FlashTranslationLayer:
 
     def write(self, lpn: int, data: bytes) -> float:
         """Write (or update) a logical page; returns the latency."""
-        self._check_lpn(lpn)
-        self._ensure_free_space()
-        location = self.allocator.allocate()
-        report = self.controller.write(location.block, location.page, data)
-        self.mapping.bind(lpn, location)
-        self.stats.host_writes += 1
-        self.stats.write_time_s += report.latencies.total_s
-        return report.latencies.total_s
+        return self.write_many([(lpn, data)])[0]
 
     def read(self, lpn: int) -> tuple[bytes, float]:
         """Read a logical page; returns (data, latency)."""
-        location = self.mapping.lookup(lpn)
-        if location is None:
-            raise ControllerError(f"LPN {lpn} is not mapped")
-        data, report = self.controller.read(location.block, location.page)
-        self.stats.host_reads += 1
-        self.stats.read_time_s += report.latencies.total_s
-        self.stats.corrected_bits += report.corrected_bits
-        return data, report.latencies.total_s
+        return self.read_many([lpn])[0]
+
+    def write_many(self, items: list[tuple[int, bytes]]) -> list[float]:
+        """Write a batch of logical pages; returns per-page latencies.
+
+        The whole batch goes through one allocation pass and one
+        controller ``write_batch`` (vectorized encode + batched device
+        program); garbage collection is provisioned once per batch
+        instead of once per page.  When the partition cannot free enough
+        pages for the full batch at once, it is written in the largest
+        chunks GC can provision (each chunk still a single batch call).
+        """
+        for lpn, _ in items:
+            self._check_lpn(lpn)
+        latencies: list[float] = []
+        pending = list(items)
+        while pending:
+            room = self._provision(len(pending))
+            chunk, pending = pending[:room], pending[room:]
+            locations = [self.allocator.allocate() for _ in chunk]
+            reports = self.controller.write_batch(
+                [
+                    (location.block, location.page, data)
+                    for location, (_, data) in zip(locations, chunk)
+                ]
+            )
+            for (lpn, _), location, report in zip(chunk, locations, reports):
+                self.mapping.bind(lpn, location)
+                self.stats.host_writes += 1
+                self.stats.write_time_s += report.latencies.total_s
+                latencies.append(report.latencies.total_s)
+        return latencies
+
+    def read_many(self, lpns: list[int]) -> list[tuple[bytes, float]]:
+        """Read a batch of logical pages; returns (data, latency) pairs.
+
+        Map lookups happen in one pass up front; the physical addresses
+        then go through the controller's batched read flow (one device
+        ``read_pages`` + grouped ``decode_batch``).
+        """
+        locations = []
+        for lpn in lpns:
+            location = self.mapping.lookup(lpn)
+            if location is None:
+                raise ControllerError(f"LPN {lpn} is not mapped")
+            locations.append(location)
+        reads = self.controller.read_batch(
+            [(location.block, location.page) for location in locations]
+        )
+        results = []
+        for data, report in reads:
+            self.stats.host_reads += 1
+            self.stats.read_time_s += report.latencies.total_s
+            self.stats.corrected_bits += report.corrected_bits
+            results.append((data, report.latencies.total_s))
+        return results
 
     def trim(self, lpn: int) -> None:
         """Discard a logical page."""
@@ -98,21 +142,39 @@ class FlashTranslationLayer:
                 f"LPN {lpn} outside logical capacity {self.logical_capacity}"
             )
 
-    def _ensure_free_space(self) -> None:
-        guard = 0
-        while self.allocator.free_pages() <= self._reserved_pages:
-            reclaimed = self.gc.collect()
-            if reclaimed is None:
-                # No stale pages yet. Since the logical capacity excludes
-                # the reserve, a fully-valid partition means every further
-                # write is an overwrite (which creates staleness), so it is
-                # safe to dip into the reserve as long as pages remain; a
-                # greedy victim then always has <= free_pages valid pages.
-                if self.allocator.free_pages() >= 1:
-                    return
-                raise ControllerError(
-                    "partition wedged: no free pages and nothing to collect"
-                )
-            guard += 1
-            if guard > len(self.mapping.blocks):
-                raise ControllerError("garbage collection is not converging")
+    def _provision(self, pages: int) -> int:
+        """Garbage-collect toward ``pages`` free beyond the reserve.
+
+        Returns how many pages the caller may write right now (>= 1), the
+        batch analogue of the per-write free-space check: GC runs until
+        the target is met or nothing is reclaimable, and only then may the
+        write dip into the reserve.
+        """
+        target = self._reserved_pages + pages
+        stalled = 0
+        while self.allocator.free_pages() < target:
+            before = self.allocator.free_pages()
+            if self.gc.collect() is None:
+                break
+            if self.allocator.free_pages() <= before:
+                stalled += 1
+                if stalled > len(self.mapping.blocks):
+                    raise ControllerError("garbage collection is not converging")
+            else:
+                stalled = 0
+        free = self.allocator.free_pages()
+        if free > self._reserved_pages:
+            return min(pages, free - self._reserved_pages)
+        # No stale pages left to collect. Since the logical capacity
+        # excludes the reserve, a fully-valid partition means every
+        # further write is an overwrite (which creates staleness), so it
+        # is safe to dip into the reserve — but only one page at a time:
+        # each dip write creates collectible staleness, and GC must get a
+        # chance to reclaim it before the next write drains the reserve
+        # further (otherwise a greedy victim can end up with more valid
+        # pages than free pages and migration wedges).
+        if free >= 1:
+            return 1
+        raise ControllerError(
+            "partition wedged: no free pages and nothing to collect"
+        )

@@ -129,6 +129,22 @@ class DifferentiatedStorage:
         self._activate(namespace)
         return namespace.ftl.read(lpn)
 
+    def write_many(self, name: str, items: list[tuple[int, bytes]]) -> list[float]:
+        """Write a batch of logical pages under one service level.
+
+        The namespace configuration is applied once and the whole batch
+        rides the FTL's vectorized path; returns per-page latencies.
+        """
+        namespace = self.namespace(name)
+        self._activate(namespace)
+        return namespace.ftl.write_many(items)
+
+    def read_many(self, name: str, lpns: list[int]) -> list[tuple[bytes, float]]:
+        """Read a batch of logical pages (decoded with stored configs)."""
+        namespace = self.namespace(name)
+        self._activate(namespace)
+        return namespace.ftl.read_many(lpns)
+
     def trim(self, name: str, lpn: int) -> None:
         """Discard a logical page."""
         self.namespace(name).ftl.trim(lpn)

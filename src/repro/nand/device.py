@@ -9,6 +9,14 @@ Bundles the behavioural array with the physical-layer models:
   at program time* determines the error rate of each stored page;
 * operation latencies come from cached ISPP Monte-Carlo timing runs
   (re-simulated per algorithm and wear decade, not per operation).
+
+The datapath is batch-native: per-page metadata (program algorithm,
+wear at program time) lives in parallel numpy arrays indexed by flat page
+address, so :meth:`NandFlashDevice.read_pages` computes every page's
+effective RBER — lifetime curve x read-disturb growth — in one vectorized
+pass and issues a single batched array read.  The scalar
+:meth:`read_page` / :meth:`program_page` are thin wrappers over the batch
+kernels.
 """
 
 from __future__ import annotations
@@ -26,6 +34,11 @@ from repro.nand.program import PageProgrammer
 from repro.nand.rber import LifetimeRberModel
 from repro.nand.timing import NandTimingModel
 
+#: Stable integer codes for the per-page algorithm metadata array.
+_ALGORITHMS: tuple[IsppAlgorithm, ...] = tuple(IsppAlgorithm)
+_ALG_CODE: dict[IsppAlgorithm, int] = {a: i for i, a in enumerate(_ALGORITHMS)}
+_NO_META = -1
+
 
 @dataclass(frozen=True)
 class OperationReport:
@@ -34,6 +47,37 @@ class OperationReport:
     latency_s: float
     rber: float = 0.0
     algorithm: IsppAlgorithm | None = None
+
+
+@dataclass(frozen=True)
+class BatchReadReport:
+    """Vectorized telemetry of one batched page read.
+
+    Keeps the hot batch path free of per-page object construction: the
+    per-page effective RBERs and algorithm codes stay as arrays, and
+    :class:`OperationReport` views are materialized only on demand
+    (scalar wrappers, tests, telemetry dumps).
+    """
+
+    latency_s: float
+    rbers: np.ndarray
+    algorithm_codes: np.ndarray
+
+    def __len__(self) -> int:
+        return self.rbers.size
+
+    def report(self, index: int) -> OperationReport:
+        """Materialize one page's :class:`OperationReport`."""
+        code = int(self.algorithm_codes[index])
+        return OperationReport(
+            latency_s=self.latency_s,
+            rber=float(self.rbers[index]),
+            algorithm=None if code == _NO_META else _ALGORITHMS[code],
+        )
+
+    def reports(self) -> list[OperationReport]:
+        """Materialize every page's :class:`OperationReport`."""
+        return [self.report(i) for i in range(len(self))]
 
 
 @dataclass(frozen=True)
@@ -54,11 +98,32 @@ class ReadDisturbParams:
             raise NandOperationError("read count must be non-negative")
         return 1.0 + self.coefficient * reads_since_erase / self.reads_ref
 
+    def factor_batch(self, reads_since_erase: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`factor` over a per-page read-count array."""
+        reads = np.asarray(reads_since_erase, dtype=float)
+        if np.any(reads < 0):
+            raise NandOperationError("read count must be non-negative")
+        return 1.0 + self.coefficient * reads / self.reads_ref
 
-@dataclass(frozen=True)
-class _PageMeta:
-    algorithm: IsppAlgorithm
-    programmed_at_wear: int
+
+def _occurrence_index(codes: np.ndarray) -> np.ndarray:
+    """Per-element count of earlier equal values (vectorized cumcount).
+
+    ``[7, 3, 7, 7, 3] -> [0, 0, 1, 2, 1]``; used so the i-th read of a
+    block inside one batch sees the same pre-read disturb count the
+    serial flow would.
+    """
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    run_start = np.ones(codes.size, dtype=bool)
+    run_start[1:] = sorted_codes[1:] != sorted_codes[:-1]
+    starts = np.flatnonzero(run_start)
+    within = np.arange(codes.size) - np.repeat(
+        starts, np.diff(np.append(starts, codes.size))
+    )
+    out = np.empty(codes.size, dtype=np.int64)
+    out[order] = within
+    return out
 
 
 class NandFlashDevice:
@@ -85,7 +150,10 @@ class NandFlashDevice:
         self.timing = timing or NandTimingModel()
         self.disturb = disturb or ReadDisturbParams()
         self._algorithm = IsppAlgorithm.SV
-        self._page_meta: dict[int, _PageMeta] = {}
+        # Per-page metadata as a parallel array indexed by flat address:
+        # the algorithm each page was programmed with (_NO_META = none).
+        # The read-path RBER pairs it with the block's *current* wear.
+        self._meta_algorithm = np.full(self.geometry.pages, _NO_META, dtype=np.int8)
         self._timing_cache: dict[tuple[IsppAlgorithm, int], float] = {}
 
     # -- configuration (the physical-layer knob) --------------------------------
@@ -105,37 +173,95 @@ class NandFlashDevice:
 
     def program_page(self, block: int, page: int, data: bytes) -> OperationReport:
         """Program a page with the selected algorithm."""
-        self.array.program_page(block, page, data)
-        flat = self.geometry.page_address(block, page)
-        wear = self.array.wear(block)
-        self._page_meta[flat] = _PageMeta(self._algorithm, wear)
-        return OperationReport(
-            latency_s=self.program_time_s(self._algorithm, wear),
-            algorithm=self._algorithm,
-        )
+        return self.program_pages([(block, page)], [data])[0]
+
+    def program_pages(
+        self,
+        addresses: list[tuple[int, int]],
+        datas: list[bytes],
+    ) -> list[OperationReport]:
+        """Program a batch of pages with the selected algorithm.
+
+        The batch is validated and stored through one
+        :meth:`NandArray.program_pages` pass; per-page metadata and
+        latencies (one timing Monte-Carlo per wear decade, reused across
+        the batch) are filled vectorized.
+        """
+        if len(addresses) != len(datas):
+            raise NandOperationError(
+                f"{len(addresses)} addresses for {len(datas)} data buffers"
+            )
+        if not addresses:
+            return []
+        blocks, flats = self._flat_addresses(addresses)
+        self.array.program_pages(flats, datas)
+        wear = self.array.wear_batch(blocks)
+        self._meta_algorithm[flats] = _ALG_CODE[self._algorithm]
+        latencies = self._program_times(self._algorithm, wear)
+        return [
+            OperationReport(latency_s=float(latency), algorithm=self._algorithm)
+            for latency in latencies
+        ]
 
     def read_page(self, block: int, page: int) -> tuple[bytes, OperationReport]:
         """Read a page; stored pages suffer RBER-driven bit errors."""
-        flat = self.geometry.page_address(block, page)
-        meta = self._page_meta.get(flat)
-        if meta is None:
-            data = self.array.read_page(block, page)
-            return data, OperationReport(latency_s=self.timing.read_time_s())
-        rber = self.rber_model.rber(meta.algorithm, self.array.wear(block))
-        rber *= self.disturb.factor(self.array.reads_since_erase(block))
-        data = self.array.read_page(block, page, rber)
-        return data, OperationReport(
+        raws, batch = self.read_pages([(block, page)])
+        return raws[0].tobytes(), batch.report(0)
+
+    def read_pages(
+        self, addresses: list[tuple[int, int]]
+    ) -> tuple[np.ndarray, BatchReadReport]:
+        """Read a batch of pages in one vectorized device pass.
+
+        Per-page effective RBER is computed from the metadata arrays
+        (stored algorithm x current block wear) times the read-disturb
+        factor; reads of the same block within one batch see the disturb
+        counter advance exactly as the serial flow would.  Returns the raw
+        pages as a ``(batch, page_bytes)`` uint8 array plus a lazy
+        :class:`BatchReadReport`.
+        """
+        if not addresses:
+            return (
+                np.empty((0, self.geometry.page_bytes), dtype=np.uint8),
+                BatchReadReport(
+                    latency_s=self.timing.read_time_s(),
+                    rbers=np.zeros(0),
+                    algorithm_codes=np.zeros(0, dtype=np.int8),
+                ),
+            )
+        blocks, flats = self._flat_addresses(addresses)
+        codes = self._meta_algorithm[flats]
+        programmed = codes != _NO_META
+        rbers = np.zeros(len(addresses), dtype=float)
+        if programmed.any():
+            wear = self.array.wear_batch(blocks[programmed]).astype(float)
+            base = self.rber_model.rber_batch(
+                wear, dv=codes[programmed] == _ALG_CODE[IsppAlgorithm.DV]
+            )
+            # The i-th same-block read in the batch sees the counter the
+            # serial flow would: pre-batch count + earlier batch reads.
+            reads = self.array.reads_since_erase_batch(blocks)
+            if blocks.size > 1:
+                if blocks[0] == blocks[-1] and (blocks == blocks[0]).all():
+                    # Single-block batch: occurrence index is just 0..B-1.
+                    reads = reads + np.arange(blocks.size)
+                else:
+                    reads = reads + _occurrence_index(blocks)
+            rbers[programmed] = base * self.disturb.factor_batch(
+                reads[programmed]
+            )
+        raw = self.array.read_pages(flats, rbers)
+        return raw, BatchReadReport(
             latency_s=self.timing.read_time_s(),
-            rber=rber,
-            algorithm=meta.algorithm,
+            rbers=rbers,
+            algorithm_codes=codes,
         )
 
     def erase_block(self, block: int) -> OperationReport:
         """Erase a block (wear +1)."""
-        start = block * self.geometry.pages_per_block
-        for flat in range(start, start + self.geometry.pages_per_block):
-            self._page_meta.pop(flat, None)
         self.array.erase_block(block)
+        start = block * self.geometry.pages_per_block
+        self._meta_algorithm[start:start + self.geometry.pages_per_block] = _NO_META
         return OperationReport(latency_s=self.timing.erase_time_s())
 
     # -- timing --------------------------------------------------------------------
@@ -158,8 +284,45 @@ class NandFlashDevice:
             self._timing_cache[key] = outcome.timing.total_s
         return self._timing_cache[key]
 
+    def _program_times(
+        self, algorithm: IsppAlgorithm, wear: np.ndarray
+    ) -> np.ndarray:
+        """Per-page program latencies; one cache fill per wear decade."""
+        wear = np.asarray(wear, dtype=float)
+        decades = np.where(
+            wear < 1, 0, np.floor(np.log10(np.maximum(wear, 1.0)))
+        ).astype(np.int64)
+        latencies = np.empty(wear.size, dtype=float)
+        for decade in np.unique(decades):
+            mask = decades == decade
+            # Any wear value inside the decade hits the same cache slot.
+            latencies[mask] = self.program_time_s(
+                algorithm, float(wear[mask][0])
+            )
+        return latencies
+
     def rber_now(self, block: int, algorithm: IsppAlgorithm | None = None) -> float:
         """Current RBER of pages programmed in this block with ``algorithm``."""
         return self.rber_model.rber(
             algorithm or self._algorithm, self.array.wear(block)
         )
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _flat_addresses(
+        self, addresses: list[tuple[int, int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validated (blocks, flats) arrays for a batch of addresses."""
+        pairs = np.asarray(addresses, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise NandOperationError("addresses must be (block, page) pairs")
+        blocks, pages = pairs[:, 0], pairs[:, 1]
+        if np.any((blocks < 0) | (blocks >= self.geometry.blocks)):
+            raise NandOperationError(
+                f"block out of range 0..{self.geometry.blocks - 1}"
+            )
+        if np.any((pages < 0) | (pages >= self.geometry.pages_per_block)):
+            raise NandOperationError(
+                f"page out of range 0..{self.geometry.pages_per_block - 1}"
+            )
+        return blocks, blocks * self.geometry.pages_per_block + pages

@@ -79,6 +79,23 @@ class LifetimeRberModel:
             return self.rber_sv(pe_cycles)
         return self.rber_dv(pe_cycles)
 
+    def rber_batch(
+        self, pe_cycles: np.ndarray, dv: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Vectorized lifetime curve for a batch of pages.
+
+        ``pe_cycles`` holds each page's block wear; ``dv`` (optional bool
+        mask) marks pages programmed with ISPP-DV, which sit ``dv_ratio``
+        below the SV curve.  Matches the scalar :meth:`rber` elementwise.
+        """
+        cycles = np.asarray(pe_cycles, dtype=float)
+        if np.any(cycles < 0):
+            raise ConfigurationError("cycle count must be non-negative")
+        sv = self.floor_sv + self.amplitude * (cycles / self.n_ref) ** self.exponent
+        if dv is None:
+            return sv
+        return np.where(np.asarray(dv, dtype=bool), sv / self.dv_ratio, sv)
+
     def required_t(self, algorithm: IsppAlgorithm, pe_cycles: float) -> int:
         """Adaptive-ECC capability meeting the UBER target at this age."""
         return required_t(

@@ -70,3 +70,31 @@ class TestEncoder:
         codeword = encoder.encode_codeword(message)
         assert len(codeword) == 4096 + page_spec.parity_bytes
         assert encoder.is_codeword(codeword)
+
+
+class TestSliceWidths:
+    """Wide (16-byte) vs narrow (8-byte) batch slicing, both vs scalar."""
+
+    def test_wide_slice_selected_at_r_128(self):
+        from repro.bch.params import design_code
+
+        assert BCHEncoder(design_code(32768, 8)).slice_bytes == 16   # r = 128
+        assert BCHEncoder(design_code(32768, 14)).slice_bytes == 16  # r = 224
+        assert BCHEncoder(design_code(1024, 8)).slice_bytes == 8     # r = 88
+
+    @pytest.mark.parametrize(
+        "k,t",
+        [
+            (32768, 8),    # r = 128: smallest wide-slice code
+            (32768, 14),   # r = 224: the paper's ISPP-DV end-of-life point
+            (1024, 8),     # r = 88: narrow 8-byte slicing retained
+        ],
+    )
+    def test_batch_matches_scalar(self, k, t, rng):
+        from repro.bch.params import design_code
+
+        encoder = BCHEncoder(design_code(k, t))
+        messages = [rng.bytes(k // 8) for _ in range(5)]
+        assert encoder.encode_batch(messages) == [
+            encoder.encode(message) for message in messages
+        ]

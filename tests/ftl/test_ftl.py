@@ -107,3 +107,90 @@ class TestGarbageCollection:
     def test_too_few_blocks_rejected(self, controller):
         with pytest.raises(ControllerError):
             FlashTranslationLayer(controller, blocks=[0])
+
+
+class TestBatchOperations:
+    def test_write_many_read_many_round_trip(self, ftl, rng):
+        items = [(lpn, random_page(4096, rng)) for lpn in range(6)]
+        latencies = ftl.write_many(items)
+        assert len(latencies) == 6 and all(l > 0 for l in latencies)
+        reads = ftl.read_many([lpn for lpn, _ in items])
+        for (data, latency), (_, expected) in zip(reads, items):
+            assert data == expected
+            assert latency > 0
+        assert ftl.stats.host_writes == 6
+        assert ftl.stats.host_reads == 6
+
+    def test_write_many_matches_serial_writes(self, controller, rng):
+        serial = FlashTranslationLayer(controller, blocks=[0, 1, 2, 3])
+        controller2 = NandController(
+            NandGeometry(blocks=6, pages_per_block=4),
+            rng=np.random.default_rng(123),
+        )
+        batched = FlashTranslationLayer(controller2, blocks=[0, 1, 2, 3])
+        payloads = [random_page(4096, rng) for _ in range(5)]
+        for lpn, data in enumerate(payloads):
+            serial.write(lpn, data)
+        batched.write_many(list(enumerate(payloads)))
+        for lpn, expected in enumerate(payloads):
+            assert serial.read(lpn)[0] == expected
+            assert batched.read(lpn)[0] == expected
+        assert serial.mapping.mapped_lpns() == batched.mapping.mapped_lpns()
+
+    def test_read_many_unmapped_rejected(self, ftl, rng):
+        ftl.write(0, random_page(4096, rng))
+        with pytest.raises(ControllerError):
+            ftl.read_many([0, 99])
+
+    def test_write_many_checks_lpns_up_front(self, ftl, rng):
+        with pytest.raises(ControllerError):
+            ftl.write_many([
+                (0, random_page(4096, rng)),
+                (ftl.logical_capacity, random_page(4096, rng)),
+            ])
+        assert ftl.stats.host_writes == 0
+
+    def test_batch_larger_than_free_space_triggers_gc(self, ftl, rng):
+        # Fill the logical space once, then overwrite it all in one batch:
+        # the batch exceeds the remaining free pages, so GC must run
+        # mid-batch and every page must still land correctly.
+        first = {lpn: random_page(4096, rng) for lpn in range(ftl.logical_capacity)}
+        ftl.write_many(list(first.items()))
+        second = {lpn: random_page(4096, rng) for lpn in range(ftl.logical_capacity)}
+        ftl.write_many(list(second.items()))
+        assert ftl.gc.stats.collections >= 1
+        for lpn, expected in second.items():
+            assert ftl.read(lpn)[0] == expected
+
+    def test_single_gc_check_per_batch(self, ftl, rng, monkeypatch):
+        calls = []
+        original = ftl._provision
+
+        def counting(pages):
+            calls.append(pages)
+            return original(pages)
+
+        monkeypatch.setattr(ftl, "_provision", counting)
+        ftl.write_many([(lpn, random_page(4096, rng)) for lpn in range(6)])
+        assert calls == [6]
+
+    def test_reserve_dip_batches_leave_gc_viable(self):
+        # Regression: a batch must not drain the reserve in one go when
+        # nothing is collectible — each dip write creates staleness that
+        # GC needs a chance to reclaim before the next write, otherwise
+        # the greedy victim ends up with more valid pages than free
+        # pages and migration wedges ("out of free blocks").
+        controller = NandController(
+            NandGeometry(blocks=4, pages_per_block=16),
+            rng=np.random.default_rng(1),
+        )
+        ftl = FlashTranslationLayer(controller, blocks=[0, 1])
+        rng = np.random.default_rng(3)
+        cap = ftl.logical_capacity
+        ftl.write_many([(lpn, random_page(4096, rng)) for lpn in range(cap)])
+        for _ in range(10):
+            # Hot-spot overwrites: every write of LPN 0 immediately
+            # staleness-invalidates the previous copy.
+            ftl.write_many([(0, random_page(4096, rng)) for _ in range(8)])
+        assert ftl.read(0)[0] is not None
+        assert ftl.gc.stats.collections >= 1
