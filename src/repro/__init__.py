@@ -21,6 +21,8 @@ Layers
 * :mod:`repro.controller` — the advanced memory controller (section 3);
 * :mod:`repro.core` — the cross-layer policies and trade-off analysis
   (section 6.3, the paper's contribution);
+* :mod:`repro.ssd` — multi-channel / multi-die topology with a DES
+  command scheduler and die-striped FTL (system-level scale-out);
 * :mod:`repro.analysis.experiments` — one runner per paper figure.
 """
 
@@ -39,6 +41,7 @@ from repro.nand import (
     NandFlashDevice,
     PageProgrammer,
 )
+from repro.ssd import DieStripedFtl, SsdDevice, SsdTopology
 
 __version__ = "1.0.0"
 
@@ -59,5 +62,8 @@ __all__ = [
     "FlashTranslationLayer",
     "DifferentiatedStorage",
     "ServiceClass",
+    "SsdTopology",
+    "SsdDevice",
+    "DieStripedFtl",
     "__version__",
 ]

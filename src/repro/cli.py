@@ -39,6 +39,7 @@ def _runners(suite: ExperimentSuite) -> dict[str, tuple[str, callable]]:
         "abl_retention": ("retention x cycling ablation", suite.run_ablation_retention),
         "sys_des": ("discrete-event system simulation", suite.run_system_des),
         "sys_services": ("differentiated storage services", suite.run_system_services),
+        "sys_ssd": ("multi-die SSD scaling (command scheduler)", suite.run_system_ssd),
     }
 
 

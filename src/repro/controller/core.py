@@ -186,7 +186,10 @@ class CoreControllerFsm:
         stored capability decode through one ``decode_batch`` call (clean
         pages early-exit in the vectorized syndrome pass).
 
-        Semantically identical to calling :meth:`read_page` per address.
+        Semantically identical to calling :meth:`read_page` per address:
+        same RBER/latency accounting and the same error distribution
+        (the scalar path's injection consumes the RNG differently, so
+        exact error positions match statistically, not draw-for-draw).
         """
         stored_ts: list[int] = []
         for block, page in addresses:

@@ -14,11 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.controller.controller import NandController
+from repro.controller.controller import NandController, ReadReport, WriteReport
 from repro.errors import ControllerError
 from repro.ftl.gc import GarbageCollector, GcStats
 from repro.ftl.mapping import LogicalMap
 from repro.ftl.wear import WearAwareAllocator
+from repro.nand.ispp import IsppAlgorithm
 
 
 @dataclass
@@ -71,7 +72,16 @@ class FlashTranslationLayer:
         return self.read_many([lpn])[0]
 
     def write_many(self, items: list[tuple[int, bytes]]) -> list[float]:
-        """Write a batch of logical pages; returns per-page latencies.
+        """Write a batch of logical pages; returns per-page latencies."""
+        return [
+            report.latencies.total_s
+            for report in self.write_many_reports(items)
+        ]
+
+    def write_many_reports(
+        self, items: list[tuple[int, bytes]]
+    ) -> list[WriteReport]:
+        """Write a batch of logical pages; returns the full write reports.
 
         The whole batch goes through one allocation pass and one
         controller ``write_batch`` (vectorized encode + batched device
@@ -79,34 +89,49 @@ class FlashTranslationLayer:
         instead of once per page.  When the partition cannot free enough
         pages for the full batch at once, it is written in the largest
         chunks GC can provision (each chunk still a single batch call).
+        The per-stage latencies in the reports feed the SSD command
+        scheduler's transfer/encode/program phases.
         """
         for lpn, _ in items:
             self._check_lpn(lpn)
-        latencies: list[float] = []
+        reports: list[WriteReport] = []
         pending = list(items)
         while pending:
             room = self._provision(len(pending))
             chunk, pending = pending[:room], pending[room:]
             locations = [self.allocator.allocate() for _ in chunk]
-            reports = self.controller.write_batch(
+            chunk_reports = self.controller.write_batch(
                 [
                     (location.block, location.page, data)
                     for location, (_, data) in zip(locations, chunk)
                 ]
             )
-            for (lpn, _), location, report in zip(chunk, locations, reports):
+            for (lpn, _), location, report in zip(
+                chunk, locations, chunk_reports
+            ):
                 self.mapping.bind(lpn, location)
                 self.stats.host_writes += 1
                 self.stats.write_time_s += report.latencies.total_s
-                latencies.append(report.latencies.total_s)
-        return latencies
+                reports.append(report)
+        return reports
 
     def read_many(self, lpns: list[int]) -> list[tuple[bytes, float]]:
-        """Read a batch of logical pages; returns (data, latency) pairs.
+        """Read a batch of logical pages; returns (data, latency) pairs."""
+        return [
+            (data, report.latencies.total_s)
+            for data, report in self.read_many_reports(lpns)
+        ]
+
+    def read_many_reports(
+        self, lpns: list[int]
+    ) -> list[tuple[bytes, ReadReport]]:
+        """Read a batch of logical pages; returns (data, report) pairs.
 
         Map lookups happen in one pass up front; the physical addresses
         then go through the controller's batched read flow (one device
-        ``read_pages`` + grouped ``decode_batch``).
+        ``read_pages`` + grouped ``decode_batch``).  The reports carry the
+        per-stage latencies the SSD command scheduler splits into
+        sense/transfer/decode phases.
         """
         locations = []
         for lpn in lpns:
@@ -117,13 +142,11 @@ class FlashTranslationLayer:
         reads = self.controller.read_batch(
             [(location.block, location.page) for location in locations]
         )
-        results = []
-        for data, report in reads:
+        for _, report in reads:
             self.stats.host_reads += 1
             self.stats.read_time_s += report.latencies.total_s
             self.stats.corrected_bits += report.corrected_bits
-            results.append((data, report.latencies.total_s))
-        return results
+        return reads
 
     def trim(self, lpn: int) -> None:
         """Discard a logical page."""
@@ -133,6 +156,17 @@ class FlashTranslationLayer:
     def is_mapped(self, lpn: int) -> bool:
         """Whether a logical page currently holds data."""
         return self.mapping.lookup(lpn) is not None
+
+    # -- configuration ---------------------------------------------------------
+
+    def apply_config(self, algorithm: IsppAlgorithm, ecc_t: int) -> None:
+        """Program the cross-layer knobs on the backing controller."""
+        self.controller.apply_config(algorithm, ecc_t)
+
+    @property
+    def gc_stats(self) -> GcStats:
+        """Garbage-collection accounting for this partition."""
+        return self.gc.stats
 
     # -- internals -----------------------------------------------------------------
 

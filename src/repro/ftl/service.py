@@ -11,18 +11,30 @@ Every host operation applies the namespace's (algorithm, t) configuration
 before touching the device, so pages of different classes coexist on one
 chip with per-class reliability/performance — the "differentiated storage
 services" of the paper's conclusion, made concrete.
+
+The manager runs over either a single :class:`NandController` (namespaces
+are block partitions of one die) or a multi-die
+:class:`~repro.ssd.device.SsdDevice` (namespaces are die-striped spans:
+the same block range on every die behind a
+:class:`~repro.ssd.striped.DieStripedFtl`, so each service class
+additionally gets channel/die parallelism).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
 
 from repro.controller.controller import NandController
 from repro.core.config import CrossLayerConfig
 from repro.core.modes import OperatingMode
 from repro.errors import ControllerError
 from repro.ftl.ftl import FlashTranslationLayer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (ssd uses ftl)
+    from repro.ssd.device import SsdDevice
+    from repro.ssd.striped import DieStripedFtl
 
 
 class ServiceClass(enum.Enum):
@@ -44,11 +56,17 @@ class ServiceClass(enum.Enum):
 
 @dataclass
 class Namespace:
-    """One application namespace: a service class over a block partition."""
+    """One application namespace: a service class over a block partition.
+
+    The backing translation layer is a single-die
+    :class:`FlashTranslationLayer` partition or a die-striped
+    :class:`~repro.ssd.striped.DieStripedFtl` span — both expose the same
+    host surface.
+    """
 
     name: str
     service_class: ServiceClass
-    ftl: FlashTranslationLayer
+    ftl: Union[FlashTranslationLayer, "DieStripedFtl"]
     config: CrossLayerConfig
 
     @property
@@ -60,18 +78,38 @@ class Namespace:
 class DifferentiatedStorage:
     """Namespace manager multiplexing service classes onto one device."""
 
-    def __init__(self, controller: NandController):
-        self.controller = controller
+    def __init__(
+        self,
+        controller: NandController | None = None,
+        *,
+        ssd: "SsdDevice | None" = None,
+    ):
+        if (controller is None) == (ssd is None):
+            raise ControllerError(
+                "provide exactly one backend: a controller or an ssd"
+            )
+        self.ssd = ssd
+        self.controller = controller if ssd is None else ssd.controllers[0]
         self._namespaces: dict[str, Namespace] = {}
         self._allocated_blocks: set[int] = set()
         self._next_block = 0
 
     # -- provisioning -----------------------------------------------------------
 
+    def _max_wear(self) -> int:
+        if self.ssd is not None:
+            return self.ssd.max_wear()
+        return self.controller.device.array.max_wear()
+
     def create_namespace(
         self, name: str, service_class: ServiceClass, blocks: int
     ) -> Namespace:
-        """Carve a block partition and bind it to a service class."""
+        """Carve a block partition and bind it to a service class.
+
+        On an SSD backend, ``blocks`` is carved *per die*: the namespace
+        owns that block range on every die, striped through a
+        :class:`~repro.ssd.striped.DieStripedFtl`.
+        """
         if name in self._namespaces:
             raise ControllerError(f"namespace {name!r} already exists")
         if blocks < 2:
@@ -86,14 +124,20 @@ class DifferentiatedStorage:
         self._next_block += blocks
         self._allocated_blocks.update(partition)
 
-        age = float(self.controller.device.array.max_wear())
+        age = float(self._max_wear())
         config = self.controller.policy.config_for(
             service_class.operating_mode, age
         )
+        if self.ssd is not None:
+            from repro.ssd.striped import DieStripedFtl
+
+            ftl = DieStripedFtl(self.ssd, partition)
+        else:
+            ftl = FlashTranslationLayer(self.controller, partition)
         namespace = Namespace(
             name=name,
             service_class=service_class,
-            ftl=FlashTranslationLayer(self.controller, partition),
+            ftl=ftl,
             config=config,
         )
         self._namespaces[name] = namespace
@@ -113,7 +157,9 @@ class DifferentiatedStorage:
     # -- data path ------------------------------------------------------------------
 
     def _activate(self, namespace: Namespace) -> None:
-        self.controller.apply_config(
+        # Configure every controller the namespace writes through (one
+        # for a partition FTL, one per die for a striped span).
+        namespace.ftl.apply_config(
             namespace.config.algorithm, namespace.config.ecc_t
         )
 
@@ -154,7 +200,7 @@ class DifferentiatedStorage:
     def refresh_configs(self, pe_reference: float | None = None) -> None:
         """Re-derive every namespace's configuration as the device ages."""
         age = (
-            float(self.controller.device.array.max_wear())
+            float(self._max_wear())
             if pe_reference is None
             else pe_reference
         )
@@ -175,6 +221,6 @@ class DifferentiatedStorage:
                 "host_writes": stats.host_writes,
                 "host_reads": stats.host_reads,
                 "corrected_bits": stats.corrected_bits,
-                "write_amplification": stats.write_amplification(ns.ftl.gc.stats),
+                "write_amplification": stats.write_amplification(ns.ftl.gc_stats),
             })
         return rows

@@ -102,9 +102,28 @@ class NandArray:
         self._reads_since_erase[block] = 0
 
     def program_page(self, block: int, page: int, data: bytes) -> None:
-        """Program one page; NAND forbids reprogramming without erase."""
+        """Program one page; NAND forbids reprogramming without erase.
+
+        Dedicated scalar path: serial DES traffic skips the batch
+        machinery's array construction and validation passes (the batch-1
+        overhead flagged after the PR 2 vectorization).
+        """
         flat = self.geometry.page_address(block, page)
-        self.program_pages(np.asarray([flat]), [data])
+        if self._programmed[flat]:
+            raise NandOperationError(
+                f"page {block}/{page} already programmed; erase the block first"
+            )
+        page_bytes = self.geometry.page_bytes
+        width = len(data)
+        if width > page_bytes:
+            raise NandOperationError(
+                f"data ({width} B) exceeds page ({page_bytes} B)"
+            )
+        row = self._store[flat]
+        row[:width] = np.frombuffer(data, dtype=np.uint8)
+        if width < page_bytes:
+            row[width:] = 0xFF
+        self._programmed[flat] = True
 
     def program_pages(
         self, flats: np.ndarray, datas: Sequence[bytes]
@@ -161,12 +180,32 @@ class NandArray:
 
         Erased pages read back as all 0xFF (NAND convention).  Error counts
         are binomial over the page and positions uniform without
-        replacement.  Thin wrapper over :meth:`read_pages`.
+        replacement.  Dedicated scalar path: no batch-array construction,
+        and clean or erased reads return without copying through the
+        injection kernel (the batch-1 overhead flagged after PR 2).
         """
         flat = self.geometry.page_address(block, page)
-        return self.read_pages(
-            np.asarray([flat]), np.asarray([rber], dtype=float)
-        )[0].tobytes()
+        if rber >= 1.0:
+            raise NandOperationError(f"RBER must be < 1, got {rber}")
+        if rber < 0.0:
+            raise NandOperationError("RBER must be non-negative")
+        self._reads_since_erase[block] += 1
+        if not self._programmed[flat]:
+            return bytes([0xFF]) * self.geometry.page_bytes
+        row = self._store[flat]
+        if rber == 0.0:
+            return row.tobytes()
+        # Draw the page's exact Binomial error count first: clean reads
+        # (the common case at healthy RBER) return without any injection
+        # work, and errored ones flip that many uniform distinct bits.
+        n_bits = self.geometry.page_bytes * 8
+        n_errors = int(self.rng.binomial(n_bits, rber))
+        if n_errors == 0:
+            return row.tobytes()
+        out = bytearray(row.tobytes())
+        for pos in self.rng.choice(n_bits, size=n_errors, replace=False):
+            out[pos >> 3] ^= 0x80 >> (pos & 7)
+        return bytes(out)
 
     def read_pages(self, flats: np.ndarray, rbers: np.ndarray) -> np.ndarray:
         """Read a batch of pages, injecting bit errors in one pass.

@@ -15,8 +15,11 @@ wear at program time) lives in parallel numpy arrays indexed by flat page
 address, so :meth:`NandFlashDevice.read_pages` computes every page's
 effective RBER — lifetime curve x read-disturb growth — in one vectorized
 pass and issues a single batched array read.  The scalar
-:meth:`read_page` / :meth:`program_page` are thin wrappers over the batch
-kernels.
+:meth:`read_page` / :meth:`program_page` are dedicated fast paths with
+identical semantics (same RBER/latency/metadata arithmetic, same error
+*distribution*); their error injection consumes the RNG differently
+from the batch kernels, so the two paths agree statistically, not
+draw-for-draw.
 """
 
 from __future__ import annotations
@@ -172,8 +175,21 @@ class NandFlashDevice:
     # -- operations ----------------------------------------------------------------
 
     def program_page(self, block: int, page: int, data: bytes) -> OperationReport:
-        """Program a page with the selected algorithm."""
-        return self.program_pages([(block, page)], [data])[0]
+        """Program a page with the selected algorithm.
+
+        Dedicated scalar path (no batch-array construction) so serial DES
+        traffic does not pay per-call numpy dispatch overhead; reports are
+        identical to a batch of one.
+        """
+        self.array.program_page(block, page, data)
+        flat = self.geometry.page_address(block, page)
+        self._meta_algorithm[flat] = _ALG_CODE[self._algorithm]
+        return OperationReport(
+            latency_s=self.program_time_s(
+                self._algorithm, float(self.array._wear[block])
+            ),
+            algorithm=self._algorithm,
+        )
 
     def program_pages(
         self,
@@ -204,9 +220,28 @@ class NandFlashDevice:
         ]
 
     def read_page(self, block: int, page: int) -> tuple[bytes, OperationReport]:
-        """Read a page; stored pages suffer RBER-driven bit errors."""
-        raws, batch = self.read_pages([(block, page)])
-        return raws[0].tobytes(), batch.report(0)
+        """Read a page; stored pages suffer RBER-driven bit errors.
+
+        Dedicated scalar path: per-page RBER (stored algorithm x current
+        wear x read disturb) is computed with plain float arithmetic and
+        the array's scalar read, skipping the batch kernels' numpy
+        dispatch overhead.  Values match a batch of one to the last bit
+        of float arithmetic.
+        """
+        flat = self.geometry.page_address(block, page)
+        code = int(self._meta_algorithm[flat])
+        rber = 0.0
+        algorithm = None
+        if code != _NO_META:
+            algorithm = _ALGORITHMS[code]
+            rber = self.rber_model.rber(algorithm, float(self.array._wear[block]))
+            rber *= self.disturb.factor(int(self.array._reads_since_erase[block]))
+        data = self.array.read_page(block, page, rber)
+        return data, OperationReport(
+            latency_s=self.timing.read_time_s(),
+            rber=rber,
+            algorithm=algorithm,
+        )
 
     def read_pages(
         self, addresses: list[tuple[int, int]]

@@ -1,16 +1,25 @@
 """Discrete-event simulation substrate for system-level experiments."""
 
-from repro.sim.engine import Event, SimEngine, Process
+from repro.sim.engine import Event, Signal, SimEngine, Process
 from repro.sim.stats import LatencyStats, ThroughputStats
-from repro.sim.host import HostWorkload, run_host_workload, WorkloadResult
+from repro.sim.host import (
+    HostWorkload,
+    WorkloadResult,
+    run_ftl_workload,
+    run_host_workload,
+    run_ssd_workload,
+)
 
 __all__ = [
     "SimEngine",
     "Event",
+    "Signal",
     "Process",
     "LatencyStats",
     "ThroughputStats",
     "HostWorkload",
     "run_host_workload",
+    "run_ftl_workload",
+    "run_ssd_workload",
     "WorkloadResult",
 ]

@@ -4,6 +4,12 @@ Processes are Python generators that ``yield`` delays in seconds; the
 engine interleaves them on a single virtual clock using a binary heap.
 Small by design, but a real DES: multiple concurrent processes, event
 ordering, deterministic tie-breaking and a bounded run horizon.
+
+Besides a float delay, a process may yield a :class:`Signal` to park
+until another process fires it — the synchronisation primitive behind
+resource arbitration (channel buses, queue-depth admission) in the SSD
+command scheduler.  Parked processes resume at the firing instant in
+park order, so runs stay deterministic.
 """
 
 from __future__ import annotations
@@ -11,12 +17,37 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Generator
+from typing import Generator, Union
 
 from repro.errors import SimulationError
 
-#: A simulation process: a generator yielding delays (seconds).
-Process = Generator[float, None, None]
+#: A simulation process: a generator yielding delays (seconds) or Signals.
+Process = Generator[Union[float, "Signal"], None, None]
+
+
+class Signal:
+    """Wake-up channel between processes on one :class:`SimEngine`.
+
+    A process that yields the signal is parked (no event scheduled) until
+    some other process calls :meth:`fire`, which resumes every parked
+    process at the current simulation time in the order they parked.
+    """
+
+    def __init__(self, engine: "SimEngine"):
+        self._engine = engine
+        self._waiters: list[Process] = []
+
+    def fire(self) -> int:
+        """Resume every parked process now; returns how many woke up."""
+        woken = len(self._waiters)
+        for process in self._waiters:
+            self._engine._resume_parked(process)
+        self._waiters.clear()
+        return woken
+
+    def _park(self, process: Process) -> None:
+        self._waiters.append(process)
+        self._engine._parked += 1
 
 
 @dataclass(order=True)
@@ -36,6 +67,7 @@ class SimEngine:
         self._counter = itertools.count()
         self.now_s = 0.0
         self.events_processed = 0
+        self._parked = 0
 
     def spawn(self, process: Process, delay_s: float = 0.0) -> None:
         """Register a process to start after ``delay_s``."""
@@ -44,6 +76,16 @@ class SimEngine:
         heapq.heappush(
             self._queue,
             Event(self.now_s + delay_s, next(self._counter), process),
+        )
+
+    def signal(self) -> Signal:
+        """Create a :class:`Signal` bound to this engine."""
+        return Signal(self)
+
+    def _resume_parked(self, process: Process) -> None:
+        self._parked -= 1
+        heapq.heappush(
+            self._queue, Event(self.now_s, next(self._counter), process)
         )
 
     def run(self, until_s: float | None = None, max_events: int = 10**7) -> float:
@@ -66,6 +108,9 @@ class SimEngine:
                 delay = event.process.send(None)
             except StopIteration:
                 continue
+            if isinstance(delay, Signal):
+                delay._park(event.process)
+                continue
             if delay is None or delay < 0:
                 raise SimulationError(
                     f"process yielded invalid delay {delay!r}"
@@ -73,5 +118,10 @@ class SimEngine:
             heapq.heappush(
                 self._queue,
                 Event(self.now_s + delay, next(self._counter), event.process),
+            )
+        if self._parked:
+            raise SimulationError(
+                f"deadlock: {self._parked} process(es) parked on signals "
+                "with an empty event queue"
             )
         return self.now_s

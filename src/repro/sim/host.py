@@ -5,23 +5,30 @@ operation service times come from the controller's latency accounting, so
 the simulated throughput is the end-to-end figure including OCP transfer,
 ECC and flash-array time.
 
-Two hosts are modelled: :func:`run_host_workload` drives physical page
+Three hosts are modelled: :func:`run_host_workload` drives physical page
 addresses straight into the controller (batched runs of the trace go
 through ``read_batch``/``write_batch`` and therefore the device's batched
-``read_pages``/``program_pages`` datapath), while :func:`run_ftl_workload`
+``read_pages``/``program_pages`` datapath), :func:`run_ftl_workload`
 drives *logical* pages through a flash translation layer's
-``read_many``/``write_many`` — out-of-place updates, GC and all.
+``read_many``/``write_many`` — out-of-place updates, GC and all — and
+:func:`run_ssd_workload` drives a die-striped multi-die SSD, where each
+batch's elapsed time is the *scheduled makespan* (die-parallel, channel
+arbitrated) rather than a serial latency sum.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.controller.controller import NandController
 from repro.ftl.ftl import FlashTranslationLayer
 from repro.sim.engine import Process, SimEngine
 from repro.sim.stats import ThroughputStats
-from repro.workloads.traces import TraceOp, TraceOpKind
+from repro.workloads.traces import QueuedTrace, TraceOp, TraceOpKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (ssd uses sim)
+    from repro.ssd.striped import DieStripedFtl
 
 
 @dataclass
@@ -33,12 +40,39 @@ class HostWorkload:
     (``read_batch`` / ``write_batch``) — the host-side analogue of a deep
     I/O queue.  Latency accounting and statistics are identical to the
     serial flow; only the software encode/decode work is batched.
+
+    ``queue_depth`` only matters to the SSD runner: it bounds how many
+    page commands the command scheduler keeps in flight at once (0 means
+    "as deep as the batch").  Single-device runners serialise every
+    operation regardless.
     """
 
     name: str
     operations: list[TraceOp]
     think_time_s: float = 0.0
     batch_pages: int = 1
+    queue_depth: int = 0
+
+    @classmethod
+    def from_trace(
+        cls,
+        name: str,
+        trace: QueuedTrace | list[TraceOp],
+        think_time_s: float = 0.0,
+        batch_pages: int = 1,
+    ) -> "HostWorkload":
+        """Build a workload from a trace, honouring its queue depth."""
+        if isinstance(trace, QueuedTrace):
+            return cls(
+                name,
+                trace.operations,
+                think_time_s=think_time_s,
+                batch_pages=batch_pages,
+                queue_depth=trace.queue_depth,
+            )
+        return cls(
+            name, trace, think_time_s=think_time_s, batch_pages=batch_pages
+        )
 
 
 @dataclass
@@ -182,5 +216,69 @@ def run_ftl_workload(
     )
     engine = SimEngine()
     engine.spawn(_ftl_process(ftl, workload, result))
+    result.elapsed_s = engine.run()
+    return result
+
+
+def _ssd_process(
+    ftl: "DieStripedFtl",
+    workload: HostWorkload,
+    result: WorkloadResult,
+) -> Process:
+    """Striped host stream: batches complete at their scheduled makespan."""
+    page_bytes = ftl.geometry.page_data_bytes
+    batch_pages = max(1, workload.batch_pages)
+    queue_depth = workload.queue_depth if workload.queue_depth > 0 else None
+    lpns: dict[tuple[int, int], int] = {}
+
+    def lpn_of(op: TraceOp) -> int:
+        return lpns.setdefault((op.block, op.page), len(lpns))
+
+    for group in _batched_ops(workload.operations, batch_pages):
+        kind = group[0].kind
+        elapsed = 0.0
+        if kind is TraceOpKind.WRITE:
+            for op_latency in ftl.write_many(
+                [(lpn_of(op), op.data) for op in group],
+                queue_depth=queue_depth,
+            ):
+                result.stats.observe_write(page_bytes, op_latency)
+        elif kind is TraceOpKind.READ:
+            for _, op_latency in ftl.read_many(
+                [lpn_of(op) for op in group], queue_depth=queue_depth
+            ):
+                result.stats.observe_read(page_bytes, op_latency)
+        else:  # ERASE: logical hosts discard instead (GC reclaims later)
+            for op in group:
+                for (block, _), lpn in list(lpns.items()):
+                    if block == op.block and ftl.is_mapped(lpn):
+                        ftl.trim(lpn)
+        if kind is not TraceOpKind.ERASE and ftl.last_schedule is not None:
+            # The group's wall time is the scheduler's makespan — dies
+            # overlap and channels arbitrate, so it is far less than the
+            # serial sum of the observed per-op latencies.
+            elapsed = ftl.last_schedule.makespan_s
+        result.corrected_bits = ftl.stats.corrected_bits
+        yield elapsed + len(group) * workload.think_time_s
+
+
+def run_ssd_workload(
+    ftl: "DieStripedFtl",
+    workload: HostWorkload,
+) -> WorkloadResult:
+    """Simulate a host stream against a die-striped SSD.
+
+    Trace pages become LPNs exactly as in :func:`run_ftl_workload`, but
+    every batched group is dispatched through the SSD command scheduler
+    at the workload's ``queue_depth``: per-operation latencies include
+    queueing behind dies and channel buses, and the group advances the
+    clock by its scheduled makespan, so the sustained MB/s reflects
+    channel/die parallelism.
+    """
+    result = WorkloadResult(
+        name=workload.name, elapsed_s=0.0, stats=ThroughputStats()
+    )
+    engine = SimEngine()
+    engine.spawn(_ssd_process(ftl, workload, result))
     result.elapsed_s = engine.run()
     return result

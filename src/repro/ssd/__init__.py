@@ -1,0 +1,68 @@
+"""Multi-channel / multi-die SSD topology with a DES command scheduler.
+
+The paper (Zambelli et al., DATE 2012) characterises exactly one unit of
+a real SSD: a single MLC NAND die behind a memory controller whose BCH
+codec, OCP socket and program-algorithm knobs trade reliability against
+throughput.  This package scales that characterised unit to a full
+SSD-style topology, mapping each paper component onto its system-level
+role:
+
+* :class:`~repro.ssd.topology.SsdTopology` — channels x dies on top of
+  the paper's per-die :class:`~repro.nand.geometry.NandGeometry`; each
+  channel carries the bus + BCH engine of the paper's controller
+  (section 3), each die is one instance of the characterised device
+  (section 5);
+* :class:`~repro.ssd.device.SsdDevice` — one
+  :class:`~repro.controller.NandController` per die under a single
+  cross-layer policy, so the section-6 operating modes (baseline /
+  min-UBER / max-read-throughput) reconfigure the whole SSD at once;
+* :class:`~repro.ssd.scheduler.CommandScheduler` — a discrete-event
+  command timeline on :class:`~repro.sim.engine.SimEngine`: per-die
+  busy phases (sense / program / erase from the paper's timing model)
+  overlap across dies while per-channel buses serialise transfer +
+  encode/decode, the paper's non-pipelined page-buffer FSM hazard;
+* :class:`~repro.ssd.striped.DieStripedFtl` — logical pages round-robin
+  striped over the dies (channel-first), one FTL shard per die, so
+  ``read_many``/``write_many`` and the host workload runner exploit die
+  parallelism transparently while every page still pays the paper's
+  per-page ECC and ISPP costs.
+
+Throughput therefore scales the way the paper's section-6 trade-offs
+predict at system level: read batches are channel-bound once the
+transfer + decode section saturates a bus (adding channels keeps
+scaling, adding dies behind one bus saturates), while program batches
+scale nearly linearly with dies because the ISPP program phase dwarfs
+the channel section.
+"""
+
+from repro.ssd.device import DiePageAddress, SsdDevice
+from repro.ssd.scheduler import (
+    CommandCompletion,
+    CommandKind,
+    CommandScheduler,
+    DieCommand,
+    ScheduleResult,
+)
+from repro.ssd.striped import DieStripedFtl, StripedLocation
+from repro.ssd.topology import (
+    ChannelTimingParams,
+    DieAddress,
+    SsdTopology,
+    spawn_die_rngs,
+)
+
+__all__ = [
+    "ChannelTimingParams",
+    "CommandCompletion",
+    "CommandKind",
+    "CommandScheduler",
+    "DieAddress",
+    "DieCommand",
+    "DiePageAddress",
+    "DieStripedFtl",
+    "ScheduleResult",
+    "SsdDevice",
+    "SsdTopology",
+    "StripedLocation",
+    "spawn_die_rngs",
+]

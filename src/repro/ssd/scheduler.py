@@ -1,0 +1,222 @@
+"""DES-driven SSD command scheduler: per-channel buses, per-die busy time.
+
+Runs on the existing :class:`~repro.sim.engine.SimEngine`.  Three kinds
+of actor cooperate through :class:`~repro.sim.engine.Signal` wake-ups:
+
+* an **admission process** feeds host commands to the per-die queues in
+  submission order, holding at most ``queue_depth`` commands in flight —
+  the NVMe-style host queue;
+* one **die process** per die drains its queue, occupying the die for
+  the array phase (sense / program / erase from the NAND timing model)
+  and arbitrating for its channel's bus for the transfer phase;
+* each **channel bus** is a serially-reusable resource: the transfer
+  plus the channel ECC engine's encode/decode occupy it as one
+  non-pipelined section, the structural hazard of the paper's
+  single-page-buffer controller FSM.
+
+Reads sense on the die first, then stream out over the bus; programs
+stream in over the bus first, then busy the die — so while one die
+programs or senses, its channel is free for siblings.  That phase order
+is exactly where multi-die throughput comes from.
+
+Everything is deterministic: same command list, topology and queue depth
+produce the same completion order and the same final clock (processes
+waking at one instant resume in park order).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.engine import Process, SimEngine, Signal
+from repro.ssd.topology import SsdTopology
+
+
+class CommandKind(enum.Enum):
+    """Host-visible NAND command classes."""
+
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+
+
+@dataclass(frozen=True)
+class DieCommand:
+    """One scheduled command against one die.
+
+    ``die_s`` is the array-busy phase (sense, program or erase time from
+    :class:`~repro.nand.timing.NandTimingModel`); ``channel_s`` is the
+    bus occupancy (page transfer plus the channel ECC engine's
+    encode/decode, zero for erases).  ``tag`` is the host's submission
+    index — completions map back to host operations through it.
+    """
+
+    kind: CommandKind
+    die: int
+    tag: int
+    die_s: float
+    channel_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.die_s < 0 or self.channel_s < 0:
+            raise SimulationError("command phase durations must be non-negative")
+
+
+@dataclass(frozen=True)
+class CommandCompletion:
+    """Timestamped completion of one command."""
+
+    tag: int
+    die: int
+    channel: int
+    admit_s: float
+    done_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Host-visible latency including queueing behind the die/bus."""
+        return self.done_s - self.admit_s
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one scheduler run."""
+
+    completions: list[CommandCompletion] = field(default_factory=list)
+    makespan_s: float = 0.0
+    die_busy_s: list[float] = field(default_factory=list)
+    channel_busy_s: list[float] = field(default_factory=list)
+
+    def latency_by_tag(self) -> dict[int, float]:
+        """Per-command latency keyed by submission tag."""
+        return {c.tag: c.latency_s for c in self.completions}
+
+    def completion_order(self) -> list[int]:
+        """Submission tags in completion order."""
+        return [c.tag for c in self.completions]
+
+    def channel_utilisation(self) -> list[float]:
+        """Busy fraction of each channel bus over the makespan."""
+        if self.makespan_s <= 0:
+            return [0.0 for _ in self.channel_busy_s]
+        return [busy / self.makespan_s for busy in self.channel_busy_s]
+
+
+class _ChannelBus:
+    """Serially-reusable channel bus guarded by a wake-up signal."""
+
+    def __init__(self, engine: SimEngine):
+        self.busy = False
+        self.freed = engine.signal()
+
+
+class CommandScheduler:
+    """Dispatches die commands over the topology on one DES run."""
+
+    def __init__(self, topology: SsdTopology):
+        self.topology = topology
+
+    def run(
+        self,
+        commands: list[DieCommand],
+        queue_depth: int | None = None,
+    ) -> ScheduleResult:
+        """Schedule a closed batch of commands; returns the full timeline.
+
+        ``queue_depth`` bounds how many commands are in flight at once
+        (``None`` admits everything immediately — an infinitely deep
+        queue).  Commands are admitted in list order; per-die service is
+        FIFO; channel buses arbitrate among their dies in wake-up order.
+        """
+        topology = self.topology
+        for command in commands:
+            if not 0 <= command.die < topology.dies:
+                raise SimulationError(
+                    f"command die {command.die} outside topology "
+                    f"({topology.dies} dies)"
+                )
+        if queue_depth is not None and queue_depth < 1:
+            raise SimulationError("queue depth must be >= 1")
+
+        engine = SimEngine()
+        result = ScheduleResult(
+            die_busy_s=[0.0] * topology.dies,
+            channel_busy_s=[0.0] * topology.channels,
+        )
+        buses = [_ChannelBus(engine) for _ in range(topology.channels)]
+        queues: list[deque[DieCommand]] = [deque() for _ in range(topology.dies)]
+        work = [engine.signal() for _ in range(topology.dies)]
+        completed = engine.signal()
+        state = {"in_flight": 0, "closed": False}
+        admit_s: dict[int, float] = {}
+
+        def admission() -> Process:
+            limit = len(commands) if queue_depth is None else queue_depth
+            for command in commands:
+                while state["in_flight"] >= limit:
+                    yield completed
+                state["in_flight"] += 1
+                admit_s[command.tag] = engine.now_s
+                queues[command.die].append(command)
+                work[command.die].fire()
+            state["closed"] = True
+            for signal in work:
+                signal.fire()
+
+        def die_process(die: int) -> Process:
+            channel = topology.channel_of(die)
+            bus = buses[channel]
+            while True:
+                while not queues[die]:
+                    if state["closed"]:
+                        return
+                    yield work[die]
+                command = queues[die].popleft()
+                if command.kind is CommandKind.READ:
+                    # Sense into the die's page buffer, then stream out.
+                    yield command.die_s
+                    result.die_busy_s[die] += command.die_s
+                    yield from self._hold_bus(bus, command.channel_s)
+                    result.channel_busy_s[channel] += command.channel_s
+                elif command.kind is CommandKind.PROGRAM:
+                    # Stream in (bus frees for siblings), then program.
+                    yield from self._hold_bus(bus, command.channel_s)
+                    result.channel_busy_s[channel] += command.channel_s
+                    yield command.die_s
+                    result.die_busy_s[die] += command.die_s
+                else:  # ERASE: array-only, no data on the bus.
+                    yield command.die_s
+                    result.die_busy_s[die] += command.die_s
+                result.completions.append(CommandCompletion(
+                    tag=command.tag,
+                    die=die,
+                    channel=channel,
+                    admit_s=admit_s[command.tag],
+                    done_s=engine.now_s,
+                ))
+                state["in_flight"] -= 1
+                completed.fire()
+
+        engine.spawn(admission())
+        for die in range(topology.dies):
+            engine.spawn(die_process(die))
+        result.makespan_s = engine.run()
+        if len(result.completions) != len(commands):
+            raise SimulationError(
+                f"scheduler completed {len(result.completions)} of "
+                f"{len(commands)} commands"
+            )
+        return result
+
+    @staticmethod
+    def _hold_bus(bus: _ChannelBus, duration_s: float) -> Process:
+        """Acquire the channel bus, hold it for ``duration_s``, release."""
+        while bus.busy:
+            yield bus.freed
+        bus.busy = True
+        yield duration_s
+        bus.busy = False
+        bus.freed.fire()

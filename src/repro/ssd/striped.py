@@ -1,0 +1,240 @@
+"""Die-striped FTL: logical pages round-robined across every die.
+
+One :class:`~repro.ftl.ftl.FlashTranslationLayer` shard per die (each
+with its own mapping, allocator and garbage collector over that die's
+block partition) behind an LPN router: logical page ``L`` lives on die
+``L % dies`` as shard page ``L // dies``.  Because die indices enumerate
+channel-first, consecutive logical pages alternate channels before
+stacking dies behind one bus.
+
+``read_many``/``write_many`` keep the exact single-die data semantics —
+each shard batch runs through the controller's vectorized ECC datapath —
+while *timing* comes from the DES command scheduler: the per-stage
+latencies of every page (sense/program from the NAND timing model,
+transfer + encode/decode on the channel) are replayed as an interleaved
+multi-die timeline, so a batch's makespan reflects real die parallelism
+and channel contention instead of a serial sum.
+
+The surface mirrors :class:`~repro.ftl.ftl.FlashTranslationLayer`
+(write/read/trim/write_many/read_many/stats/apply_config), so namespaces
+in :class:`~repro.ftl.service.DifferentiatedStorage` can be backed by
+either a single-die partition or a striped SSD span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controller.controller import ReadReport, WriteReport
+from repro.errors import ControllerError
+from repro.ftl.ftl import FlashTranslationLayer, FtlStats
+from repro.ftl.gc import GcStats
+from repro.nand.ispp import IsppAlgorithm
+from repro.ssd.device import SsdDevice
+from repro.ssd.scheduler import (
+    CommandKind,
+    DieCommand,
+    ScheduleResult,
+)
+from repro.ssd.topology import group_indices_by_die
+
+
+@dataclass(frozen=True)
+class StripedLocation:
+    """Where one logical page lives: (die, shard-local LPN)."""
+
+    die: int
+    shard_lpn: int
+
+
+class DieStripedFtl:
+    """A striped logical block device across every die of an SSD."""
+
+    def __init__(
+        self,
+        ssd: SsdDevice,
+        blocks: list[int] | None = None,
+        queue_depth: int | None = None,
+    ):
+        """Stripe over ``blocks`` of every die (the whole die by default).
+
+        ``queue_depth`` is the default host-queue window for batch calls
+        (``None`` keeps the queue as deep as the batch).
+        """
+        self.ssd = ssd
+        if blocks is None:
+            blocks = list(range(ssd.geometry.blocks))
+        self.blocks = list(blocks)
+        self.queue_depth = queue_depth
+        self.shards = [
+            FlashTranslationLayer(controller, list(blocks))
+            for controller in ssd.controllers
+        ]
+        self.logical_capacity = self.dies * min(
+            shard.logical_capacity for shard in self.shards
+        )
+        self.last_schedule: ScheduleResult | None = None
+
+    @property
+    def dies(self) -> int:
+        """Stripe width."""
+        return self.ssd.topology.dies
+
+    @property
+    def geometry(self):
+        """Per-die NAND geometry."""
+        return self.ssd.geometry
+
+    # -- LPN routing -----------------------------------------------------------
+
+    def route(self, lpn: int) -> StripedLocation:
+        """Die and shard-local LPN of one logical page."""
+        if not 0 <= lpn < self.logical_capacity:
+            raise ControllerError(
+                f"LPN {lpn} outside logical capacity {self.logical_capacity}"
+            )
+        return StripedLocation(die=lpn % self.dies, shard_lpn=lpn // self.dies)
+
+    # -- host interface --------------------------------------------------------------
+
+    def write(self, lpn: int, data: bytes) -> float:
+        """Write (or update) a logical page; returns the latency."""
+        return self.write_many([(lpn, data)])[0]
+
+    def read(self, lpn: int) -> tuple[bytes, float]:
+        """Read a logical page; returns (data, latency)."""
+        return self.read_many([lpn])[0]
+
+    def write_many(
+        self, items: list[tuple[int, bytes]], queue_depth: int | None = None
+    ) -> list[float]:
+        """Write a batch striped across dies; returns per-page latencies.
+
+        Each die's sub-batch runs through its shard FTL (one allocation
+        pass + ``write_batch`` per die); the per-page stage latencies are
+        then scheduled as PROGRAM commands — channel transfer + encode,
+        then die program — and the returned latency of each page is its
+        scheduled completion minus admission (queueing included).  The
+        full timeline is kept in :attr:`last_schedule`.
+        """
+        routes = [self.route(lpn) for lpn, _ in items]
+        per_die = self._group(routes)
+        commands: list[DieCommand] = []
+        for die, indices in per_die.items():
+            reports = self.shards[die].write_many_reports(
+                [(routes[i].shard_lpn, items[i][1]) for i in indices]
+            )
+            commands.extend(
+                self._program_command(die, index, report)
+                for index, report in zip(indices, reports)
+            )
+        return self._schedule(commands, len(items), queue_depth)
+
+    def read_many(
+        self, lpns: list[int], queue_depth: int | None = None
+    ) -> list[tuple[bytes, float]]:
+        """Read a batch striped across dies; returns (data, latency) pairs.
+
+        Data and error statistics are byte-identical to issuing each
+        die's sub-batch straight at its shard (same controllers, same RNG
+        streams); latency per page comes from the scheduled READ timeline
+        (die sense, then channel transfer + decode).
+        """
+        routes = [self.route(lpn) for lpn in lpns]
+        per_die = self._group(routes)
+        datas: list[bytes | None] = [None] * len(lpns)
+        commands: list[DieCommand] = []
+        for die, indices in per_die.items():
+            reads = self.shards[die].read_many_reports(
+                [routes[i].shard_lpn for i in indices]
+            )
+            for index, (data, report) in zip(indices, reads):
+                datas[index] = data
+                commands.append(self._read_command(die, index, report))
+        latencies = self._schedule(commands, len(lpns), queue_depth)
+        return list(zip(datas, latencies))
+
+    def trim(self, lpn: int) -> None:
+        """Discard a logical page."""
+        location = self.route(lpn)
+        self.shards[location.die].trim(location.shard_lpn)
+
+    def is_mapped(self, lpn: int) -> bool:
+        """Whether a logical page currently holds data."""
+        location = self.route(lpn)
+        return self.shards[location.die].is_mapped(location.shard_lpn)
+
+    # -- configuration / telemetry ---------------------------------------------------
+
+    def apply_config(self, algorithm: IsppAlgorithm, ecc_t: int) -> None:
+        """Program the cross-layer knobs on every die's controller."""
+        for shard in self.shards:
+            shard.apply_config(algorithm, ecc_t)
+
+    @property
+    def stats(self) -> FtlStats:
+        """Aggregate host-visible accounting across every shard."""
+        total = FtlStats()
+        for shard in self.shards:
+            total.host_writes += shard.stats.host_writes
+            total.host_reads += shard.stats.host_reads
+            total.trims += shard.stats.trims
+            total.write_time_s += shard.stats.write_time_s
+            total.read_time_s += shard.stats.read_time_s
+            total.corrected_bits += shard.stats.corrected_bits
+        return total
+
+    @property
+    def gc_stats(self) -> GcStats:
+        """Aggregate garbage-collection accounting across every shard."""
+        total = GcStats()
+        for shard in self.shards:
+            total.collections += shard.gc.stats.collections
+            total.pages_migrated += shard.gc.stats.pages_migrated
+            total.blocks_erased += shard.gc.stats.blocks_erased
+            total.migration_time_s += shard.gc.stats.migration_time_s
+        return total
+
+    # -- internals -------------------------------------------------------------------
+
+    def _group(self, routes: list[StripedLocation]) -> dict[int, list[int]]:
+        """Submission indices grouped by die, host order preserved."""
+        return group_indices_by_die([location.die for location in routes])
+
+    def _read_command(
+        self, die: int, tag: int, report: ReadReport
+    ) -> DieCommand:
+        latencies = report.latencies
+        return DieCommand(
+            kind=CommandKind.READ,
+            die=die,
+            tag=tag,
+            die_s=latencies.read_array_s,
+            channel_s=latencies.transfer_s + latencies.decode_s,
+        )
+
+    def _program_command(
+        self, die: int, tag: int, report: WriteReport
+    ) -> DieCommand:
+        latencies = report.latencies
+        return DieCommand(
+            kind=CommandKind.PROGRAM,
+            die=die,
+            tag=tag,
+            die_s=latencies.program_s,
+            channel_s=latencies.transfer_s + latencies.encode_s,
+        )
+
+    def _schedule(
+        self,
+        commands: list[DieCommand],
+        count: int,
+        queue_depth: int | None,
+    ) -> list[float]:
+        """Run the scheduler; returns per-tag latencies in host order."""
+        commands.sort(key=lambda command: command.tag)
+        if queue_depth is None:
+            queue_depth = self.queue_depth
+        self.last_schedule = self.ssd.scheduler.run(commands, queue_depth)
+        by_tag = self.last_schedule.latency_by_tag()
+        return [by_tag[tag] for tag in range(count)]

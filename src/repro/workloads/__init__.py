@@ -6,20 +6,26 @@ from repro.workloads.patterns import (
     random_page,
 )
 from repro.workloads.traces import (
+    QueuedTrace,
     TraceOp,
     TraceOpKind,
+    interleave_streams,
     mixed_trace,
     multimedia_playback_trace,
     os_upgrade_trace,
+    queued_playback_trace,
 )
 
 __all__ = [
     "random_page",
     "level_pattern_page",
     "pattern_for_level",
+    "QueuedTrace",
     "TraceOp",
     "TraceOpKind",
+    "interleave_streams",
     "multimedia_playback_trace",
     "os_upgrade_trace",
     "mixed_trace",
+    "queued_playback_trace",
 ]

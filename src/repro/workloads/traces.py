@@ -6,6 +6,13 @@
 * **OS upgrade / secure transaction log** (section 6.3.1) — write-then-
   verify critical data: the min-UBER mode's target.
 * **mixed** — interleaved reads/writes for baseline characterisation.
+
+Traces carry **queue-depth semantics** for the multi-die SSD runner: a
+:class:`QueuedTrace` pairs an operation list with the number of
+commands the host keeps outstanding, and :func:`interleave_streams`
+merges independent sequential streams round-robin — the classic way a
+deep host queue exposes die parallelism to the command scheduler (QD-1
+traffic serialises on one die at a time; QD-n keeps n dies busy).
 """
 
 from __future__ import annotations
@@ -35,6 +42,79 @@ class TraceOp:
     block: int
     page: int = 0
     data: bytes = b""
+
+
+@dataclass(frozen=True)
+class QueuedTrace:
+    """A trace plus the host queue depth it should run at.
+
+    ``queue_depth`` is how many page commands the host keeps in flight
+    at once when the trace runs against the SSD command scheduler.
+    Single-device runners may ignore it (they serialise anyway).
+    """
+
+    operations: list[TraceOp]
+    queue_depth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ConfigurationError("queue depth must be >= 1")
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+def interleave_streams(streams: list[list[TraceOp]]) -> list[TraceOp]:
+    """Round-robin merge of independent sequential host streams.
+
+    Models several concurrent sequential readers/writers sharing one
+    queue: operation ``i`` of every stream is adjacent in the merged
+    trace, so a queue depth of ``len(streams)`` keeps every stream's die
+    in flight simultaneously.
+    """
+    if not streams:
+        return []
+    merged: list[TraceOp] = []
+    longest = max(len(stream) for stream in streams)
+    for position in range(longest):
+        for stream in streams:
+            if position < len(stream):
+                merged.append(stream[position])
+    return merged
+
+
+def queued_playback_trace(
+    streams: int = 4,
+    blocks_per_stream: int = 1,
+    pages_per_block: int = 16,
+    read_passes: int = 4,
+    page_bytes: int = 4096,
+    seed: int = 7,
+) -> QueuedTrace:
+    """Multi-stream playback: ``streams`` concurrent sequential readers.
+
+    Each stream owns a disjoint block range and plays the multimedia
+    pattern (write once, stream repeatedly); the streams are interleaved
+    round-robin and the queue depth equals the stream count, so the SSD
+    scheduler can hold one command per stream in flight.
+    """
+    if streams < 1:
+        raise ConfigurationError("stream count must be positive")
+    traces = []
+    for stream in range(streams):
+        ops = multimedia_playback_trace(
+            blocks=blocks_per_stream,
+            pages_per_block=pages_per_block,
+            read_passes=read_passes,
+            page_bytes=page_bytes,
+            seed=seed + stream,
+        )
+        offset = stream * blocks_per_stream
+        traces.append([
+            TraceOp(op.kind, op.block + offset, op.page, op.data)
+            for op in ops
+        ])
+    return QueuedTrace(interleave_streams(traces), queue_depth=streams)
 
 
 def _sequential_writes(
