@@ -1,0 +1,185 @@
+"""Command-pipeline modes: phase scheduler vs the paper's serial FSM.
+
+Sweeps the phase scheduler's :class:`~repro.ssd.scheduler.PipelineConfig`
+modes — serial (paper-faithful non-pipelined FSM), cache reads,
+multi-plane, pipelined ECC and everything combined — across channel/die
+topologies at end-of-life RBER (~1e-3 on the ISPP-SV curve, t = 65).
+Reported MB/s is the simulated host throughput of die-striped batch
+reads and writes (the scheduler makespan over the batch footprint);
+speedups are against the serial mode on the same topology, i.e. they
+isolate what each overlap buys at fixed hardware.
+
+The serial mode is the safety net: with every overlap disabled the phase
+scheduler reproduces the PR 3 two-scalar scheduler's timelines exactly
+(equivalence-tested in tests/ssd/test_pipeline.py), so every speedup in
+this table comes from modelled hardware overlap, not from accounting
+changes.
+
+Run standalone (``python benchmarks/bench_pipeline.py``) or through
+pytest; ``--quick`` shrinks the batch and the sweep.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.modes import OperatingMode
+from repro.core.policy import CrossLayerPolicy
+from repro.nand.geometry import NandGeometry
+from repro.ssd import DieStripedFtl, PipelineConfig, SsdDevice, SsdTopology
+
+#: End-of-life wear: RBER ~1e-3 on the ISPP-SV lifetime curve.
+EOL_WEAR = 100_000
+
+#: (label, config, plane-interleaved placement) sweep points.
+MODES = (
+    ("serial", PipelineConfig.serial(), False),
+    ("cache", PipelineConfig(cache_read=True), False),
+    ("mplane", PipelineConfig(multi_plane=True), True),
+    ("ecc", PipelineConfig(pipelined_ecc=True), False),
+    ("cache+ecc", PipelineConfig(cache_read=True, pipelined_ecc=True), False),
+    ("full", PipelineConfig.full(), True),
+)
+QUICK_MODES = tuple(
+    mode for mode in MODES if mode[0] in ("serial", "cache+ecc", "full")
+)
+
+#: (channels, dies_per_channel) sweep points.
+TOPOLOGIES = ((1, 1), (1, 4), (2, 2))
+QUICK_TOPOLOGIES = ((1, 1), (1, 4))
+
+#: Acceptance floor: cache-read + pipelined-ECC EOL reads at 1ch x 4die.
+MIN_READ_SPEEDUP_CACHE_ECC = 1.5
+
+
+def _geometry(batch: int, dies: int) -> NandGeometry:
+    """Per-die geometry with room for the striped batch plus GC reserve."""
+    pages_per_block = 32
+    per_die = -(-batch // dies)  # ceil
+    blocks = max(2, -(-(per_die + pages_per_block) // pages_per_block) + 1)
+    return NandGeometry(blocks=blocks, pages_per_block=pages_per_block)
+
+
+def _build_ftl(
+    channels: int,
+    dies_per_channel: int,
+    batch: int,
+    config: PipelineConfig,
+    plane_interleave: bool,
+) -> DieStripedFtl:
+    topology = SsdTopology(
+        channels=channels,
+        dies_per_channel=dies_per_channel,
+        geometry=_geometry(batch, channels * dies_per_channel),
+    )
+    ssd = SsdDevice(
+        topology, policy=CrossLayerPolicy(), seed=2012, pipeline=config
+    )
+    for controller in ssd.controllers:
+        controller.device.array._wear[:] = EOL_WEAR
+    ssd.set_mode(OperatingMode.BASELINE, pe_reference=float(EOL_WEAR))
+    return DieStripedFtl(ssd, plane_interleave=plane_interleave)
+
+
+def _mb_s(pages: int, page_bytes: int, seconds: float) -> float:
+    return pages * page_bytes / max(seconds, 1e-12) / 1e6
+
+
+def _run_config(
+    channels: int,
+    dies_per_channel: int,
+    batch: int,
+    config: PipelineConfig,
+    plane_interleave: bool,
+) -> dict:
+    ftl = _build_ftl(channels, dies_per_channel, batch, config, plane_interleave)
+    rng = np.random.default_rng(11)
+    page_bytes = ftl.geometry.page_data_bytes
+    items = [(lpn, rng.bytes(page_bytes)) for lpn in range(batch)]
+
+    ftl.write_many(items)
+    write_makespan = ftl.last_schedule.makespan_s
+    reads = ftl.read_many([lpn for lpn, _ in items])
+    read_makespan = ftl.last_schedule.makespan_s
+    if not all(data == payload for (data, _), (_, payload) in zip(reads, items)):
+        raise AssertionError("pipelined read returned corrupted data")
+    return {
+        "read_mb_s": _mb_s(batch, page_bytes, read_makespan),
+        "write_mb_s": _mb_s(batch, page_bytes, write_makespan),
+    }
+
+
+def run_benchmark(quick: bool = False) -> tuple[str, dict]:
+    """Full sweep; returns (report text, read speedups by (topo, mode))."""
+    batch = 32 if quick else 64
+    modes = QUICK_MODES if quick else MODES
+    topologies = QUICK_TOPOLOGIES if quick else TOPOLOGIES
+    lines = [
+        "Command-pipeline modes at end-of-life RBER (~1e-3, t = 65), "
+        f"striped batch of {batch} pages",
+        "(simulated host MB/s from the phase scheduler's makespan; "
+        "speedups vs the serial mode on the same topology)",
+        "",
+        f"{'topology':>10} {'pipeline':>10} {'read MB/s':>10} "
+        f"{'write MB/s':>11} {'read x':>7} {'write x':>8}",
+    ]
+    speedups: dict = {}
+    for channels, dies_per_channel in topologies:
+        baseline: dict | None = None
+        topo_label = f"{channels}ch x {dies_per_channel}die"
+        for label, config, plane_interleave in modes:
+            row = _run_config(
+                channels, dies_per_channel, batch, config, plane_interleave
+            )
+            if baseline is None:
+                baseline = row
+            read_x = row["read_mb_s"] / baseline["read_mb_s"]
+            write_x = row["write_mb_s"] / baseline["write_mb_s"]
+            speedups[(topo_label, label)] = (read_x, write_x)
+            lines.append(
+                f"{topo_label:>10} {label:>10} {row['read_mb_s']:>10.2f} "
+                f"{row['write_mb_s']:>11.2f} {read_x:>6.2f}x {write_x:>7.2f}x"
+            )
+        lines.append("")
+    return "\n".join(lines) + "\n", speedups
+
+
+def cache_ecc_read_speedup(speedups: dict) -> float:
+    """Cache-read + pipelined-ECC read speedup at 1ch x 4die."""
+    return speedups[("1ch x 4die", "cache+ecc")][0]
+
+
+def _save(text: str) -> None:
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "pipeline.txt").write_text(text)
+    print("\n" + text)
+
+
+@pytest.mark.slow
+def test_pipeline_modes(quick):
+    """Record the pipeline-mode table and enforce the 1ch x 4die floor."""
+    text, speedups = run_benchmark(quick=quick)
+    _save(text)
+    lifted = cache_ecc_read_speedup(speedups)
+    assert lifted >= MIN_READ_SPEEDUP_CACHE_ECC, (
+        f"cache+ecc EOL read speedup {lifted:.2f}x at 1ch x 4die below "
+        f"the {MIN_READ_SPEEDUP_CACHE_ECC:.1f}x floor"
+    )
+
+
+if __name__ == "__main__":
+    report, speedups = run_benchmark(quick="--quick" in sys.argv)
+    _save(report)
+    lifted = cache_ecc_read_speedup(speedups)
+    ok = lifted >= MIN_READ_SPEEDUP_CACHE_ECC
+    print(
+        f"cache+ecc 1ch x 4die EOL read floor "
+        f"({MIN_READ_SPEEDUP_CACHE_ECC:.1f}x): {lifted:.2f}x "
+        f"{'PASS' if ok else 'FAIL'}"
+    )
+    sys.exit(0 if ok else 1)

@@ -218,3 +218,15 @@ class AdaptiveBCHCodec:
         return self.latency_model.decode_latency_s(
             self.spec_for(self._t if t is None else t), with_errors
         )
+
+    def decode_interval_s(self, t: int | None = None) -> float:
+        """Pipelined-decoder initiation interval at capability t."""
+        return self.latency_model.decode_interval_s(
+            self.spec_for(self._t if t is None else t)
+        )
+
+    def encode_interval_s(self, t: int | None = None) -> float:
+        """Pipelined-encoder initiation interval at capability t."""
+        return self.latency_model.encode_interval_s(
+            self.spec_for(self._t if t is None else t)
+        )

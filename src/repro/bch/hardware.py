@@ -55,6 +55,22 @@ class DecodeLatencyBreakdown:
         """Early-exit path: decoding ends after the syndrome stage."""
         return self.syndrome_cycles + self.alignment_cycles + self.overhead_cycles
 
+    @property
+    def interval_cycles(self) -> int:
+        """Initiation interval of a section-pipelined decoder.
+
+        With syndrome, Berlekamp-Massey and Chien sections double-buffered
+        against each other, the engine accepts a new codeword every
+        slowest-section interval while each codeword still takes
+        :attr:`total_cycles` end to end — the channel-pipelined ECC model
+        (decode of page i overlapping the transfer of page i+1).
+        """
+        return max(
+            self.syndrome_cycles + self.alignment_cycles,
+            self.berlekamp_cycles,
+            self.chien_cycles,
+        )
+
 
 @dataclass(frozen=True)
 class AreaEstimate:
@@ -116,6 +132,18 @@ class EccLatencyModel:
     def decode_latency_s(self, spec: BCHCodeSpec, with_errors: bool = True) -> float:
         """Decode latency in seconds."""
         return self.decode_cycles(spec, with_errors) * self.hw.clock_period_s
+
+    def decode_interval_s(self, spec: BCHCodeSpec) -> float:
+        """Initiation interval of the section-pipelined decoder (seconds)."""
+        return self.decode_breakdown(spec).interval_cycles * self.hw.clock_period_s
+
+    def encode_interval_s(self, spec: BCHCodeSpec) -> float:
+        """Initiation interval of a double-buffered encoder (seconds).
+
+        The parity shift-out of message i overlaps the data load of
+        message i+1, so the engine accepts a new message every k/p clocks.
+        """
+        return math.ceil(spec.k / self.hw.lfsr_parallelism) * self.hw.clock_period_s
 
     # -- area ------------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""UBER models (paper Eq. (1)) and the required-t solver.
+"""UBER models (paper Eq. (1)), the required-t solver, and Monte Carlo.
 
 Eq. (1) keeps only the dominant (t+1)-error pattern::
 
@@ -8,12 +8,25 @@ which is accurate when n*RBER is small compared to t and is what the paper
 uses throughout (including its Fig. 7 t = 65 point, where the approximation
 is already optimistic).  ``uber_exact`` provides the full binomial tail
 P(errors > t)/n for comparison; EXPERIMENTS.md discusses the gap.
+
+:func:`monte_carlo_uber` cross-checks both models against the *real*
+codec: batches of random pages are encoded, corrupted at the target RBER
+and decoded through the vectorized datapath.  Batches are chunked and
+fanned out across a :class:`concurrent.futures.ProcessPoolExecutor`;
+every chunk draws its randomness from its own
+:class:`numpy.random.SeedSequence` spawn and the aggregation is
+order-independent, so the result is bit-identical regardless of how many
+worker processes run the sweep (including none).
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
 
+import numpy as np
 from scipy import stats
 
 from repro import params as default_params
@@ -114,6 +127,132 @@ def log10_achieved_uber(
 ) -> float:
     """log10 of :func:`achieved_uber` (safe for deeply sub-underflow values)."""
     return log10_uber_eq1(rber, k + m * t, t)
+
+
+# ---------------------------------------------------------------------------
+# Monte-Carlo UBER through the real codec (process-pool fan-out)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class McUberResult:
+    """Aggregate outcome of one Monte-Carlo UBER run."""
+
+    rber: float
+    t: int
+    n: int
+    pages: int
+    failed_pages: int
+    injected_bits: int
+    corrected_bits: int
+
+    @property
+    def page_failure_rate(self) -> float:
+        """Fraction of pages the codec could not recover exactly."""
+        return self.failed_pages / self.pages if self.pages else 0.0
+
+    @property
+    def uber(self) -> float:
+        """MC estimate of the uncorrectable bit error rate (failures/bit)."""
+        return self.failed_pages / (self.pages * self.n) if self.pages else 0.0
+
+
+@lru_cache(maxsize=4)
+def _mc_codec(k: int, m: int | None, t_max: int):
+    """Per-process codec cache (design tables are expensive to rebuild)."""
+    from repro.bch.codec import AdaptiveBCHCodec
+
+    return AdaptiveBCHCodec(k=k, t_max=t_max, m=m)
+
+
+def _mc_uber_chunk(job: tuple) -> tuple[int, int, int, int]:
+    """One MC chunk: (failed_pages, injected_bits, corrected_bits, n).
+
+    Module-level and tuple-driven so it pickles into pool workers; the
+    chunk's :class:`~numpy.random.SeedSequence` fully determines its
+    randomness, making results independent of which worker runs it.
+    The codeword length n rides along so the parent never has to build
+    the (expensive) code-design tables itself in the pooled path.
+    """
+    k, m, t, pages, rber, seed_seq = job
+    codec = _mc_codec(k, m, t)
+    spec = codec.spec_for(t)
+    rng = np.random.default_rng(seed_seq)
+    messages = [rng.bytes(k // 8) for _ in range(pages)]
+    codewords = codec.encode_batch(messages, t=t)
+    word_bytes = len(codewords[0])
+    raw = np.frombuffer(b"".join(codewords), dtype=np.uint8).reshape(
+        pages, word_bytes
+    ).copy()
+    counts = rng.binomial(spec.n, rber, size=pages)
+    for row, count in zip(raw, counts):
+        if count == 0:
+            continue
+        positions = rng.choice(spec.n, size=count, replace=False)
+        np.bitwise_xor.at(
+            row, positions // 8, (0x80 >> (positions % 8)).astype(np.uint8)
+        )
+    results = codec.decode_batch([row.tobytes() for row in raw], t=t, strict=False)
+    failed = sum(
+        1
+        for message, result in zip(messages, results)
+        if not result.success or result.data != message
+    )
+    corrected = sum(r.corrected_bits for r in results if r.success)
+    return failed, int(counts.sum()), corrected, spec.n
+
+
+def monte_carlo_uber(
+    rber: float,
+    t: int,
+    pages: int,
+    k: int = default_params.MESSAGE_BITS,
+    m: int | None = None,
+    seed: int = 0,
+    chunk_pages: int = 64,
+    workers: int | None = None,
+) -> McUberResult:
+    """Monte-Carlo UBER of capability ``t`` at ``rber`` via the real codec.
+
+    ``pages`` random pages are encoded, corrupted (binomial error counts
+    at uniform distinct positions over the n-bit codeword) and decoded;
+    a page counts as failed when the decoder gives up *or* miscorrects.
+    The work is split into ceil(pages / chunk_pages) chunks, each seeded
+    by one :class:`numpy.random.SeedSequence` spawn of ``seed``, and
+    chunks are fanned out across ``workers`` processes (``None`` or <= 1
+    runs them inline).  Aggregation sums per-chunk counters, so the
+    result is deterministic regardless of worker count.
+    """
+    if pages <= 0:
+        raise ValueError("pages must be positive")
+    if chunk_pages <= 0:
+        raise ValueError("chunk_pages must be positive")
+    sizes = [
+        min(chunk_pages, pages - start)
+        for start in range(0, pages, chunk_pages)
+    ]
+    seeds = np.random.SeedSequence(seed).spawn(len(sizes))
+    jobs = [
+        (k, m, t, size, rber, child) for size, child in zip(sizes, seeds)
+    ]
+    if workers is None or workers <= 1 or len(jobs) == 1:
+        outcomes = [_mc_uber_chunk(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+            outcomes = list(pool.map(_mc_uber_chunk, jobs))
+    failed = sum(outcome[0] for outcome in outcomes)
+    injected = sum(outcome[1] for outcome in outcomes)
+    corrected = sum(outcome[2] for outcome in outcomes)
+    n = outcomes[0][3]
+    return McUberResult(
+        rber=rber,
+        t=t,
+        n=n,
+        pages=pages,
+        failed_pages=failed,
+        injected_bits=injected,
+        corrected_bits=corrected,
+    )
 
 
 def max_rber_for_t(

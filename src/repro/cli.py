@@ -40,6 +40,9 @@ def _runners(suite: ExperimentSuite) -> dict[str, tuple[str, callable]]:
         "sys_des": ("discrete-event system simulation", suite.run_system_des),
         "sys_services": ("differentiated storage services", suite.run_system_services),
         "sys_ssd": ("multi-die SSD scaling (command scheduler)", suite.run_system_ssd),
+        "sys_pipeline": ("command-pipeline modes (phase scheduler)",
+                         suite.run_system_pipeline),
+        "uber_mc": ("Monte-Carlo UBER sweep (process pool)", suite.run_uber_mc),
     }
 
 

@@ -46,21 +46,30 @@ class ControllerConfig:
 
 @dataclass(frozen=True)
 class WriteReport:
-    """Telemetry of one page write."""
+    """Telemetry of one page write.
+
+    ``block``/``page`` name the physical page the data landed on (-1 for
+    legacy construction); the SSD layer derives the array plane from the
+    block when building multi-plane command phases.
+    """
 
     latencies: StageLatencies
     ecc_t: int
     algorithm: IsppAlgorithm
+    block: int = -1
+    page: int = -1
 
 
 @dataclass(frozen=True)
 class ReadReport:
-    """Telemetry of one page read."""
+    """Telemetry of one page read (``block``/``page`` as in WriteReport)."""
 
     latencies: StageLatencies
     ecc_t: int
     corrected_bits: int
     success: bool
+    block: int = -1
+    page: int = -1
 
 
 class NandController:
@@ -147,6 +156,8 @@ class NandController:
             latencies=flow.latencies,
             ecc_t=self.codec.t,
             algorithm=self.device.program_algorithm,
+            block=block,
+            page=page,
         )
 
     def _update_telemetry_registers(self) -> None:
@@ -170,13 +181,15 @@ class NandController:
         if decision is not None and decision.changed:
             self.apply_config(decision.config.algorithm, decision.config.ecc_t)
 
-    def _read_report(self, flow) -> ReadReport:
+    def _read_report(self, flow, block: int = -1, page: int = -1) -> ReadReport:
         assert flow.decode is not None
         return ReadReport(
             latencies=flow.latencies,
             ecc_t=self.codec.t,
             corrected_bits=flow.decode.corrected_bits,
             success=flow.decode.success,
+            block=block,
+            page=page,
         )
 
     def read(self, block: int, page: int) -> tuple[bytes, ReadReport]:
@@ -185,7 +198,7 @@ class NandController:
         self._update_telemetry_registers()
         if self._self_adaptive:
             self._maybe_adapt()
-        return flow.data, self._read_report(flow)
+        return flow.data, self._read_report(flow, block, page)
 
     def write_batch(
         self, ops: list[tuple[int, int, bytes]]
@@ -198,8 +211,10 @@ class NandController:
                 latencies=flow.latencies,
                 ecc_t=self.codec.t,
                 algorithm=self.device.program_algorithm,
+                block=block,
+                page=page,
             )
-            for flow in flows
+            for (block, page, _), flow in zip(ops, flows)
         ]
 
     def read_batch(
@@ -216,7 +231,10 @@ class NandController:
             return [self.read(block, page) for block, page in addresses]
         flows = self.fsm.read_pages(addresses, strict=self.config.strict_decode)
         self._update_telemetry_registers()
-        return [(flow.data, self._read_report(flow)) for flow in flows]
+        return [
+            (flow.data, self._read_report(flow, block, page))
+            for (block, page), flow in zip(addresses, flows)
+        ]
 
     def erase(self, block: int) -> float:
         """Erase a block; returns the erase latency."""

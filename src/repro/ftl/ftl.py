@@ -46,20 +46,38 @@ class FlashTranslationLayer:
     #: Collect garbage when free pages drop below this many blocks' worth.
     GC_LOW_WATER_BLOCKS = 1
 
-    def __init__(self, controller: NandController, blocks: list[int]):
+    def __init__(
+        self,
+        controller: NandController,
+        blocks: list[int],
+        plane_interleave: bool = False,
+    ):
         if len(blocks) < 2:
             raise ControllerError("FTL needs at least two blocks (one spare for GC)")
         self.controller = controller
         geometry = controller.geometry
         self.mapping = LogicalMap(blocks, geometry.pages_per_block)
-        self.allocator = WearAwareAllocator(controller.device, blocks)
+        self.allocator = WearAwareAllocator(
+            controller.device, blocks, plane_interleave=plane_interleave
+        )
         self.gc = GarbageCollector(controller, self.mapping, self.allocator)
         self.stats = FtlStats()
-        # Keep one spare block's pages in reserve so GC can always migrate.
-        self._reserved_pages = geometry.pages_per_block
+        # Keep one spare block's pages in reserve per open cursor so GC
+        # can always migrate: plane-interleaved allocation appends into
+        # one block per plane, spreading staleness thin, so each plane
+        # needs its own migration headroom.
+        self._reserved_pages = (
+            geometry.pages_per_block * self.allocator.plane_slots
+        )
         self.logical_capacity = (
             self.mapping.capacity_pages - self._reserved_pages
         )
+        if self.logical_capacity < 1:
+            raise ControllerError(
+                f"partition too small: {len(blocks)} blocks leaves no "
+                f"logical capacity after the "
+                f"{self.allocator.plane_slots}-block GC reserve"
+            )
 
     # -- host interface -------------------------------------------------------
 

@@ -45,9 +45,10 @@ class GarbageCollector:
         space get rotated back into circulation instead of a hot pair
         ping-ponging through every collection.
         """
+        open_blocks = self.allocator.open_blocks
         candidates = [
             block for block in self.mapping.blocks
-            if block != self.allocator.open_block
+            if block not in open_blocks
             and block not in self.allocator.free_blocks
             and self.mapping.stale_pages(block) > 0
         ]
@@ -85,9 +86,10 @@ class GarbageCollector:
         rejoins the erase rotation.
         """
         wear = self.controller.device.array.wear
+        open_blocks = self.allocator.open_blocks
         closed = [
             block for block in self.mapping.blocks
-            if block != self.allocator.open_block
+            if block not in open_blocks
             and block not in self.allocator.free_blocks
         ]
         if not closed:

@@ -4,6 +4,13 @@ Writes append into one open block at a time; when a new block must be
 opened, the allocator picks the erased block with the least wear, keeping
 the P/E distribution flat — which matters here because the device RBER
 (and therefore the required t) is driven by per-block wear.
+
+With ``plane_interleave`` enabled the allocator keeps one open block per
+array plane and rotates planes round-robin on successive allocations, so
+consecutive pages land on alternating planes.  That placement is what
+lets the SSD scheduler's multi-plane pipeline overlap ISPP program (and
+sense) phases inside one die; wear-aware block selection still applies
+within each plane's free pool.
 """
 
 from __future__ import annotations
@@ -13,22 +20,44 @@ from repro.ftl.mapping import PhysicalLocation
 from repro.nand.device import NandFlashDevice
 
 
+class _OpenBlock:
+    """Append cursor of one open block."""
+
+    __slots__ = ("block", "next_page")
+
+    def __init__(self, block: int):
+        self.block = block
+        self.next_page = 0
+
+
 class WearAwareAllocator:
     """Sequential page allocation with min-wear block selection."""
 
-    def __init__(self, device: NandFlashDevice, blocks: list[int]):
+    def __init__(
+        self,
+        device: NandFlashDevice,
+        blocks: list[int],
+        plane_interleave: bool = False,
+    ):
         if not blocks:
             raise ControllerError("allocator needs at least one block")
         self.device = device
         self.blocks = list(blocks)
+        self.plane_interleave = plane_interleave
+        self._planes = device.geometry.planes if plane_interleave else 1
         self._free_blocks: set[int] = set(blocks)
-        self._open_block: int | None = None
-        self._next_page = 0
+        self._open: list[_OpenBlock | None] = [None] * self._planes
+        self._last_slot = 0
 
     @property
     def pages_per_block(self) -> int:
         """Pages in each erase block."""
         return self.device.geometry.pages_per_block
+
+    @property
+    def plane_slots(self) -> int:
+        """How many blocks may be open at once (one per interleaved plane)."""
+        return self._planes
 
     @property
     def free_blocks(self) -> list[int]:
@@ -37,40 +66,80 @@ class WearAwareAllocator:
 
     @property
     def open_block(self) -> int | None:
-        """The block currently accepting appends."""
-        return self._open_block
+        """The block that most recently accepted an append."""
+        current = self._open[self._last_slot]
+        return None if current is None else current.block
+
+    @property
+    def open_blocks(self) -> set[int]:
+        """Every block currently accepting appends (one per plane slot)."""
+        return {
+            cursor.block for cursor in self._open if cursor is not None
+        }
 
     def free_pages(self) -> int:
         """Programmable pages remaining without a garbage collection."""
         free = len(self._free_blocks) * self.pages_per_block
-        if self._open_block is not None:
-            free += self.pages_per_block - self._next_page
+        for cursor in self._open:
+            if cursor is not None:
+                free += self.pages_per_block - cursor.next_page
         return free
 
     def allocate(self) -> PhysicalLocation:
-        """Next physical page to program (opens a new block as needed)."""
-        if self._open_block is None or self._next_page >= self.pages_per_block:
-            self._open_next_block()
-        assert self._open_block is not None
-        location = PhysicalLocation(self._open_block, self._next_page)
-        self._next_page += 1
-        return location
+        """Next physical page to program (opens a new block as needed).
+
+        In plane-interleaved mode, planes are tried round-robin starting
+        after the previously used one; a plane with neither room in its
+        open block nor a free block to open is skipped.
+        """
+        for offset in range(1, self._planes + 1):
+            slot = (self._last_slot + offset) % self._planes
+            cursor = self._ensure_open(slot)
+            if cursor is None:
+                continue
+            self._last_slot = slot
+            location = PhysicalLocation(cursor.block, cursor.next_page)
+            cursor.next_page += 1
+            if self.plane_interleave and cursor.next_page >= self.pages_per_block:
+                # Close eagerly: an interleaved cursor must never shield
+                # its full block from garbage collection (a starved plane
+                # might not replace it for a long time).
+                self._open[slot] = None
+            return location
+        raise ControllerError("out of free blocks; garbage collection needed")
 
     def reclaim(self, block: int) -> None:
         """Return an erased block to the free pool (after GC)."""
         if block not in self.blocks:
             raise ControllerError(f"block {block} is not managed")
-        if block == self._open_block:
-            raise ControllerError("cannot reclaim the open block")
+        if block in self.open_blocks:
+            raise ControllerError("cannot reclaim an open block")
         self._free_blocks.add(block)
 
-    def _open_next_block(self) -> None:
-        if not self._free_blocks:
-            raise ControllerError("out of free blocks; garbage collection needed")
-        chosen = min(self._free_blocks, key=lambda b: self.device.array.wear(b))
+    def _ensure_open(self, slot: int) -> _OpenBlock | None:
+        """Open block with room on the given plane slot (None if starved).
+
+        A full cursor is closed here (not merely replaced): leaving it in
+        ``_open`` would shield the full block from garbage collection for
+        as long as its plane has no free block to succeed it, wedging the
+        partition.
+        """
+        cursor = self._open[slot]
+        if cursor is not None:
+            if cursor.next_page < self.pages_per_block:
+                return cursor
+            self._open[slot] = None
+        candidates = [
+            block for block in self._free_blocks
+            if not self.plane_interleave
+            or self.device.geometry.plane_of_block(block) == slot
+        ]
+        if not candidates:
+            return None
+        chosen = min(candidates, key=lambda b: (self.device.array.wear(b), b))
         self._free_blocks.remove(chosen)
-        self._open_block = chosen
-        self._next_page = 0
+        self._open[slot] = _OpenBlock(chosen)
+        return self._open[slot]
 
     def wear_spread(self) -> int:
         """Max minus min wear across managed blocks (levelling metric)."""

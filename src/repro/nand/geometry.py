@@ -24,6 +24,11 @@ class NandGeometry:
         Erase-block organisation (a block is the erase unit).
     bits_per_cell:
         2 for the MLC device under study.
+    planes:
+        Independent array planes per die (MT29F-class parts are
+        two-plane).  A block lives on plane ``block % planes``; planes
+        share the die's bus but sense/program concurrently when the
+        scheduler issues multi-plane commands.
     """
 
     page_data_bytes: int = 4096
@@ -31,6 +36,7 @@ class NandGeometry:
     pages_per_block: int = 128
     blocks: int = 2048
     bits_per_cell: int = 2
+    planes: int = 2
 
     def __post_init__(self) -> None:
         if self.page_data_bytes <= 0 or self.page_spare_bytes < 0:
@@ -39,6 +45,8 @@ class NandGeometry:
             raise ConfigurationError("block geometry must be positive")
         if self.bits_per_cell not in (1, 2, 3):
             raise ConfigurationError("bits_per_cell must be 1, 2 or 3")
+        if self.planes <= 0:
+            raise ConfigurationError("planes must be positive")
 
     @property
     def page_bytes(self) -> int:
@@ -80,3 +88,22 @@ class NandGeometry:
         if not 0 <= flat < self.pages:
             raise ConfigurationError(f"flat page {flat} out of range")
         return divmod(flat, self.pages_per_block)
+
+    # -- plane-aware addressing ---------------------------------------------
+
+    def plane_of_block(self, block: int) -> int:
+        """Array plane holding the given block (block-interleaved planes)."""
+        if not 0 <= block < self.blocks:
+            raise ConfigurationError(f"block {block} out of range 0..{self.blocks - 1}")
+        return block % self.planes
+
+    def plane_of_page(self, flat: int) -> int:
+        """Array plane holding a flat page index."""
+        block, _ = self.split_address(flat)
+        return self.plane_of_block(block)
+
+    def plane_blocks(self, plane: int) -> list[int]:
+        """Blocks resident on one plane, in address order."""
+        if not 0 <= plane < self.planes:
+            raise ConfigurationError(f"plane {plane} out of range 0..{self.planes - 1}")
+        return list(range(plane, self.blocks, self.planes))

@@ -84,6 +84,10 @@ T_PREVERIFY = units.us(8)
 #: Block erase time (not on the paper's critical path, datasheet typical).
 T_ERASE = units.ms(2.5)
 
+#: Cache-read busy gap (tRCBSY): page-buffer -> cache-register handoff
+#: before the array may start sensing the next page (MT29F datasheet).
+T_CACHE_BUSY = units.us(3)
+
 # ---------------------------------------------------------------------------
 # ISPP voltage staircase
 # ---------------------------------------------------------------------------
@@ -179,12 +183,15 @@ class NandTimingParams:
     t_verify: float = T_VERIFY
     t_preverify: float = T_PREVERIFY
     t_erase: float = T_ERASE
+    t_cache_busy: float = T_CACHE_BUSY
 
     def __post_init__(self) -> None:
         for name in ("t_read_array", "t_program_pulse", "t_pulse_setup",
                      "t_verify", "t_preverify", "t_erase"):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be positive")
+        if self.t_cache_busy < 0:
+            raise ConfigurationError("t_cache_busy must be non-negative")
 
 
 @dataclass(frozen=True)

@@ -95,6 +95,23 @@ class WorkloadResult:
         """Sustained write throughput."""
         return self.stats.write_mb_s(self.elapsed_s)
 
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of per-operation read and write latencies.
+
+        For the SSD runner these are the scheduled per-command latencies
+        (queueing behind dies and buses included), so deep host queues
+        show up as a widening p50 -> p99 spread even when throughput
+        improves.
+        """
+        return {
+            "read_p50_s": self.stats.read_latency.p50_s,
+            "read_p95_s": self.stats.read_latency.p95_s,
+            "read_p99_s": self.stats.read_latency.p99_s,
+            "write_p50_s": self.stats.write_latency.p50_s,
+            "write_p95_s": self.stats.write_latency.p95_s,
+            "write_p99_s": self.stats.write_latency.p99_s,
+        }
+
 
 def _batched_ops(operations: list[TraceOp], batch_pages: int):
     """Split a trace into runs of consecutive same-kind ops (<= batch)."""
@@ -273,7 +290,11 @@ def run_ssd_workload(
     at the workload's ``queue_depth``: per-operation latencies include
     queueing behind dies and channel buses, and the group advances the
     clock by its scheduled makespan, so the sustained MB/s reflects
-    channel/die parallelism.
+    channel/die parallelism.  The scheduler honours the SSD's
+    :class:`~repro.ssd.scheduler.PipelineConfig` (cache reads,
+    multi-plane, pipelined ECC), and the result's
+    :meth:`WorkloadResult.latency_percentiles` expose the p50/p95/p99
+    tail of the scheduled per-command latencies.
     """
     result = WorkloadResult(
         name=workload.name, elapsed_s=0.0, stats=ThroughputStats()

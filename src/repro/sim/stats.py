@@ -8,13 +8,25 @@ from dataclasses import dataclass, field
 
 @dataclass
 class LatencyStats:
-    """Streaming latency aggregation (count/mean/min/max/stdev)."""
+    """Latency aggregation: count/mean/min/max/stdev plus percentiles.
+
+    Samples are retained (unbounded — simulated traces here are
+    thousands of operations, not millions) so tail percentiles
+    (p50/p95/p99 — the QD-effect figures of merit for the SSD runner)
+    can be computed exactly; the sorted view is cached and invalidated
+    on each new observation, so reading several percentiles in a row
+    costs one sort.
+    """
 
     count: int = 0
     total_s: float = 0.0
     total_sq: float = 0.0
     min_s: float = math.inf
     max_s: float = 0.0
+    samples: list[float] = field(default_factory=list, repr=False)
+    _sorted: list[float] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def observe(self, latency_s: float) -> None:
         """Record one operation latency."""
@@ -23,6 +35,8 @@ class LatencyStats:
         self.total_sq += latency_s * latency_s
         self.min_s = min(self.min_s, latency_s)
         self.max_s = max(self.max_s, latency_s)
+        self.samples.append(latency_s)
+        self._sorted = None
 
     @property
     def mean_s(self) -> float:
@@ -36,6 +50,35 @@ class LatencyStats:
             return 0.0
         variance = self.total_sq / self.count - self.mean_s**2
         return math.sqrt(max(0.0, variance))
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile of the observed latencies.
+
+        ``fraction`` is in [0, 1]; returns 0.0 before any observation.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"percentile fraction must be in [0, 1], got {fraction}")
+        if not self.samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self.samples)
+        rank = max(1, math.ceil(fraction * len(self._sorted)))
+        return self._sorted[rank - 1]
+
+    @property
+    def p50_s(self) -> float:
+        """Median latency."""
+        return self.percentile(0.50)
+
+    @property
+    def p95_s(self) -> float:
+        """95th-percentile latency."""
+        return self.percentile(0.95)
+
+    @property
+    def p99_s(self) -> float:
+        """99th-percentile latency."""
+        return self.percentile(0.99)
 
 
 @dataclass

@@ -17,10 +17,14 @@ role:
   cross-layer policy, so the section-6 operating modes (baseline /
   min-UBER / max-read-throughput) reconfigure the whole SSD at once;
 * :class:`~repro.ssd.scheduler.CommandScheduler` — a discrete-event
-  command timeline on :class:`~repro.sim.engine.SimEngine`: per-die
-  busy phases (sense / program / erase from the paper's timing model)
-  overlap across dies while per-channel buses serialise transfer +
-  encode/decode, the paper's non-pipelined page-buffer FSM hazard;
+  command timeline on :class:`~repro.sim.engine.SimEngine` over explicit
+  :class:`~repro.nand.timing.CommandPhase` sequences: array planes,
+  channel buses, per-channel ECC engines and per-plane cache registers
+  are independent serially-reusable resources.  The default
+  :class:`~repro.ssd.scheduler.PipelineConfig` reproduces the paper's
+  non-pipelined page-buffer FSM hazard exactly; enabling ``cache_read``
+  / ``multi_plane`` / ``pipelined_ecc`` unlocks the corresponding
+  MT29F-class overlaps;
 * :class:`~repro.ssd.striped.DieStripedFtl` — logical pages round-robin
   striped over the dies (channel-first), one FTL shard per die, so
   ``read_many``/``write_many`` and the host workload runner exploit die
@@ -41,6 +45,7 @@ from repro.ssd.scheduler import (
     CommandKind,
     CommandScheduler,
     DieCommand,
+    PipelineConfig,
     ScheduleResult,
 )
 from repro.ssd.striped import DieStripedFtl, StripedLocation
@@ -60,6 +65,7 @@ __all__ = [
     "DieCommand",
     "DiePageAddress",
     "DieStripedFtl",
+    "PipelineConfig",
     "ScheduleResult",
     "SsdDevice",
     "SsdTopology",

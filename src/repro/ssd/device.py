@@ -20,10 +20,12 @@ from repro.core.modes import OperatingMode
 from repro.core.policy import CrossLayerPolicy
 from repro.errors import ConfigurationError
 from repro.nand.ispp import IsppAlgorithm
+from repro.nand.timing import NandTimingModel
 from repro.ssd.scheduler import (
     CommandKind,
     CommandScheduler,
     DieCommand,
+    PipelineConfig,
     ScheduleResult,
 )
 from repro.ssd.topology import (
@@ -47,9 +49,11 @@ class SsdDevice:
         ocp_params: OcpParams | None = None,
         seed: int | None = None,
         rngs: list[np.random.Generator] | None = None,
+        pipeline: PipelineConfig | None = None,
     ):
         self.topology = topology or SsdTopology()
         self.policy = policy or CrossLayerPolicy()
+        self.pipeline = pipeline or PipelineConfig()
         if rngs is None:
             rngs = spawn_die_rngs(seed, self.topology.dies)
         if len(rngs) != self.topology.dies:
@@ -66,7 +70,7 @@ class SsdDevice:
             )
             for rng in rngs
         ]
-        self.scheduler = CommandScheduler(self.topology)
+        self.scheduler = CommandScheduler(self.topology, self.pipeline)
 
     # -- topology-wide configuration -------------------------------------------
 
@@ -138,12 +142,14 @@ class SsdDevice:
                 [datas[i] for i in indices],
             )
             commands.extend(
-                DieCommand(
-                    kind=CommandKind.PROGRAM,
-                    die=die,
-                    tag=index,
-                    die_s=report.latency_s,
-                    channel_s=transfer_s,
+                DieCommand.from_phases(
+                    CommandKind.PROGRAM,
+                    die,
+                    index,
+                    NandTimingModel.program_phases(
+                        program_s=report.latency_s, transfer_s=transfer_s
+                    ),
+                    plane=self.geometry.plane_of_block(addresses[index][1]),
                 )
                 for index, report in zip(indices, reports)
             )
@@ -176,12 +182,15 @@ class SsdDevice:
             raw, report = device.read_pages([addresses[i][1:] for i in indices])
             rows[indices] = raw
             commands.extend(
-                DieCommand(
-                    kind=CommandKind.READ,
-                    die=die,
-                    tag=index,
-                    die_s=report.latency_s,
-                    channel_s=transfer_s,
+                DieCommand.from_phases(
+                    CommandKind.READ,
+                    die,
+                    index,
+                    NandTimingModel.read_phases(
+                        sense_s=report.latency_s, transfer_s=transfer_s
+                    ),
+                    plane=self.geometry.plane_of_block(addresses[index][1]),
+                    cache_busy_s=device.timing.cache_busy_s(),
                 )
                 for index in indices
             )
@@ -195,11 +204,12 @@ class SsdDevice:
         commands = []
         for index, (die, block) in enumerate(blocks):
             report = self.controller(die).device.erase_block(block)
-            commands.append(DieCommand(
-                kind=CommandKind.ERASE,
-                die=die,
-                tag=index,
-                die_s=report.latency_s,
+            commands.append(DieCommand.from_phases(
+                CommandKind.ERASE,
+                die,
+                index,
+                NandTimingModel.erase_phases(report.latency_s),
+                plane=self.geometry.plane_of_block(block),
             ))
         return self.scheduler.run(commands, queue_depth)
 

@@ -1,27 +1,39 @@
-"""DES-driven SSD command scheduler: per-channel buses, per-die busy time.
+"""DES-driven SSD command scheduler over a phase/resource model.
 
-Runs on the existing :class:`~repro.sim.engine.SimEngine`.  Three kinds
-of actor cooperate through :class:`~repro.sim.engine.Signal` wake-ups:
+Commands are no longer two opaque scalars: each :class:`DieCommand`
+carries (or derives) an explicit sequence of
+:class:`~repro.nand.timing.CommandPhase` stages, and the scheduler
+executes those phases against four kinds of serially-reusable resource:
 
-* an **admission process** feeds host commands to the per-die queues in
-  submission order, holding at most ``queue_depth`` commands in flight —
-  the NVMe-style host queue;
-* one **die process** per die drains its queue, occupying the die for
-  the array phase (sense / program / erase from the NAND timing model)
-  and arbitrating for its channel's bus for the transfer phase;
-* each **channel bus** is a serially-reusable resource: the transfer
-  plus the channel ECC engine's encode/decode occupy it as one
-  non-pipelined section, the structural hazard of the paper's
-  single-page-buffer controller FSM.
+* **array planes** — sense / ISPP program / erase busy time.  One worker
+  process per plane drains that plane's queue, so multi-plane commands
+  overlap ISPP (and sensing) inside one die;
+* **channel buses** — page transfers.  Each bus arbitrates among the
+  dies it serves through a :class:`~repro.sim.engine.Signal` wake-up;
+* **per-channel ECC engines** — BCH encode / decode.  A pipelined engine
+  is held only for its initiation interval (``CommandPhase.hold_s``)
+  while the page still takes the full duration end to end;
+* **per-plane cache registers** — the double buffer behind cache reads:
+  after sensing, a page parks in the cache register and streams out
+  while the plane already senses the next page.
 
-Reads sense on the die first, then stream out over the bus; programs
-stream in over the bus first, then busy the die — so while one die
-programs or senses, its channel is free for siblings.  That phase order
-is exactly where multi-die throughput comes from.
+Which overlaps are allowed is governed by :class:`PipelineConfig`:
 
-Everything is deterministic: same command list, topology and queue depth
-produce the same completion order and the same final clock (processes
-waking at one instant resume in park order).
+* ``PipelineConfig()`` (all pipelining off) is the **paper-faithful**
+  single-page-buffer controller FSM — every command serialises sense /
+  (transfer + ECC as one fused bus section) per die, reproducing the
+  PR 3 scheduler's timelines *exactly* (same completion order, same
+  clock);
+* ``cache_read`` lets reads sense page i+1 under the transfer of page i;
+* ``multi_plane`` lets array phases of different planes overlap;
+* ``pipelined_ecc`` splits the fused bus section: the bus is held only
+  for the transfer while the ECC engine decodes page i as the bus
+  streams page i+1, lifting the per-channel read ceiling.
+
+An admission process bounds in-flight commands at ``queue_depth`` (the
+NVMe-style host queue).  Everything is deterministic: the same command
+list, topology, pipeline config and queue depth produce the same
+completion order and the same final clock.
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.nand.timing import CommandPhase, PhaseResource
 from repro.sim.engine import Process, SimEngine, Signal
 from repro.ssd.topology import SsdTopology
 
@@ -44,14 +57,55 @@ class CommandKind(enum.Enum):
 
 
 @dataclass(frozen=True)
+class PipelineConfig:
+    """Which overlaps the command pipeline may exploit.
+
+    The default (everything off) is the paper's non-pipelined
+    single-page-buffer controller; :meth:`full` enables every overlap a
+    MT29F-class part plus a section-pipelined BCH engine offers.
+    """
+
+    cache_read: bool = False
+    multi_plane: bool = False
+    pipelined_ecc: bool = False
+
+    @classmethod
+    def serial(cls) -> "PipelineConfig":
+        """Paper-faithful non-pipelined configuration."""
+        return cls()
+
+    @classmethod
+    def full(cls) -> "PipelineConfig":
+        """Every modelled overlap enabled."""
+        return cls(cache_read=True, multi_plane=True, pipelined_ecc=True)
+
+    def describe(self) -> str:
+        """Short label, e.g. ``serial`` or ``cache+ecc``."""
+        parts = [
+            name
+            for name, on in (
+                ("cache", self.cache_read),
+                ("mplane", self.multi_plane),
+                ("ecc", self.pipelined_ecc),
+            )
+            if on
+        ]
+        return "+".join(parts) if parts else "serial"
+
+
+@dataclass(frozen=True)
 class DieCommand:
     """One scheduled command against one die.
 
     ``die_s`` is the array-busy phase (sense, program or erase time from
     :class:`~repro.nand.timing.NandTimingModel`); ``channel_s`` is the
-    bus occupancy (page transfer plus the channel ECC engine's
-    encode/decode, zero for erases).  ``tag`` is the host's submission
-    index — completions map back to host operations through it.
+    channel-section occupancy (page transfer plus the channel ECC
+    engine's encode/decode, zero for erases).  ``tag`` is the host's
+    submission index — completions map back to host operations through
+    it.  ``plane`` is the array plane the command lands on, and
+    ``phases`` optionally carries the full stage decomposition; commands
+    built from the two scalars get the classic decomposition (one fused
+    channel section) via :meth:`phase_plan`.
     """
 
     kind: CommandKind
@@ -59,10 +113,61 @@ class DieCommand:
     tag: int
     die_s: float
     channel_s: float = 0.0
+    plane: int = 0
+    phases: tuple[CommandPhase, ...] | None = None
+    cache_busy_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.die_s < 0 or self.channel_s < 0:
             raise SimulationError("command phase durations must be non-negative")
+        if self.plane < 0:
+            raise SimulationError("plane must be non-negative")
+        if self.cache_busy_s < 0:
+            raise SimulationError("cache busy time must be non-negative")
+
+    @classmethod
+    def from_phases(
+        cls,
+        kind: CommandKind,
+        die: int,
+        tag: int,
+        phases: tuple[CommandPhase, ...],
+        plane: int = 0,
+        cache_busy_s: float = 0.0,
+    ) -> "DieCommand":
+        """Build a command from an explicit phase sequence.
+
+        The scalar ``die_s``/``channel_s`` views are derived as the
+        summed plane and channel-section durations, so phase-built
+        commands stay interchangeable with scalar-built ones under the
+        serial (non-pipelined) configuration.
+        """
+        die_s = sum(
+            p.duration_s for p in phases if p.resource is PhaseResource.PLANE
+        )
+        channel_s = sum(
+            p.duration_s for p in phases if p.resource is not PhaseResource.PLANE
+        )
+        return cls(
+            kind=kind, die=die, tag=tag, die_s=die_s, channel_s=channel_s,
+            plane=plane, phases=tuple(phases), cache_busy_s=cache_busy_s,
+        )
+
+    def phase_plan(self) -> tuple[CommandPhase, ...]:
+        """Explicit phases, deriving the classic decomposition if absent."""
+        if self.phases is not None:
+            return self.phases
+        if self.kind is CommandKind.READ:
+            return (
+                CommandPhase(PhaseResource.PLANE, self.die_s),
+                CommandPhase(PhaseResource.CHANNEL, self.channel_s),
+            )
+        if self.kind is CommandKind.PROGRAM:
+            return (
+                CommandPhase(PhaseResource.CHANNEL, self.channel_s),
+                CommandPhase(PhaseResource.PLANE, self.die_s),
+            )
+        return (CommandPhase(PhaseResource.PLANE, self.die_s),)
 
 
 @dataclass(frozen=True)
@@ -89,6 +194,7 @@ class ScheduleResult:
     makespan_s: float = 0.0
     die_busy_s: list[float] = field(default_factory=list)
     channel_busy_s: list[float] = field(default_factory=list)
+    ecc_busy_s: list[float] = field(default_factory=list)
 
     def latency_by_tag(self) -> dict[int, float]:
         """Per-command latency keyed by submission tag."""
@@ -99,14 +205,23 @@ class ScheduleResult:
         return [c.tag for c in self.completions]
 
     def channel_utilisation(self) -> list[float]:
-        """Busy fraction of each channel bus over the makespan."""
+        """Busy fraction of each channel bus over the makespan.
+
+        Under the serial configuration the ECC encode/decode occupies the
+        bus (fused section) and is counted here; under ``pipelined_ecc``
+        it is accounted separately in :attr:`ecc_busy_s`.
+        """
         if self.makespan_s <= 0:
             return [0.0 for _ in self.channel_busy_s]
         return [busy / self.makespan_s for busy in self.channel_busy_s]
 
+    def latencies(self) -> list[float]:
+        """Per-command latencies in completion order."""
+        return [c.latency_s for c in self.completions]
 
-class _ChannelBus:
-    """Serially-reusable channel bus guarded by a wake-up signal."""
+
+class _Lock:
+    """Serially-reusable resource guarded by a wake-up signal."""
 
     def __init__(self, engine: SimEngine):
         self.busy = False
@@ -116,8 +231,13 @@ class _ChannelBus:
 class CommandScheduler:
     """Dispatches die commands over the topology on one DES run."""
 
-    def __init__(self, topology: SsdTopology):
+    def __init__(
+        self,
+        topology: SsdTopology,
+        pipeline: PipelineConfig | None = None,
+    ):
         self.topology = topology
+        self.pipeline = pipeline or PipelineConfig()
 
     def run(
         self,
@@ -128,30 +248,120 @@ class CommandScheduler:
 
         ``queue_depth`` bounds how many commands are in flight at once
         (``None`` admits everything immediately — an infinitely deep
-        queue).  Commands are admitted in list order; per-die service is
-        FIFO; channel buses arbitrate among their dies in wake-up order.
+        queue).  Commands are admitted in list order; per-plane service
+        is FIFO; buses and ECC engines arbitrate among their dies in
+        wake-up order.  Duplicate submission tags are rejected — they
+        would silently corrupt the completion map.
         """
         topology = self.topology
+        config = self.pipeline
+        seen_tags: set[int] = set()
         for command in commands:
             if not 0 <= command.die < topology.dies:
                 raise SimulationError(
                     f"command die {command.die} outside topology "
                     f"({topology.dies} dies)"
                 )
+            if command.tag in seen_tags:
+                raise SimulationError(
+                    f"duplicate command tag {command.tag}: tags must be "
+                    "unique within one scheduled batch"
+                )
+            seen_tags.add(command.tag)
         if queue_depth is not None and queue_depth < 1:
             raise SimulationError("queue depth must be >= 1")
 
+        planes = topology.geometry.planes if config.multi_plane else 1
         engine = SimEngine()
         result = ScheduleResult(
             die_busy_s=[0.0] * topology.dies,
             channel_busy_s=[0.0] * topology.channels,
+            ecc_busy_s=[0.0] * topology.channels,
         )
-        buses = [_ChannelBus(engine) for _ in range(topology.channels)]
-        queues: list[deque[DieCommand]] = [deque() for _ in range(topology.dies)]
-        work = [engine.signal() for _ in range(topology.dies)]
+        buses = [_Lock(engine) for _ in range(topology.channels)]
+        engines = [_Lock(engine) for _ in range(topology.channels)]
+        caches = [
+            [_Lock(engine) for _ in range(planes)]
+            for _ in range(topology.dies)
+        ]
+        queues: list[list[deque[DieCommand]]] = [
+            [deque() for _ in range(planes)] for _ in range(topology.dies)
+        ]
+        work = [
+            [engine.signal() for _ in range(planes)]
+            for _ in range(topology.dies)
+        ]
         completed = engine.signal()
         state = {"in_flight": 0, "closed": False}
         admit_s: dict[int, float] = {}
+
+        def finish(command: DieCommand, die: int, channel: int) -> None:
+            result.completions.append(CommandCompletion(
+                tag=command.tag,
+                die=die,
+                channel=channel,
+                admit_s=admit_s[command.tag],
+                done_s=engine.now_s,
+            ))
+            state["in_flight"] -= 1
+            completed.fire()
+
+        def hold(lock: _Lock, duration_s: float) -> Process:
+            """Acquire a resource, hold it for ``duration_s``, release."""
+            while lock.busy:
+                yield lock.freed
+            lock.busy = True
+            yield duration_s
+            lock.busy = False
+            lock.freed.fire()
+
+        def channel_section(
+            phases: list[CommandPhase],
+            channel: int,
+            cache: _Lock | None,
+        ) -> Process:
+            """Run a command's channel/ECC phases, freeing ``cache`` once
+            the data has left the cache register (bus transfer done)."""
+            bus, ecc = buses[channel], engines[channel]
+            if not config.pipelined_ecc:
+                # Paper-faithful fused section: transfer + encode/decode
+                # occupy the bus as one non-pipelined unit (the structural
+                # hazard of the single-page-buffer controller FSM).
+                total = sum(p.duration_s for p in phases)
+                yield from hold(bus, total)
+                result.channel_busy_s[channel] += total
+                if cache is not None:
+                    cache.busy = False
+                    cache.freed.fire()
+                return
+            for phase in phases:
+                if phase.resource is PhaseResource.CHANNEL:
+                    yield from hold(bus, phase.duration_s)
+                    result.channel_busy_s[channel] += phase.duration_s
+                    if cache is not None:
+                        cache.busy = False
+                        cache.freed.fire()
+                        cache = None
+                else:  # ECC: held for the initiation interval only.
+                    yield from hold(ecc, phase.occupancy_s)
+                    result.ecc_busy_s[channel] += phase.occupancy_s
+                    drain = phase.duration_s - phase.occupancy_s
+                    if drain > 0:
+                        yield drain
+            if cache is not None:  # no transfer phase: free on exit
+                cache.busy = False
+                cache.freed.fire()
+
+        def read_drain(
+            command: DieCommand,
+            die: int,
+            channel: int,
+            cache: _Lock,
+            phases: list[CommandPhase],
+        ) -> Process:
+            """Stream a cached page out and complete its command."""
+            yield from channel_section(phases, channel, cache)
+            finish(command, die, channel)
 
         def admission() -> Process:
             limit = len(commands) if queue_depth is None else queue_depth
@@ -160,49 +370,66 @@ class CommandScheduler:
                     yield completed
                 state["in_flight"] += 1
                 admit_s[command.tag] = engine.now_s
-                queues[command.die].append(command)
-                work[command.die].fire()
+                slot = command.plane % planes
+                queues[command.die][slot].append(command)
+                work[command.die][slot].fire()
             state["closed"] = True
-            for signal in work:
-                signal.fire()
+            for die_signals in work:
+                for signal in die_signals:
+                    signal.fire()
 
-        def die_process(die: int) -> Process:
+        def worker(die: int, plane: int) -> Process:
             channel = topology.channel_of(die)
-            bus = buses[channel]
+            queue = queues[die][plane]
             while True:
-                while not queues[die]:
+                while not queue:
                     if state["closed"]:
                         return
-                    yield work[die]
-                command = queues[die].popleft()
+                    yield work[die][plane]
+                command = queue.popleft()
+                plan = command.phase_plan()
+                array = [
+                    p for p in plan if p.resource is PhaseResource.PLANE
+                ]
+                channel_phases = [
+                    p for p in plan if p.resource is not PhaseResource.PLANE
+                ]
                 if command.kind is CommandKind.READ:
-                    # Sense into the die's page buffer, then stream out.
-                    yield command.die_s
-                    result.die_busy_s[die] += command.die_s
-                    yield from self._hold_bus(bus, command.channel_s)
-                    result.channel_busy_s[channel] += command.channel_s
+                    # Sense into the plane's page buffer, then stream out.
+                    for phase in array:
+                        yield phase.duration_s
+                        result.die_busy_s[die] += phase.duration_s
+                    if config.cache_read and channel_phases:
+                        # Hand the page to the cache register and sense on.
+                        cache = caches[die][plane]
+                        while cache.busy:
+                            yield cache.freed
+                        cache.busy = True
+                        if command.cache_busy_s > 0:  # tRCBSY handoff
+                            yield command.cache_busy_s
+                            result.die_busy_s[die] += command.cache_busy_s
+                        engine.spawn(read_drain(
+                            command, die, channel, cache, channel_phases
+                        ))
+                        continue  # completion happens in the drain
+                    yield from channel_section(channel_phases, channel, None)
                 elif command.kind is CommandKind.PROGRAM:
-                    # Stream in (bus frees for siblings), then program.
-                    yield from self._hold_bus(bus, command.channel_s)
-                    result.channel_busy_s[channel] += command.channel_s
-                    yield command.die_s
-                    result.die_busy_s[die] += command.die_s
+                    # Encode + stream in (bus frees for siblings), then
+                    # busy the plane with the ISPP.
+                    yield from channel_section(channel_phases, channel, None)
+                    for phase in array:
+                        yield phase.duration_s
+                        result.die_busy_s[die] += phase.duration_s
                 else:  # ERASE: array-only, no data on the bus.
-                    yield command.die_s
-                    result.die_busy_s[die] += command.die_s
-                result.completions.append(CommandCompletion(
-                    tag=command.tag,
-                    die=die,
-                    channel=channel,
-                    admit_s=admit_s[command.tag],
-                    done_s=engine.now_s,
-                ))
-                state["in_flight"] -= 1
-                completed.fire()
+                    for phase in array:
+                        yield phase.duration_s
+                        result.die_busy_s[die] += phase.duration_s
+                finish(command, die, channel)
 
         engine.spawn(admission())
         for die in range(topology.dies):
-            engine.spawn(die_process(die))
+            for plane in range(planes):
+                engine.spawn(worker(die, plane))
         result.makespan_s = engine.run()
         if len(result.completions) != len(commands):
             raise SimulationError(
@@ -210,13 +437,3 @@ class CommandScheduler:
                 f"{len(commands)} commands"
             )
         return result
-
-    @staticmethod
-    def _hold_bus(bus: _ChannelBus, duration_s: float) -> Process:
-        """Acquire the channel bus, hold it for ``duration_s``, release."""
-        while bus.busy:
-            yield bus.freed
-        bus.busy = True
-        yield duration_s
-        bus.busy = False
-        bus.freed.fire()

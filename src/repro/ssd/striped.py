@@ -9,11 +9,18 @@ stacking dies behind one bus.
 
 ``read_many``/``write_many`` keep the exact single-die data semantics —
 each shard batch runs through the controller's vectorized ECC datapath —
-while *timing* comes from the DES command scheduler: the per-stage
-latencies of every page (sense/program from the NAND timing model,
-transfer + encode/decode on the channel) are replayed as an interleaved
-multi-die timeline, so a batch's makespan reflects real die parallelism
-and channel contention instead of a serial sum.
+while *timing* comes from the DES command scheduler: every page's stage
+latencies are rebuilt as explicit
+:class:`~repro.nand.timing.CommandPhase` sequences (sense on the array
+plane of its physical block, transfer on the channel, decode/encode on
+the channel ECC engine with its pipelined initiation interval) and
+replayed as an interleaved multi-die timeline, so a batch's makespan
+reflects real die/plane parallelism and channel contention instead of a
+serial sum.  Under the SSD's
+:class:`~repro.ssd.scheduler.PipelineConfig` the same commands overlap
+further: cache reads hide sensing, multi-plane placement (see
+``plane_interleave``) overlaps ISPP programs, and the pipelined ECC
+engine decodes page i while page i+1 streams.
 
 The surface mirrors :class:`~repro.ftl.ftl.FlashTranslationLayer`
 (write/read/trim/write_many/read_many/stats/apply_config), so namespaces
@@ -30,6 +37,7 @@ from repro.errors import ControllerError
 from repro.ftl.ftl import FlashTranslationLayer, FtlStats
 from repro.ftl.gc import GcStats
 from repro.nand.ispp import IsppAlgorithm
+from repro.nand.timing import NandTimingModel
 from repro.ssd.device import SsdDevice
 from repro.ssd.scheduler import (
     CommandKind,
@@ -55,11 +63,16 @@ class DieStripedFtl:
         ssd: SsdDevice,
         blocks: list[int] | None = None,
         queue_depth: int | None = None,
+        plane_interleave: bool = False,
     ):
         """Stripe over ``blocks`` of every die (the whole die by default).
 
         ``queue_depth`` is the default host-queue window for batch calls
         (``None`` keeps the queue as deep as the batch).
+        ``plane_interleave`` makes each shard's allocator rotate open
+        blocks across the die's array planes, so consecutive writes land
+        on alternating planes — the placement policy that lets the
+        scheduler's ``multi_plane`` pipeline overlap ISPP phases.
         """
         self.ssd = ssd
         if blocks is None:
@@ -67,7 +80,9 @@ class DieStripedFtl:
         self.blocks = list(blocks)
         self.queue_depth = queue_depth
         self.shards = [
-            FlashTranslationLayer(controller, list(blocks))
+            FlashTranslationLayer(
+                controller, list(blocks), plane_interleave=plane_interleave
+            )
             for controller in ssd.controllers
         ]
         self.logical_capacity = self.dies * min(
@@ -201,28 +216,44 @@ class DieStripedFtl:
         """Submission indices grouped by die, host order preserved."""
         return group_indices_by_die([location.die for location in routes])
 
+    def _plane_of(self, report: ReadReport | WriteReport) -> int:
+        """Array plane of the physical block a report names (0 if unknown)."""
+        if report.block < 0:
+            return 0
+        return self.geometry.plane_of_block(report.block)
+
     def _read_command(
         self, die: int, tag: int, report: ReadReport
     ) -> DieCommand:
         latencies = report.latencies
-        return DieCommand(
-            kind=CommandKind.READ,
-            die=die,
-            tag=tag,
-            die_s=latencies.read_array_s,
-            channel_s=latencies.transfer_s + latencies.decode_s,
+        codec = self.shards[die].controller.codec
+        device = self.shards[die].controller.device
+        phases = NandTimingModel.read_phases(
+            sense_s=latencies.read_array_s,
+            transfer_s=latencies.transfer_s,
+            decode_s=latencies.decode_s,
+            decode_hold_s=codec.decode_interval_s(report.ecc_t),
+        )
+        return DieCommand.from_phases(
+            CommandKind.READ, die, tag, phases,
+            plane=self._plane_of(report),
+            cache_busy_s=device.timing.cache_busy_s(),
         )
 
     def _program_command(
         self, die: int, tag: int, report: WriteReport
     ) -> DieCommand:
         latencies = report.latencies
-        return DieCommand(
-            kind=CommandKind.PROGRAM,
-            die=die,
-            tag=tag,
-            die_s=latencies.program_s,
-            channel_s=latencies.transfer_s + latencies.encode_s,
+        codec = self.shards[die].controller.codec
+        phases = NandTimingModel.program_phases(
+            program_s=latencies.program_s,
+            transfer_s=latencies.transfer_s,
+            encode_s=latencies.encode_s,
+            encode_hold_s=codec.encode_interval_s(report.ecc_t),
+        )
+        return DieCommand.from_phases(
+            CommandKind.PROGRAM, die, tag, phases,
+            plane=self._plane_of(report),
         )
 
     def _schedule(

@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.bch.uber import (
+    monte_carlo_uber,
     achieved_uber,
     log10_uber_eq1,
     max_rber_for_t,
@@ -123,3 +124,45 @@ class TestExactTail:
 
     def test_zero_rber(self):
         assert uber_exact(0.0, 1000, 2) == 0.0
+
+
+class TestMonteCarloUber:
+    """Process-pool MC fan-out: determinism and statistical sanity."""
+
+    def test_deterministic_across_worker_counts(self):
+        kwargs = dict(rber=2e-3, t=6, pages=24, k=2048, seed=11, chunk_pages=6)
+        inline = monte_carlo_uber(workers=None, **kwargs)
+        pooled = monte_carlo_uber(workers=3, **kwargs)
+        assert inline == pooled
+
+    def test_deterministic_across_chunking_runs(self):
+        first = monte_carlo_uber(1e-3, 4, pages=16, k=2048, seed=3, chunk_pages=4)
+        second = monte_carlo_uber(1e-3, 4, pages=16, k=2048, seed=3, chunk_pages=4)
+        assert first == second
+
+    def test_low_stress_recovers_everything(self):
+        result = monte_carlo_uber(1e-4, 8, pages=16, k=2048, seed=5)
+        assert result.failed_pages == 0
+        assert result.corrected_bits == result.injected_bits
+
+    def test_high_stress_fails_pages(self):
+        # n*rber far above t: essentially every page is uncorrectable.
+        result = monte_carlo_uber(2e-2, 4, pages=8, k=2048, seed=9)
+        assert result.failed_pages == result.pages
+        assert result.page_failure_rate == 1.0
+        assert result.uber == pytest.approx(result.pages * 1.0 / (result.pages * result.n))
+
+    def test_tracks_binomial_tail(self):
+        # Stress point near the knee: MC page-failure rate within a loose
+        # band of the exact binomial tail.
+        t, k = 6, 2048
+        result = monte_carlo_uber(3.4e-3, t, pages=96, k=k, seed=17, chunk_pages=24)
+        exact = uber_exact(3.4e-3, result.n, t) * result.n
+        assert 0.05 < exact < 0.95
+        assert abs(result.page_failure_rate - exact) < 0.25
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            monte_carlo_uber(1e-3, 4, pages=0, k=2048)
+        with pytest.raises(ValueError):
+            monte_carlo_uber(1e-3, 4, pages=8, k=2048, chunk_pages=0)

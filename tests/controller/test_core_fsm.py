@@ -73,3 +73,57 @@ class TestReadFlow:
             lat.transfer_s + lat.encode_s + lat.program_s
             + lat.read_array_s + lat.decode_s
         )
+
+
+class TestPipelinedFsm:
+    """Pipelined FSM variant: same data/stage accounting, overlapped clock."""
+
+    @pytest.fixture()
+    def pipelined(self, rng):
+        from repro.controller.core import PipelinedCoreFsm
+
+        geometry = NandGeometry(blocks=4, pages_per_block=4)
+        device = NandFlashDevice(geometry, rng=rng)
+        codec = AdaptiveBCHCodec(k=geometry.page_data_bits, t_max=16)
+        codec.set_correction_capability(4)
+        return PipelinedCoreFsm(codec, device, OcpInterface())
+
+    def test_data_identical_to_serial_fsm(self, fsm, pipelined, rng):
+        payloads = [rng.bytes(4096) for _ in range(4)]
+        ops = [(0, i, data) for i, data in enumerate(payloads)]
+        serial_writes = fsm.write_pages(ops)
+        pipe_writes = pipelined.write_pages(ops)
+        for serial, pipe in zip(serial_writes, pipe_writes):
+            assert pipe.data == serial.data
+        reads = pipelined.read_pages([(0, i) for i in range(4)])
+        for read, payload in zip(reads, payloads):
+            assert read.data == payload
+
+    def test_batch_elapsed_is_pipelined(self, pipelined, rng):
+        from repro.controller.core import pipeline_elapsed_s
+
+        ops = [(0, i, rng.bytes(4096)) for i in range(4)]
+        flows = pipelined.write_pages(ops)
+        expected = pipeline_elapsed_s(
+            (f.latencies.transfer_s + f.latencies.encode_s,
+             f.latencies.program_s)
+            for f in flows
+        )
+        assert pipelined.last_batch_elapsed_s == pytest.approx(expected)
+        assert pipelined.last_batch_elapsed_s < pipelined.serial_elapsed_s(flows)
+        reads = pipelined.read_pages([(0, i) for i in range(4)])
+        read_expected = pipeline_elapsed_s(
+            (f.latencies.read_array_s,
+             f.latencies.transfer_s + f.latencies.decode_s)
+            for f in reads
+        )
+        assert pipelined.last_batch_elapsed_s == pytest.approx(read_expected)
+
+    def test_recurrence_against_hand_computed(self):
+        from repro.controller.core import pipeline_elapsed_s
+
+        # A=10, B=5 each: handoffs gate on the slower stage A.
+        assert pipeline_elapsed_s([(10.0, 5.0)] * 3) == pytest.approx(35.0)
+        # B dominates: first A fills, then B serialises.
+        assert pipeline_elapsed_s([(5.0, 10.0)] * 3) == pytest.approx(35.0)
+        assert pipeline_elapsed_s([]) == 0.0

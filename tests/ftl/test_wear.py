@@ -61,3 +61,94 @@ class TestAllocator:
         allocator = WearAwareAllocator(device, [0])
         with pytest.raises(ControllerError):
             allocator.reclaim(3)
+
+
+@pytest.fixture()
+def plane_device(rng):
+    return NandFlashDevice(
+        NandGeometry(blocks=4, pages_per_block=4, planes=2), rng=rng
+    )
+
+
+class TestPlaneInterleave:
+    def test_consecutive_allocations_alternate_planes(self, plane_device):
+        allocator = WearAwareAllocator(
+            plane_device, [0, 1, 2, 3], plane_interleave=True
+        )
+        planes = [
+            plane_device.geometry.plane_of_block(allocator.allocate().block)
+            for _ in range(8)
+        ]
+        assert planes == [1, 0, 1, 0, 1, 0, 1, 0]
+
+    def test_open_blocks_one_per_plane(self, plane_device):
+        allocator = WearAwareAllocator(
+            plane_device, [0, 1, 2, 3], plane_interleave=True
+        )
+        allocator.allocate()
+        allocator.allocate()
+        open_blocks = allocator.open_blocks
+        assert len(open_blocks) == 2
+        assert {
+            plane_device.geometry.plane_of_block(b) for b in open_blocks
+        } == {0, 1}
+
+    def test_starved_plane_is_skipped(self, plane_device):
+        # Only even (plane-0) blocks available: allocation still works.
+        allocator = WearAwareAllocator(
+            plane_device, [0, 2], plane_interleave=True
+        )
+        blocks = {allocator.allocate().block for _ in range(8)}
+        assert blocks == {0, 2}
+
+    def test_free_pages_counts_every_open_cursor(self, plane_device):
+        allocator = WearAwareAllocator(
+            plane_device, [0, 1, 2, 3], plane_interleave=True
+        )
+        assert allocator.free_pages() == 16
+        allocator.allocate()
+        allocator.allocate()
+        assert allocator.free_pages() == 14
+
+    def test_open_blocks_cannot_be_reclaimed(self, plane_device):
+        allocator = WearAwareAllocator(
+            plane_device, [0, 1, 2, 3], plane_interleave=True
+        )
+        allocator.allocate()
+        open_block = allocator.open_block
+        with pytest.raises(ControllerError):
+            allocator.reclaim(open_block)
+
+    def test_full_cursor_closes_so_gc_can_reclaim_it(self, plane_device):
+        allocator = WearAwareAllocator(
+            plane_device, [0, 1, 2, 3], plane_interleave=True
+        )
+        for _ in range(16):  # drain every block through both planes
+            allocator.allocate()
+        # Full interleaved cursors close eagerly: nothing stays shielded
+        # from GC while its starved plane waits for a free block.
+        assert allocator.open_blocks == set()
+        allocator.reclaim(0)
+        assert allocator.allocate().block == 0
+
+    def test_interleaved_ftl_survives_overwrite_pressure(self, rng):
+        # Regression: a full open block starved of free plane blocks used
+        # to stay shielded from GC forever, wedging the partition; the
+        # reserve also has to cover one block per open cursor.
+        from repro.controller.controller import NandController
+        from repro.ftl.ftl import FlashTranslationLayer
+
+        geometry = NandGeometry(blocks=4, pages_per_block=4, planes=2)
+        ftl = FlashTranslationLayer(
+            NandController(geometry, rng=rng),
+            [0, 1, 2, 3],
+            plane_interleave=True,
+        )
+        written = {}
+        for _ in range(8):
+            for lpn in range(ftl.logical_capacity):
+                data = rng.bytes(4096)
+                ftl.write(lpn, data)
+                written[lpn] = data
+        for lpn, data in written.items():
+            assert ftl.read(lpn)[0] == data

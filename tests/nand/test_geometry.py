@@ -42,3 +42,28 @@ class TestGeometry:
             NandGeometry(bits_per_cell=4)
         with pytest.raises(ConfigurationError):
             NandGeometry(blocks=0)
+
+
+class TestPlanes:
+    def test_default_is_two_plane(self):
+        assert NandGeometry().planes == 2
+
+    def test_block_interleaved_plane_addressing(self):
+        g = NandGeometry(blocks=8, pages_per_block=4, planes=2)
+        assert [g.plane_of_block(b) for b in range(4)] == [0, 1, 0, 1]
+        assert g.plane_of_page(g.page_address(3, 2)) == 1
+        assert g.plane_blocks(0) == [0, 2, 4, 6]
+        assert g.plane_blocks(1) == [1, 3, 5, 7]
+
+    def test_plane_bounds_checked(self):
+        g = NandGeometry(blocks=4, pages_per_block=4, planes=2)
+        with pytest.raises(ConfigurationError):
+            g.plane_of_block(4)
+        with pytest.raises(ConfigurationError):
+            g.plane_blocks(2)
+        with pytest.raises(ConfigurationError):
+            NandGeometry(planes=0)
+
+    def test_single_plane_geometry(self):
+        g = NandGeometry(blocks=4, pages_per_block=4, planes=1)
+        assert all(g.plane_of_block(b) == 0 for b in range(4))

@@ -62,3 +62,57 @@ class TestTimingModel:
 
         with pytest.raises(ConfigurationError):
             NandTimingParams(t_verify=0)
+
+
+class TestCommandPhases:
+    def test_read_phase_decomposition(self):
+        from repro.nand.timing import PhaseResource
+
+        phases = NandTimingModel.read_phases(
+            75e-6, 10e-6, 160e-6, decode_hold_s=106e-6
+        )
+        assert [p.resource for p in phases] == [
+            PhaseResource.PLANE, PhaseResource.CHANNEL, PhaseResource.ECC,
+        ]
+        assert phases[0].duration_s == pytest.approx(75e-6)
+        assert phases[2].occupancy_s == pytest.approx(106e-6)
+        # Hold is clamped to the duration.
+        clamped = NandTimingModel.read_phases(
+            75e-6, 10e-6, 50e-6, decode_hold_s=106e-6
+        )
+        assert clamped[2].occupancy_s == pytest.approx(50e-6)
+
+    def test_raw_read_drops_the_ecc_phase(self):
+        from repro.nand.timing import PhaseResource
+
+        phases = NandTimingModel.read_phases(75e-6, 10e-6)
+        assert [p.resource for p in phases] == [
+            PhaseResource.PLANE, PhaseResource.CHANNEL,
+        ]
+
+    def test_program_phase_decomposition(self):
+        from repro.nand.timing import PhaseResource
+
+        phases = NandTimingModel.program_phases(
+            600e-6, 10e-6, 52e-6, encode_hold_s=51e-6
+        )
+        assert [p.resource for p in phases] == [
+            PhaseResource.ECC, PhaseResource.CHANNEL, PhaseResource.PLANE,
+        ]
+        assert phases[0].occupancy_s == pytest.approx(51e-6)
+
+    def test_erase_phase_and_cache_busy(self):
+        from repro.nand.timing import PhaseResource
+
+        (phase,) = NandTimingModel.erase_phases(2.5e-3)
+        assert phase.resource is PhaseResource.PLANE
+        assert NandTimingModel().cache_busy_s() == pytest.approx(3e-6)
+
+    def test_invalid_phase_rejected(self):
+        from repro.errors import SimulationError
+        from repro.nand.timing import CommandPhase, PhaseResource
+
+        with pytest.raises(SimulationError):
+            CommandPhase(PhaseResource.PLANE, -1.0)
+        with pytest.raises(SimulationError):
+            CommandPhase(PhaseResource.ECC, 1e-6, hold_s=2e-6)

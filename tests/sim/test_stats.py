@@ -37,3 +37,31 @@ class TestThroughputStats:
     def test_zero_elapsed(self):
         stats = ThroughputStats()
         assert stats.read_mb_s(0.0) == 0.0
+
+
+class TestLatencyPercentiles:
+    def test_nearest_rank_percentiles(self):
+        stats = LatencyStats()
+        for v in range(1, 101):  # 1..100 us
+            stats.observe(v * 1e-6)
+        assert stats.p50_s == pytest.approx(50e-6)
+        assert stats.p95_s == pytest.approx(95e-6)
+        assert stats.p99_s == pytest.approx(99e-6)
+        assert stats.percentile(1.0) == pytest.approx(100e-6)
+        assert stats.percentile(0.0) == pytest.approx(1e-6)
+
+    def test_percentiles_insensitive_to_observation_order(self):
+        forward, backward = LatencyStats(), LatencyStats()
+        values = [5e-6, 1e-6, 9e-6, 3e-6, 7e-6]
+        for v in values:
+            forward.observe(v)
+        for v in reversed(values):
+            backward.observe(v)
+        for q in (0.5, 0.95, 0.99):
+            assert forward.percentile(q) == backward.percentile(q)
+
+    def test_empty_and_invalid(self):
+        stats = LatencyStats()
+        assert stats.p99_s == 0.0
+        with pytest.raises(ValueError):
+            stats.percentile(1.5)
