@@ -42,6 +42,8 @@ def _runners(suite: ExperimentSuite) -> dict[str, tuple[str, callable]]:
         "sys_ssd": ("multi-die SSD scaling (command scheduler)", suite.run_system_ssd),
         "sys_pipeline": ("command-pipeline modes (phase scheduler)",
                          suite.run_system_pipeline),
+        "sys_openloop": ("open-loop arrival sweep (session queue pair)",
+                         suite.run_system_openloop),
         "uber_mc": ("Monte-Carlo UBER sweep (process pool)", suite.run_uber_mc),
     }
 

@@ -17,7 +17,15 @@ are block partitions of one die) or a multi-die
 :class:`~repro.ssd.device.SsdDevice` (namespaces are die-striped spans:
 the same block range on every die behind a
 :class:`~repro.ssd.striped.DieStripedFtl`, so each service class
-additionally gets channel/die parallelism).
+additionally gets channel/die parallelism).  On an SSD backend every
+namespace routes its commands through the device-wide
+:class:`~repro.ssd.session.SsdSession` — one shared submission/
+completion queue pair with one resident scheduler core.  Closed-loop
+batch calls drain between batches (timings match a private scheduler
+exactly); the shared queue matters for *open-loop* traffic, where
+``session.submit(..., ftl=namespace.ftl)`` streams from several
+namespaces genuinely contend for planes, buses and ECC engines on one
+timeline.
 """
 
 from __future__ import annotations
@@ -90,6 +98,8 @@ class DifferentiatedStorage:
             )
         self.ssd = ssd
         self.controller = controller if ssd is None else ssd.controllers[0]
+        #: Device-wide queue pair shared by every namespace (SSD backend).
+        self.session = None if ssd is None else ssd.session
         self._namespaces: dict[str, Namespace] = {}
         self._allocated_blocks: set[int] = set()
         self._next_block = 0
@@ -131,6 +141,9 @@ class DifferentiatedStorage:
         if self.ssd is not None:
             from repro.ssd.striped import DieStripedFtl
 
+            # Striped FTLs default to the device-wide queue pair, so
+            # every namespace shares one resident scheduler core and
+            # open-loop streams contend on one timeline.
             ftl = DieStripedFtl(self.ssd, partition)
         else:
             ftl = FlashTranslationLayer(self.controller, partition)

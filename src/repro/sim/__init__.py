@@ -4,9 +4,12 @@ from repro.sim.engine import Event, Signal, SimEngine, Process
 from repro.sim.stats import LatencyStats, ThroughputStats
 from repro.sim.host import (
     HostWorkload,
+    OpenLoopWorkload,
     WorkloadResult,
+    preread_lpns,
     run_ftl_workload,
     run_host_workload,
+    run_open_loop_workload,
     run_ssd_workload,
 )
 
@@ -18,8 +21,11 @@ __all__ = [
     "LatencyStats",
     "ThroughputStats",
     "HostWorkload",
+    "OpenLoopWorkload",
+    "preread_lpns",
     "run_host_workload",
     "run_ftl_workload",
+    "run_open_loop_workload",
     "run_ssd_workload",
     "WorkloadResult",
 ]

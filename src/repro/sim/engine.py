@@ -10,6 +10,20 @@ until another process fires it — the synchronisation primitive behind
 resource arbitration (channel buses, queue-depth admission) in the SSD
 command scheduler.  Parked processes resume at the firing instant in
 park order, so runs stay deterministic.
+
+Two features exist for *persistent* sessions (long-lived worker
+processes that outlive any one batch of work, e.g. the SSD session's
+per-plane dispatch workers):
+
+* a **daemon** signal (``engine.signal(daemon=True)``) marks an idle
+  park as intentional — a worker parked on its daemon work signal does
+  not count toward deadlock detection, so :meth:`SimEngine.run` can
+  drain to an idle state and return while the workers stay resident;
+* :meth:`SimEngine.rebase` resets the clock of an *idle* engine to
+  zero.  Parked processes carry no scheduled times, so an idle engine's
+  clock is an arbitrary offset; rebasing lets a resident session replay
+  a closed batch with the exact float arithmetic of a fresh engine
+  (``t0 + a + b - t0`` and ``a + b`` differ in floating point).
 """
 
 from __future__ import annotations
@@ -31,23 +45,29 @@ class Signal:
     A process that yields the signal is parked (no event scheduled) until
     some other process calls :meth:`fire`, which resumes every parked
     process at the current simulation time in the order they parked.
+
+    ``daemon`` signals mark an *expected-idle* park: processes parked on
+    them are excluded from deadlock detection, so resident workers can
+    sit on their wake-up signal across :meth:`SimEngine.run` calls.
     """
 
-    def __init__(self, engine: "SimEngine"):
+    def __init__(self, engine: "SimEngine", daemon: bool = False):
         self._engine = engine
+        self._daemon = daemon
         self._waiters: list[Process] = []
 
     def fire(self) -> int:
         """Resume every parked process now; returns how many woke up."""
         woken = len(self._waiters)
         for process in self._waiters:
-            self._engine._resume_parked(process)
+            self._engine._resume_parked(process, daemon=self._daemon)
         self._waiters.clear()
         return woken
 
     def _park(self, process: Process) -> None:
         self._waiters.append(process)
-        self._engine._parked += 1
+        if not self._daemon:
+            self._engine._parked += 1
 
 
 @dataclass(order=True)
@@ -78,12 +98,36 @@ class SimEngine:
             Event(self.now_s + delay_s, next(self._counter), process),
         )
 
-    def signal(self) -> Signal:
-        """Create a :class:`Signal` bound to this engine."""
-        return Signal(self)
+    def signal(self, daemon: bool = False) -> Signal:
+        """Create a :class:`Signal` bound to this engine.
 
-    def _resume_parked(self, process: Process) -> None:
-        self._parked -= 1
+        ``daemon`` signals exempt their parked processes from deadlock
+        detection (see :class:`Signal`).
+        """
+        return Signal(self, daemon=daemon)
+
+    @property
+    def idle(self) -> bool:
+        """True when no events are scheduled (parked processes may remain)."""
+        return not self._queue
+
+    def rebase(self) -> None:
+        """Reset the clock of an idle engine to zero.
+
+        Only legal with no scheduled events — parked processes carry no
+        times, so the reset cannot reorder anything.  Lets a resident
+        session reproduce a fresh engine's float arithmetic exactly when
+        it starts a new closed batch.
+        """
+        if self._queue:
+            raise SimulationError(
+                "cannot rebase the clock with scheduled events pending"
+            )
+        self.now_s = 0.0
+
+    def _resume_parked(self, process: Process, daemon: bool = False) -> None:
+        if not daemon:
+            self._parked -= 1
         heapq.heappush(
             self._queue, Event(self.now_s, next(self._counter), process)
         )
@@ -92,10 +136,14 @@ class SimEngine:
         """Drain the event queue; returns the final simulation time.
 
         ``until_s`` bounds virtual time (events beyond it stay unprocessed);
-        ``max_events`` is a runaway guard.
+        ``max_events`` is a runaway guard for *this* call — a persistent
+        engine (e.g. behind an :class:`~repro.ssd.session.SsdSession`)
+        may legitimately process far more over its lifetime, tracked in
+        :attr:`events_processed`.
         """
+        processed = 0
         while self._queue:
-            if self.events_processed >= max_events:
+            if processed >= max_events:
                 raise SimulationError(f"exceeded {max_events} events")
             event = self._queue[0]
             if until_s is not None and event.time_s > until_s:
@@ -103,6 +151,7 @@ class SimEngine:
                 return self.now_s
             heapq.heappop(self._queue)
             self.now_s = event.time_s
+            processed += 1
             self.events_processed += 1
             try:
                 delay = event.process.send(None)

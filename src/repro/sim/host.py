@@ -5,15 +5,21 @@ operation service times come from the controller's latency accounting, so
 the simulated throughput is the end-to-end figure including OCP transfer,
 ECC and flash-array time.
 
-Three hosts are modelled: :func:`run_host_workload` drives physical page
+Four hosts are modelled: :func:`run_host_workload` drives physical page
 addresses straight into the controller (batched runs of the trace go
 through ``read_batch``/``write_batch`` and therefore the device's batched
 ``read_pages``/``program_pages`` datapath), :func:`run_ftl_workload`
 drives *logical* pages through a flash translation layer's
-``read_many``/``write_many`` — out-of-place updates, GC and all — and
-:func:`run_ssd_workload` drives a die-striped multi-die SSD, where each
-batch's elapsed time is the *scheduled makespan* (die-parallel, channel
-arbitrated) rather than a serial latency sum.
+``read_many``/``write_many`` — out-of-place updates, GC and all —
+:func:`run_ssd_workload` drives a die-striped multi-die SSD closed-loop
+(each batch's elapsed time is the *scheduled makespan*, die-parallel and
+channel-arbitrated, rather than a serial latency sum), and
+:func:`run_open_loop_workload` drives the SSD through its
+:class:`~repro.ssd.session.SsdSession` queue pair: operations arrive at
+their trace ``issue_s`` timestamps regardless of what is in flight, so
+the measured behaviour is the *steady state* — sustained throughput at
+the offered rate, and end-to-end latency percentiles that include
+host-side queueing.
 """
 
 from __future__ import annotations
@@ -24,10 +30,11 @@ from typing import TYPE_CHECKING
 from repro.controller.controller import NandController
 from repro.ftl.ftl import FlashTranslationLayer
 from repro.sim.engine import Process, SimEngine
-from repro.sim.stats import ThroughputStats
+from repro.sim.stats import LatencyStats, ThroughputStats
 from repro.workloads.traces import QueuedTrace, TraceOp, TraceOpKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (ssd uses sim)
+    from repro.ssd.session import SsdSession
     from repro.ssd.striped import DieStripedFtl
 
 
@@ -77,13 +84,21 @@ class HostWorkload:
 
 @dataclass
 class WorkloadResult:
-    """Outcome of a simulated workload run."""
+    """Outcome of a simulated workload run.
+
+    ``queue_latency`` and ``service_latency`` decompose each operation's
+    end-to-end time where the runner can see it (the SSD runners): the
+    submit→dispatch wait in the host queue versus the dispatch→complete
+    time on the device.
+    """
 
     name: str
     elapsed_s: float
     stats: ThroughputStats
     uncorrectable_pages: int = 0
     corrected_bits: int = 0
+    queue_latency: LatencyStats = field(default_factory=LatencyStats)
+    service_latency: LatencyStats = field(default_factory=LatencyStats)
 
     @property
     def read_mb_s(self) -> float:
@@ -98,10 +113,13 @@ class WorkloadResult:
     def latency_percentiles(self) -> dict[str, float]:
         """p50/p95/p99 of per-operation read and write latencies.
 
-        For the SSD runner these are the scheduled per-command latencies
-        (queueing behind dies and buses included), so deep host queues
-        show up as a widening p50 -> p99 spread even when throughput
-        improves.
+        For the SSD runners these are per-command latencies with
+        queueing behind dies and buses included (and, open loop, the
+        host-queue wait as well), so deep host queues show up as a
+        widening p50 -> p99 spread even when throughput improves.  The
+        ``queue_*``/``service_*`` keys split the mean path into
+        submit→dispatch and dispatch→complete; they are zero for runners
+        that never queue host-side.
         """
         return {
             "read_p50_s": self.stats.read_latency.p50_s,
@@ -110,7 +128,67 @@ class WorkloadResult:
             "write_p50_s": self.stats.write_latency.p50_s,
             "write_p95_s": self.stats.write_latency.p95_s,
             "write_p99_s": self.stats.write_latency.p99_s,
+            "queue_p50_s": self.queue_latency.p50_s,
+            "queue_p95_s": self.queue_latency.p95_s,
+            "queue_p99_s": self.queue_latency.p99_s,
+            "service_p50_s": self.service_latency.p50_s,
+            "service_p95_s": self.service_latency.p95_s,
+            "service_p99_s": self.service_latency.p99_s,
         }
+
+
+class _LpnNamespace:
+    """First-seen (block, page) -> LPN naming with a per-block index.
+
+    Logical hosts treat trace addresses as page *names*; the per-block
+    index makes an ERASE op O(pages in that block) instead of a rescan
+    of every name the trace ever used.
+    """
+
+    def __init__(self) -> None:
+        self._lpns: dict[tuple[int, int], int] = {}
+        self._by_block: dict[int, list[int]] = {}
+
+    def lpn_of(self, op: TraceOp) -> int:
+        """Name (allocating on first sight) the op's logical page."""
+        key = (op.block, op.page)
+        lpn = self._lpns.get(key)
+        if lpn is None:
+            lpn = len(self._lpns)
+            self._lpns[key] = lpn
+            self._by_block.setdefault(op.block, []).append(lpn)
+        return lpn
+
+    def block_lpns(self, block: int) -> list[int]:
+        """Every LPN ever named inside one trace block (first-seen order)."""
+        return self._by_block.get(block, [])
+
+    def discard_block(self, ftl, block: int) -> None:
+        """Host-side ERASE: trim every mapped page of one trace block."""
+        for lpn in self.block_lpns(block):
+            if ftl.is_mapped(lpn):
+                ftl.trim(lpn)
+
+
+def preread_lpns(operations: list[TraceOp]) -> list[int]:
+    """LPNs a trace reads before ever writing (host first-seen naming).
+
+    The logical runners name trace pages first-seen (reads and writes
+    share one namespace; ERASE ops name nothing), so a workload whose
+    stream re-reads pre-existing data must pre-write exactly these LPNs
+    — computed with the same :class:`_LpnNamespace` rule the runner will
+    apply at replay time.
+    """
+    names = _LpnNamespace()
+    lpns = []
+    for op in operations:
+        if op.kind is TraceOpKind.ERASE:
+            continue
+        fresh = (op.block, op.page) not in names._lpns
+        lpn = names.lpn_of(op)
+        if fresh and op.kind is TraceOpKind.READ:
+            lpns.append(lpn)
+    return lpns
 
 
 def _batched_ops(operations: list[TraceOp], batch_pages: int):
@@ -189,29 +267,26 @@ def _ftl_process(
     """Logical host stream: trace pages become LPNs (first-seen order)."""
     page_bytes = ftl.controller.geometry.page_data_bytes
     batch_pages = max(1, workload.batch_pages)
-    lpns: dict[tuple[int, int], int] = {}
-
-    def lpn_of(op: TraceOp) -> int:
-        return lpns.setdefault((op.block, op.page), len(lpns))
+    names = _LpnNamespace()
 
     for group in _batched_ops(workload.operations, batch_pages):
         kind = group[0].kind
         latency = 0.0
         if kind is TraceOpKind.WRITE:
             for op_latency in ftl.write_many(
-                [(lpn_of(op), op.data) for op in group]
+                [(names.lpn_of(op), op.data) for op in group]
             ):
                 result.stats.observe_write(page_bytes, op_latency)
                 latency += op_latency
         elif kind is TraceOpKind.READ:
-            for _, op_latency in ftl.read_many([lpn_of(op) for op in group]):
+            for _, op_latency in ftl.read_many(
+                [names.lpn_of(op) for op in group]
+            ):
                 result.stats.observe_read(page_bytes, op_latency)
                 latency += op_latency
         else:  # ERASE: logical hosts discard instead (GC reclaims later)
             for op in group:
-                for (block, _), lpn in list(lpns.items()):
-                    if block == op.block and ftl.is_mapped(lpn):
-                        ftl.trim(lpn)
+                names.discard_block(ftl, op.block)
         result.corrected_bits = ftl.stats.corrected_bits
         yield latency + len(group) * workload.think_time_s
 
@@ -227,6 +302,12 @@ def run_ftl_workload(
     FTL's ``read_many``/``write_many`` so the whole stack — map lookup,
     allocation, batched encode/program and batched sense/decode — runs
     on the vectorized datapath.
+
+    .. note:: This is a **closed-loop** model: each batch drains before
+       the next is admitted, so sustained (steady-state) behaviour under
+       continuous load is invisible.  For open-loop streams against a
+       multi-die SSD, use :class:`~repro.ssd.session.SsdSession` via
+       :func:`run_open_loop_workload`.
     """
     result = WorkloadResult(
         name=workload.name, elapsed_s=0.0, stats=ThroughputStats()
@@ -246,35 +327,35 @@ def _ssd_process(
     page_bytes = ftl.geometry.page_data_bytes
     batch_pages = max(1, workload.batch_pages)
     queue_depth = workload.queue_depth if workload.queue_depth > 0 else None
-    lpns: dict[tuple[int, int], int] = {}
-
-    def lpn_of(op: TraceOp) -> int:
-        return lpns.setdefault((op.block, op.page), len(lpns))
+    names = _LpnNamespace()
 
     for group in _batched_ops(workload.operations, batch_pages):
         kind = group[0].kind
         elapsed = 0.0
         if kind is TraceOpKind.WRITE:
             for op_latency in ftl.write_many(
-                [(lpn_of(op), op.data) for op in group],
+                [(names.lpn_of(op), op.data) for op in group],
                 queue_depth=queue_depth,
             ):
                 result.stats.observe_write(page_bytes, op_latency)
         elif kind is TraceOpKind.READ:
             for _, op_latency in ftl.read_many(
-                [lpn_of(op) for op in group], queue_depth=queue_depth
+                [names.lpn_of(op) for op in group], queue_depth=queue_depth
             ):
                 result.stats.observe_read(page_bytes, op_latency)
         else:  # ERASE: logical hosts discard instead (GC reclaims later)
             for op in group:
-                for (block, _), lpn in list(lpns.items()):
-                    if block == op.block and ftl.is_mapped(lpn):
-                        ftl.trim(lpn)
+                names.discard_block(ftl, op.block)
         if kind is not TraceOpKind.ERASE and ftl.last_schedule is not None:
             # The group's wall time is the scheduler's makespan — dies
             # overlap and channels arbitrate, so it is far less than the
             # serial sum of the observed per-op latencies.
             elapsed = ftl.last_schedule.makespan_s
+            for completion in ftl.last_schedule.completions:
+                # Closed loop, the submit->dispatch wait is exactly the
+                # queue-depth admission delay within the batch.
+                result.queue_latency.observe(completion.queue_s)
+                result.service_latency.observe(completion.latency_s)
         result.corrected_bits = ftl.stats.corrected_bits
         yield elapsed + len(group) * workload.think_time_s
 
@@ -283,18 +364,29 @@ def run_ssd_workload(
     ftl: "DieStripedFtl",
     workload: HostWorkload,
 ) -> WorkloadResult:
-    """Simulate a host stream against a die-striped SSD.
+    """Simulate a closed-loop host stream against a die-striped SSD.
 
     Trace pages become LPNs exactly as in :func:`run_ftl_workload`, but
-    every batched group is dispatched through the SSD command scheduler
-    at the workload's ``queue_depth``: per-operation latencies include
-    queueing behind dies and channel buses, and the group advances the
-    clock by its scheduled makespan, so the sustained MB/s reflects
-    channel/die parallelism.  The scheduler honours the SSD's
+    every batched group is dispatched through the device's
+    :class:`~repro.ssd.session.SsdSession` at the workload's
+    ``queue_depth``: per-operation latencies include queueing behind
+    dies and channel buses, and the group advances the clock by its
+    scheduled makespan, so the sustained MB/s reflects channel/die
+    parallelism.  The scheduler honours the SSD's
     :class:`~repro.ssd.scheduler.PipelineConfig` (cache reads,
     multi-plane, pipelined ECC), and the result's
     :meth:`WorkloadResult.latency_percentiles` expose the p50/p95/p99
-    tail of the scheduled per-command latencies.
+    tail plus the queue/service split of the scheduled per-command
+    latencies.
+
+    .. note:: This is the **batch-drain** (closed-loop) wrapper over the
+       session: every group runs to its makespan before the next is
+       admitted, so inter-batch pipelining is deliberately excluded and
+       mixed reads/writes are never in flight together.  For sustained
+       steady-state behaviour, drive the session open loop with
+       :func:`run_open_loop_workload` (arrival-stamped traces from
+       :func:`~repro.workloads.traces.poisson_arrivals` /
+       :func:`~repro.workloads.traces.fixed_rate_arrivals`).
     """
     result = WorkloadResult(
         name=workload.name, elapsed_s=0.0, stats=ThroughputStats()
@@ -302,4 +394,116 @@ def run_ssd_workload(
     engine = SimEngine()
     engine.spawn(_ssd_process(ftl, workload, result))
     result.elapsed_s = engine.run()
+    return result
+
+
+@dataclass
+class OpenLoopWorkload:
+    """One open-loop host stream: arrival-stamped trace operations.
+
+    ``queue_depth`` bounds the device-side in-flight window (``None``
+    keeps the queue pair unbounded — a pure open loop where the backlog
+    absorbs any excess offered load).  The trace's ``issue_s``
+    timestamps pace the arrivals; ops with non-increasing timestamps are
+    submitted back-to-back.
+    """
+
+    name: str
+    operations: list[TraceOp]
+    queue_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_depth is not None and self.queue_depth < 1:
+            from repro.errors import SimulationError
+
+            raise SimulationError("queue depth must be >= 1")
+
+
+def run_open_loop_workload(
+    ftl: "DieStripedFtl",
+    workload: OpenLoopWorkload,
+    session: "SsdSession | None" = None,
+) -> WorkloadResult:
+    """Stream an arrival-stamped trace through the SSD's queue pair.
+
+    An arrival process submits each operation at its ``issue_s`` time —
+    no batch drains, no waiting for earlier completions — so reads and
+    writes from anywhere in the trace overlap on the device exactly as
+    far as planes, buses and ECC engines allow, and the run measures
+    steady-state behaviour: sustained MB/s at the offered rate, plus
+    end-to-end latency percentiles whose queueing component
+    (``queue_p*`` keys, submit→dispatch) is separated from device
+    service time (``service_p*`` keys, dispatch→complete).
+
+    ERASE ops are host-side discards (trims) applied at their arrival
+    instant.  The result's ``elapsed_s`` is the time of the last
+    completion, so throughput is the *completed* rate — past device
+    saturation it stops tracking the offered rate, which is the
+    throughput-saturation knee the open-loop model exists to expose.
+
+    A shared ``session`` (e.g. the device-wide queue pair) must be idle
+    — ``issue_s`` timestamps are absolute, so its clock is re-based to
+    zero for the run; a workload ``queue_depth`` applies for this run
+    only.
+    """
+    from repro.errors import SimulationError
+    from repro.ssd.session import IoCommand, SsdSession
+
+    if session is None:
+        # A private session starts with a fresh clock already.
+        session = SsdSession(ftl, queue_depth=workload.queue_depth)
+    else:
+        if (
+            session.in_flight
+            or session.backlog
+            or not session.engine.idle
+            or session.completions
+        ):
+            raise SimulationError(
+                "open-loop runner needs an idle session with its "
+                "completion queue drained"
+            )
+        session.engine.rebase()
+    engine = session.engine
+    names = _LpnNamespace()
+    page_bytes = ftl.geometry.page_data_bytes
+
+    def arrivals() -> Process:
+        for op in workload.operations:
+            wait = op.issue_s - engine.now_s
+            if wait > 0:
+                yield wait
+            if op.kind is TraceOpKind.ERASE:
+                names.discard_block(ftl, op.block)
+                continue
+            session.submit(
+                IoCommand(op.kind, names.lpn_of(op), op.data), ftl=ftl
+            )
+
+    # The workload's window applies for this run only — including
+    # ``None``, the documented unbounded pure open loop.
+    restore_depth = session.queue_depth
+    session.queue_depth = workload.queue_depth
+    try:
+        engine.spawn(arrivals())
+        session.drain()
+    finally:
+        session.queue_depth = restore_depth
+    completions = session.take_completions()
+    result = WorkloadResult(
+        name=workload.name,
+        # Last *completion*, not last engine event: an I/O-free tail of
+        # the arrival process (e.g. a late-stamped ERASE) must not
+        # deflate the completed rate.
+        elapsed_s=max((c.done_s for c in completions), default=0.0),
+        stats=ThroughputStats(),
+    )
+    for completion in completions:
+        if completion.kind is TraceOpKind.READ:
+            result.stats.observe_read(page_bytes, completion.latency_s)
+        else:
+            result.stats.observe_write(page_bytes, completion.latency_s)
+        result.queue_latency.observe(completion.queue_s)
+        result.service_latency.observe(completion.service_s)
+    result.corrected_bits = ftl.stats.corrected_bits
     return result

@@ -47,7 +47,9 @@ from repro.ssd.scheduler import (
     DieCommand,
     PipelineConfig,
     ScheduleResult,
+    SchedulerCore,
 )
+from repro.ssd.session import IoCommand, IoCompletion, SsdSession
 from repro.ssd.striped import DieStripedFtl, StripedLocation
 from repro.ssd.topology import (
     ChannelTimingParams,
@@ -65,9 +67,13 @@ __all__ = [
     "DieCommand",
     "DiePageAddress",
     "DieStripedFtl",
+    "IoCommand",
+    "IoCompletion",
     "PipelineConfig",
     "ScheduleResult",
+    "SchedulerCore",
     "SsdDevice",
+    "SsdSession",
     "SsdTopology",
     "StripedLocation",
     "spawn_die_rngs",

@@ -5,12 +5,16 @@ channel — across the topology.  Every die gets its own
 :class:`~repro.nand.device.NandFlashDevice` (independent, reproducible
 RNG stream) wrapped in its own :class:`~repro.controller.NandController`,
 all driven by one cross-layer policy so a mode change reconfigures the
-whole SSD.  Raw device-level batch I/O fans out through the
-:class:`~repro.ssd.scheduler.CommandScheduler`, which turns per-die
-sub-batches into an interleaved DES timeline.
+whole SSD.  Raw device-level batch I/O fans out through the device's
+persistent :class:`~repro.ssd.session.SsdSession` (one queue pair per
+device, shared by every striped FTL over it), which turns per-die
+sub-batches into an interleaved DES timeline on the resident
+:class:`~repro.ssd.scheduler.SchedulerCore`.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,6 +37,9 @@ from repro.ssd.topology import (
     group_indices_by_die,
     spawn_die_rngs,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session uses device)
+    from repro.ssd.session import SsdSession
 
 #: A device-level page address: (die, block, page).
 DiePageAddress = tuple[int, int, int]
@@ -71,6 +78,20 @@ class SsdDevice:
             for rng in rngs
         ]
         self.scheduler = CommandScheduler(self.topology, self.pipeline)
+        self._session: "SsdSession | None" = None
+
+    @property
+    def session(self) -> "SsdSession":
+        """The device-wide queue pair (created on first use).
+
+        All striped FTLs (and raw batch I/O) over this device share it,
+        so their commands contend on one persistent timeline.
+        """
+        if self._session is None:
+            from repro.ssd.session import SsdSession
+
+            self._session = SsdSession(ssd=self)
+        return self._session
 
     # -- topology-wide configuration -------------------------------------------
 
@@ -154,7 +175,7 @@ class SsdDevice:
                 for index, report in zip(indices, reports)
             )
         commands.sort(key=lambda command: command.tag)
-        return self.scheduler.run(commands, queue_depth)
+        return self.session.execute(commands, queue_depth)
 
     def read_pages(
         self,
@@ -195,7 +216,7 @@ class SsdDevice:
                 for index in indices
             )
         commands.sort(key=lambda command: command.tag)
-        return rows, self.scheduler.run(commands, queue_depth)
+        return rows, self.session.execute(commands, queue_depth)
 
     def erase_blocks(
         self, blocks: list[tuple[int, int]], queue_depth: int | None = None
@@ -211,7 +232,7 @@ class SsdDevice:
                 NandTimingModel.erase_phases(report.latency_s),
                 plane=self.geometry.plane_of_block(block),
             ))
-        return self.scheduler.run(commands, queue_depth)
+        return self.session.execute(commands, queue_depth)
 
     # -- helpers -------------------------------------------------------------------
 

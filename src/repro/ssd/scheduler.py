@@ -30,10 +30,16 @@ Which overlaps are allowed is governed by :class:`PipelineConfig`:
   for the transfer while the ECC engine decodes page i as the bus
   streams page i+1, lifting the per-channel read ceiling.
 
-An admission process bounds in-flight commands at ``queue_depth`` (the
-NVMe-style host queue).  Everything is deterministic: the same command
-list, topology, pipeline config and queue depth produce the same
-completion order and the same final clock.
+The execution machinery is an **incremental** resource-reservation
+core (:class:`SchedulerCore`): resident per-(die, plane) workers parked
+on daemon wake-up signals accept :meth:`SchedulerCore.enqueue` calls at
+any simulation time, while earlier commands are still in flight — the
+substrate behind the open-loop :class:`~repro.ssd.session.SsdSession`.
+:class:`CommandScheduler` is the classic closed-batch view: `run()`
+spawns a fresh core plus a queue-depth-bounded admission process (the
+NVMe-style host queue) and drains it to the batch makespan.  Everything
+is deterministic: the same command list, topology, pipeline config and
+queue depth produce the same completion order and the same final clock.
 """
 
 from __future__ import annotations
@@ -172,18 +178,37 @@ class DieCommand:
 
 @dataclass(frozen=True)
 class CommandCompletion:
-    """Timestamped completion of one command."""
+    """Timestamped completion of one command.
+
+    ``submit_s`` is when the host handed the command to the session
+    (submission-queue time); ``admit_s`` is when the in-flight window
+    admitted (dispatched) it.  Closed-batch schedules submit everything
+    at the batch start, so for them ``admit_s - submit_s`` is exactly
+    the queue-depth admission wait.
+    """
 
     tag: int
     die: int
     channel: int
     admit_s: float
     done_s: float
+    submit_s: float | None = None
 
     @property
     def latency_s(self) -> float:
-        """Host-visible latency including queueing behind the die/bus."""
+        """Dispatch-to-completion latency (queueing behind the die/bus)."""
         return self.done_s - self.admit_s
+
+    @property
+    def queue_s(self) -> float:
+        """Submission-to-dispatch wait in the host queue."""
+        return 0.0 if self.submit_s is None else self.admit_s - self.submit_s
+
+    @property
+    def total_latency_s(self) -> float:
+        """Submission-to-completion latency, host queueing included."""
+        base = self.admit_s if self.submit_s is None else self.submit_s
+        return self.done_s - base
 
 
 @dataclass
@@ -199,6 +224,10 @@ class ScheduleResult:
     def latency_by_tag(self) -> dict[int, float]:
         """Per-command latency keyed by submission tag."""
         return {c.tag: c.latency_s for c in self.completions}
+
+    def queue_by_tag(self) -> dict[int, float]:
+        """Submission-to-dispatch wait keyed by submission tag."""
+        return {c.tag: c.queue_s for c in self.completions}
 
     def completion_order(self) -> list[int]:
         """Submission tags in completion order."""
@@ -228,6 +257,309 @@ class _Lock:
         self.freed = engine.signal()
 
 
+def validate_batch(
+    topology: SsdTopology,
+    commands: list[DieCommand],
+    queue_depth: int | None,
+) -> None:
+    """Reject out-of-range dies, duplicate tags and bad queue depths.
+
+    Duplicate submission tags would silently corrupt the completion map,
+    so they are an error within one scheduled batch.
+    """
+    seen_tags: set[int] = set()
+    for command in commands:
+        if not 0 <= command.die < topology.dies:
+            raise SimulationError(
+                f"command die {command.die} outside topology "
+                f"({topology.dies} dies)"
+            )
+        if command.tag in seen_tags:
+            raise SimulationError(
+                f"duplicate command tag {command.tag}: tags must be "
+                "unique within one scheduled batch"
+            )
+        seen_tags.add(command.tag)
+    if queue_depth is not None and queue_depth < 1:
+        raise SimulationError("queue depth must be >= 1")
+
+
+def closed_admission(
+    core: "SchedulerCore",
+    commands: list[DieCommand],
+    queue_depth: int | None,
+    wake_workers: bool = False,
+) -> Process:
+    """Admit a closed batch through a bounded in-flight window.
+
+    ``queue_depth`` bounds how many commands are in flight at once
+    (``None`` admits everything immediately — an infinitely deep
+    queue).  Commands are admitted in list order.  ``wake_workers``
+    pre-fires every worker's wake-up in (die, plane) order before the
+    first admission — required when the core's workers are already
+    resident (parked), so they resume in the same deterministic order
+    as a fresh core's worker start-up.
+    """
+    limit = len(commands) if queue_depth is None else queue_depth
+    submit_s = core.engine.now_s  # the whole batch is submitted up front
+    if wake_workers:
+        core.wake_workers()
+    for command in commands:
+        while core.in_flight >= limit:
+            yield core.completed
+        core.enqueue(command, submit_s=submit_s)
+
+
+class SchedulerCore:
+    """Incremental resource-reservation core over one topology.
+
+    Owns the serially-reusable resources (planes, channel buses, ECC
+    engines, per-plane cache registers) and one resident dispatch worker
+    per (die, plane), parked on a daemon wake-up signal while idle.
+    :meth:`enqueue` accepts a command at any simulation time — including
+    while earlier commands are still in flight — making the core the
+    substrate for both the classic closed-batch
+    :class:`CommandScheduler` and the open-loop
+    :class:`~repro.ssd.session.SsdSession`.
+
+    Completions are appended to :attr:`completions`; :attr:`completed`
+    fires once per completion, and synchronous ``on_finish`` callbacks
+    (called after the fire) let a session route completions without a
+    reaper process of its own.
+    """
+
+    def __init__(
+        self,
+        engine: SimEngine,
+        topology: SsdTopology,
+        pipeline: PipelineConfig | None = None,
+    ):
+        self.engine = engine
+        self.topology = topology
+        self.pipeline = pipeline or PipelineConfig()
+        self.planes = (
+            topology.geometry.planes if self.pipeline.multi_plane else 1
+        )
+        self.completions: list[CommandCompletion] = []
+        self.die_busy_s = [0.0] * topology.dies
+        self.channel_busy_s = [0.0] * topology.channels
+        self.ecc_busy_s = [0.0] * topology.channels
+        self.completed = engine.signal()
+        self.on_finish: list = []
+        self.in_flight = 0
+        self._buses = [_Lock(engine) for _ in range(topology.channels)]
+        self._engines = [_Lock(engine) for _ in range(topology.channels)]
+        self._caches = [
+            [_Lock(engine) for _ in range(self.planes)]
+            for _ in range(topology.dies)
+        ]
+        self._queues: list[list[deque[DieCommand]]] = [
+            [deque() for _ in range(self.planes)]
+            for _ in range(topology.dies)
+        ]
+        self._work = [
+            [engine.signal(daemon=True) for _ in range(self.planes)]
+            for _ in range(topology.dies)
+        ]
+        self._admit_s: dict[int, float] = {}
+        self._submit_s: dict[int, float | None] = {}
+        self._live_tags: set[int] = set()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the resident dispatch workers ((die, plane) order)."""
+        if self._started:
+            raise SimulationError("scheduler core already started")
+        self._started = True
+        for die in range(self.topology.dies):
+            for plane in range(self.planes):
+                self.engine.spawn(self._worker(die, plane))
+
+    @property
+    def idle(self) -> bool:
+        """True when no command is queued or executing."""
+        return self.in_flight == 0
+
+    def wake_workers(self) -> None:
+        """Fire every parked worker's wake-up in (die, plane) order.
+
+        Before admitting a closed batch into a resident core, this puts
+        the workers' resume events in the same deterministic order as a
+        fresh core's start-up, so batch timelines are reproducible
+        regardless of which worker went idle last.
+        """
+        for die_signals in self._work:
+            for signal in die_signals:
+                signal.fire()
+
+    def reset_accounting(self) -> None:
+        """Zero the busy accumulators (only legal while idle)."""
+        if not self.idle:
+            raise SimulationError(
+                "cannot reset accounting with commands in flight"
+            )
+        self.die_busy_s = [0.0] * self.topology.dies
+        self.channel_busy_s = [0.0] * self.topology.channels
+        self.ecc_busy_s = [0.0] * self.topology.channels
+
+    # -- submission --------------------------------------------------------------
+
+    def enqueue(
+        self, command: DieCommand, submit_s: float | None = None
+    ) -> None:
+        """Admit one command into the in-flight set at the current time.
+
+        ``submit_s`` optionally records when the host originally
+        submitted the command (for queueing-time accounting); the admit
+        (dispatch) time is always the current simulation time.  The tag
+        must be unique among commands currently in flight.
+        """
+        if not 0 <= command.die < self.topology.dies:
+            raise SimulationError(
+                f"command die {command.die} outside topology "
+                f"({self.topology.dies} dies)"
+            )
+        if command.tag in self._live_tags:
+            raise SimulationError(
+                f"duplicate command tag {command.tag}: tags must be "
+                "unique among in-flight commands"
+            )
+        self._live_tags.add(command.tag)
+        self.in_flight += 1
+        self._admit_s[command.tag] = self.engine.now_s
+        self._submit_s[command.tag] = submit_s
+        slot = command.plane % self.planes
+        self._queues[command.die][slot].append(command)
+        self._work[command.die][slot].fire()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _finish(self, command: DieCommand, die: int, channel: int) -> None:
+        tag = command.tag
+        completion = CommandCompletion(
+            tag=tag,
+            die=die,
+            channel=channel,
+            admit_s=self._admit_s.pop(tag),
+            done_s=self.engine.now_s,
+            submit_s=self._submit_s.pop(tag),
+        )
+        self.completions.append(completion)
+        self._live_tags.discard(tag)
+        self.in_flight -= 1
+        self.completed.fire()
+        for callback in self.on_finish:
+            callback(completion)
+
+    def _hold(self, lock: _Lock, duration_s: float) -> Process:
+        """Acquire a resource, hold it for ``duration_s``, release."""
+        while lock.busy:
+            yield lock.freed
+        lock.busy = True
+        yield duration_s
+        lock.busy = False
+        lock.freed.fire()
+
+    def _channel_section(
+        self,
+        phases: list[CommandPhase],
+        channel: int,
+        cache: _Lock | None,
+    ) -> Process:
+        """Run a command's channel/ECC phases, freeing ``cache`` once
+        the data has left the cache register (bus transfer done)."""
+        bus, ecc = self._buses[channel], self._engines[channel]
+        if not self.pipeline.pipelined_ecc:
+            # Paper-faithful fused section: transfer + encode/decode
+            # occupy the bus as one non-pipelined unit (the structural
+            # hazard of the single-page-buffer controller FSM).
+            total = sum(p.duration_s for p in phases)
+            yield from self._hold(bus, total)
+            self.channel_busy_s[channel] += total
+            if cache is not None:
+                cache.busy = False
+                cache.freed.fire()
+            return
+        for phase in phases:
+            if phase.resource is PhaseResource.CHANNEL:
+                yield from self._hold(bus, phase.duration_s)
+                self.channel_busy_s[channel] += phase.duration_s
+                if cache is not None:
+                    cache.busy = False
+                    cache.freed.fire()
+                    cache = None
+            else:  # ECC: held for the initiation interval only.
+                yield from self._hold(ecc, phase.occupancy_s)
+                self.ecc_busy_s[channel] += phase.occupancy_s
+                drain = phase.duration_s - phase.occupancy_s
+                if drain > 0:
+                    yield drain
+        if cache is not None:  # no transfer phase: free on exit
+            cache.busy = False
+            cache.freed.fire()
+
+    def _read_drain(
+        self,
+        command: DieCommand,
+        die: int,
+        channel: int,
+        cache: _Lock,
+        phases: list[CommandPhase],
+    ) -> Process:
+        """Stream a cached page out and complete its command."""
+        yield from self._channel_section(phases, channel, cache)
+        self._finish(command, die, channel)
+
+    def _worker(self, die: int, plane: int) -> Process:
+        channel = self.topology.channel_of(die)
+        queue = self._queues[die][plane]
+        work = self._work[die][plane]
+        while True:
+            while not queue:
+                yield work
+            command = queue.popleft()
+            plan = command.phase_plan()
+            array = [
+                p for p in plan if p.resource is PhaseResource.PLANE
+            ]
+            channel_phases = [
+                p for p in plan if p.resource is not PhaseResource.PLANE
+            ]
+            if command.kind is CommandKind.READ:
+                # Sense into the plane's page buffer, then stream out.
+                for phase in array:
+                    yield phase.duration_s
+                    self.die_busy_s[die] += phase.duration_s
+                if self.pipeline.cache_read and channel_phases:
+                    # Hand the page to the cache register and sense on.
+                    cache = self._caches[die][plane]
+                    while cache.busy:
+                        yield cache.freed
+                    cache.busy = True
+                    if command.cache_busy_s > 0:  # tRCBSY handoff
+                        yield command.cache_busy_s
+                        self.die_busy_s[die] += command.cache_busy_s
+                    self.engine.spawn(self._read_drain(
+                        command, die, channel, cache, channel_phases
+                    ))
+                    continue  # completion happens in the drain
+                yield from self._channel_section(channel_phases, channel, None)
+            elif command.kind is CommandKind.PROGRAM:
+                # Encode + stream in (bus frees for siblings), then
+                # busy the plane with the ISPP.
+                yield from self._channel_section(channel_phases, channel, None)
+                for phase in array:
+                    yield phase.duration_s
+                    self.die_busy_s[die] += phase.duration_s
+            else:  # ERASE: array-only, no data on the bus.
+                for phase in array:
+                    yield phase.duration_s
+                    self.die_busy_s[die] += phase.duration_s
+            self._finish(command, die, channel)
+
+
 class CommandScheduler:
     """Dispatches die commands over the topology on one DES run."""
 
@@ -246,194 +578,29 @@ class CommandScheduler:
     ) -> ScheduleResult:
         """Schedule a closed batch of commands; returns the full timeline.
 
+        A thin run-to-drain wrapper over a fresh :class:`SchedulerCore`:
         ``queue_depth`` bounds how many commands are in flight at once
-        (``None`` admits everything immediately — an infinitely deep
-        queue).  Commands are admitted in list order; per-plane service
-        is FIFO; buses and ECC engines arbitrate among their dies in
-        wake-up order.  Duplicate submission tags are rejected — they
-        would silently corrupt the completion map.
+        (``None`` admits everything immediately), per-plane service is
+        FIFO, and buses / ECC engines arbitrate among their dies in
+        wake-up order.  For a persistent queue that accepts submissions
+        while earlier commands are in flight, use
+        :class:`~repro.ssd.session.SsdSession` instead.
         """
-        topology = self.topology
-        config = self.pipeline
-        seen_tags: set[int] = set()
-        for command in commands:
-            if not 0 <= command.die < topology.dies:
-                raise SimulationError(
-                    f"command die {command.die} outside topology "
-                    f"({topology.dies} dies)"
-                )
-            if command.tag in seen_tags:
-                raise SimulationError(
-                    f"duplicate command tag {command.tag}: tags must be "
-                    "unique within one scheduled batch"
-                )
-            seen_tags.add(command.tag)
-        if queue_depth is not None and queue_depth < 1:
-            raise SimulationError("queue depth must be >= 1")
-
-        planes = topology.geometry.planes if config.multi_plane else 1
+        validate_batch(self.topology, commands, queue_depth)
         engine = SimEngine()
-        result = ScheduleResult(
-            die_busy_s=[0.0] * topology.dies,
-            channel_busy_s=[0.0] * topology.channels,
-            ecc_busy_s=[0.0] * topology.channels,
-        )
-        buses = [_Lock(engine) for _ in range(topology.channels)]
-        engines = [_Lock(engine) for _ in range(topology.channels)]
-        caches = [
-            [_Lock(engine) for _ in range(planes)]
-            for _ in range(topology.dies)
-        ]
-        queues: list[list[deque[DieCommand]]] = [
-            [deque() for _ in range(planes)] for _ in range(topology.dies)
-        ]
-        work = [
-            [engine.signal() for _ in range(planes)]
-            for _ in range(topology.dies)
-        ]
-        completed = engine.signal()
-        state = {"in_flight": 0, "closed": False}
-        admit_s: dict[int, float] = {}
-
-        def finish(command: DieCommand, die: int, channel: int) -> None:
-            result.completions.append(CommandCompletion(
-                tag=command.tag,
-                die=die,
-                channel=channel,
-                admit_s=admit_s[command.tag],
-                done_s=engine.now_s,
-            ))
-            state["in_flight"] -= 1
-            completed.fire()
-
-        def hold(lock: _Lock, duration_s: float) -> Process:
-            """Acquire a resource, hold it for ``duration_s``, release."""
-            while lock.busy:
-                yield lock.freed
-            lock.busy = True
-            yield duration_s
-            lock.busy = False
-            lock.freed.fire()
-
-        def channel_section(
-            phases: list[CommandPhase],
-            channel: int,
-            cache: _Lock | None,
-        ) -> Process:
-            """Run a command's channel/ECC phases, freeing ``cache`` once
-            the data has left the cache register (bus transfer done)."""
-            bus, ecc = buses[channel], engines[channel]
-            if not config.pipelined_ecc:
-                # Paper-faithful fused section: transfer + encode/decode
-                # occupy the bus as one non-pipelined unit (the structural
-                # hazard of the single-page-buffer controller FSM).
-                total = sum(p.duration_s for p in phases)
-                yield from hold(bus, total)
-                result.channel_busy_s[channel] += total
-                if cache is not None:
-                    cache.busy = False
-                    cache.freed.fire()
-                return
-            for phase in phases:
-                if phase.resource is PhaseResource.CHANNEL:
-                    yield from hold(bus, phase.duration_s)
-                    result.channel_busy_s[channel] += phase.duration_s
-                    if cache is not None:
-                        cache.busy = False
-                        cache.freed.fire()
-                        cache = None
-                else:  # ECC: held for the initiation interval only.
-                    yield from hold(ecc, phase.occupancy_s)
-                    result.ecc_busy_s[channel] += phase.occupancy_s
-                    drain = phase.duration_s - phase.occupancy_s
-                    if drain > 0:
-                        yield drain
-            if cache is not None:  # no transfer phase: free on exit
-                cache.busy = False
-                cache.freed.fire()
-
-        def read_drain(
-            command: DieCommand,
-            die: int,
-            channel: int,
-            cache: _Lock,
-            phases: list[CommandPhase],
-        ) -> Process:
-            """Stream a cached page out and complete its command."""
-            yield from channel_section(phases, channel, cache)
-            finish(command, die, channel)
-
-        def admission() -> Process:
-            limit = len(commands) if queue_depth is None else queue_depth
-            for command in commands:
-                while state["in_flight"] >= limit:
-                    yield completed
-                state["in_flight"] += 1
-                admit_s[command.tag] = engine.now_s
-                slot = command.plane % planes
-                queues[command.die][slot].append(command)
-                work[command.die][slot].fire()
-            state["closed"] = True
-            for die_signals in work:
-                for signal in die_signals:
-                    signal.fire()
-
-        def worker(die: int, plane: int) -> Process:
-            channel = topology.channel_of(die)
-            queue = queues[die][plane]
-            while True:
-                while not queue:
-                    if state["closed"]:
-                        return
-                    yield work[die][plane]
-                command = queue.popleft()
-                plan = command.phase_plan()
-                array = [
-                    p for p in plan if p.resource is PhaseResource.PLANE
-                ]
-                channel_phases = [
-                    p for p in plan if p.resource is not PhaseResource.PLANE
-                ]
-                if command.kind is CommandKind.READ:
-                    # Sense into the plane's page buffer, then stream out.
-                    for phase in array:
-                        yield phase.duration_s
-                        result.die_busy_s[die] += phase.duration_s
-                    if config.cache_read and channel_phases:
-                        # Hand the page to the cache register and sense on.
-                        cache = caches[die][plane]
-                        while cache.busy:
-                            yield cache.freed
-                        cache.busy = True
-                        if command.cache_busy_s > 0:  # tRCBSY handoff
-                            yield command.cache_busy_s
-                            result.die_busy_s[die] += command.cache_busy_s
-                        engine.spawn(read_drain(
-                            command, die, channel, cache, channel_phases
-                        ))
-                        continue  # completion happens in the drain
-                    yield from channel_section(channel_phases, channel, None)
-                elif command.kind is CommandKind.PROGRAM:
-                    # Encode + stream in (bus frees for siblings), then
-                    # busy the plane with the ISPP.
-                    yield from channel_section(channel_phases, channel, None)
-                    for phase in array:
-                        yield phase.duration_s
-                        result.die_busy_s[die] += phase.duration_s
-                else:  # ERASE: array-only, no data on the bus.
-                    for phase in array:
-                        yield phase.duration_s
-                        result.die_busy_s[die] += phase.duration_s
-                finish(command, die, channel)
-
-        engine.spawn(admission())
-        for die in range(topology.dies):
-            for plane in range(planes):
-                engine.spawn(worker(die, plane))
-        result.makespan_s = engine.run()
-        if len(result.completions) != len(commands):
+        core = SchedulerCore(engine, self.topology, self.pipeline)
+        engine.spawn(closed_admission(core, commands, queue_depth))
+        core.start()
+        makespan = engine.run()
+        if len(core.completions) != len(commands):
             raise SimulationError(
-                f"scheduler completed {len(result.completions)} of "
+                f"scheduler completed {len(core.completions)} of "
                 f"{len(commands)} commands"
             )
-        return result
+        return ScheduleResult(
+            completions=core.completions,
+            makespan_s=makespan,
+            die_busy_s=core.die_busy_s,
+            channel_busy_s=core.channel_busy_s,
+            ecc_busy_s=core.ecc_busy_s,
+        )

@@ -1,0 +1,313 @@
+"""NVMe-style queue-pair host session over the SSD command scheduler.
+
+The batch-drain host API (``read_many``/``write_many`` running every
+homogeneous batch to its makespan before the next is admitted) hides the
+device's steady-state behaviour: inter-batch pipelining dies at every
+batch boundary, mixed reads and writes are never in flight together, and
+latency percentiles exclude host-side queueing.  :class:`SsdSession` is
+the open-loop replacement — the software analogue of an NVMe submission
+/ completion queue pair:
+
+* :meth:`SsdSession.submit` posts one :class:`IoCommand` (a logical
+  read or write) at the current simulation time and returns its
+  submission **tag**; the data path runs immediately through the
+  striped FTL (same shard controllers, same RNG streams as the batch
+  API) while the command's timing joins the resident
+  :class:`~repro.ssd.scheduler.SchedulerCore` — planes, channel buses,
+  ECC engines and cache registers stay serially-reusable resources, and
+  new submissions overlap commands already in flight;
+* completions are delivered on the session's DES engine: each finished
+  command appends an :class:`IoCompletion` (submit / dispatch /
+  completion timestamps, so queueing and service time are separable)
+  and fires :attr:`SsdSession.completion` — the completion-queue
+  doorbell a host process parks on;
+* an optional ``queue_depth`` models the device-side in-flight window:
+  submissions beyond it wait in the session's submission backlog and
+  are dispatched as earlier commands complete (the wait is visible as
+  ``IoCompletion.queue_s``).
+
+:meth:`SsdSession.execute` is the closed-loop compatibility surface:
+it drains one pre-built command batch exactly like
+:class:`~repro.ssd.scheduler.CommandScheduler.run` — the resident core
+is re-based to a zero clock while idle, so batch timelines (per-command
+latencies, completion order, makespan) are **bit-exact** with the
+run-to-drain scheduler.  ``DieStripedFtl.read_many``/``write_many``
+route through it, which is what lets every namespace of a
+:class:`~repro.ftl.service.DifferentiatedStorage` share one device-wide
+queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimEngine
+from repro.ssd.scheduler import (
+    DieCommand,
+    ScheduleResult,
+    SchedulerCore,
+    closed_admission,
+    validate_batch,
+)
+from repro.workloads.traces import TraceOpKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (striped uses session)
+    from repro.ssd.device import SsdDevice
+    from repro.ssd.striped import DieStripedFtl
+
+
+@dataclass(frozen=True)
+class IoCommand:
+    """One host I/O against a logical page.
+
+    ``issue_s`` is the op's arrival timestamp in an open-loop stream —
+    informational here (arrival processes use it to pace submissions);
+    the session stamps the actual submit time when :meth:`SsdSession.submit`
+    is called.  Only reads and writes travel through the queue pair;
+    trims/erases are host-side metadata operations.
+    """
+
+    kind: TraceOpKind
+    lpn: int
+    data: bytes = b""
+    issue_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class IoCompletion:
+    """Completion-queue entry for one submitted I/O.
+
+    The three timestamps decompose the end-to-end latency: ``submit_s``
+    (host posted the command), ``dispatch_s`` (the in-flight window
+    admitted it to the scheduler core) and ``done_s`` (data transferred
+    and decoded/programmed).
+    """
+
+    tag: int
+    kind: TraceOpKind
+    lpn: int
+    data: bytes | None
+    submit_s: float
+    dispatch_s: float
+    done_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency, host-side queueing included."""
+        return self.done_s - self.submit_s
+
+    @property
+    def queue_s(self) -> float:
+        """Submission-to-dispatch wait in the host queue."""
+        return self.dispatch_s - self.submit_s
+
+    @property
+    def service_s(self) -> float:
+        """Dispatch-to-completion time on the device."""
+        return self.done_s - self.dispatch_s
+
+
+@dataclass(frozen=True)
+class _IoRecord:
+    """Submission-side bookkeeping awaiting a completion."""
+
+    kind: TraceOpKind
+    lpn: int
+    data: bytes | None
+    submit_s: float
+
+
+class SsdSession:
+    """A persistent submission/completion queue pair over one SSD.
+
+    One session per device: every striped FTL (and therefore every
+    namespace) routed through it shares the same resident scheduler
+    core, so their commands genuinely contend for planes, buses and ECC
+    engines on one timeline.
+
+    ``queue_depth`` bounds the device-side in-flight window for
+    :meth:`submit` traffic (``None`` = unbounded, pure open loop);
+    overflow waits in the session's submission backlog.  ``ftl`` is the
+    default router for logical I/O — :meth:`submit` accepts an explicit
+    ``ftl=`` for multi-namespace use.
+    """
+
+    def __init__(
+        self,
+        ftl: "DieStripedFtl | None" = None,
+        *,
+        ssd: "SsdDevice | None" = None,
+        engine: SimEngine | None = None,
+        queue_depth: int | None = None,
+    ):
+        if ssd is None:
+            if ftl is None:
+                raise SimulationError("a session needs an FTL or an SSD")
+            ssd = ftl.ssd
+        if queue_depth is not None and queue_depth < 1:
+            raise SimulationError("queue depth must be >= 1")
+        self.ftl = ftl
+        self.ssd = ssd
+        self.engine = engine or SimEngine()
+        self.queue_depth = queue_depth
+        self.core = SchedulerCore(self.engine, ssd.topology, ssd.pipeline)
+        self.core.start()
+        # Park the resident workers on their wake-up signals so the
+        # engine is idle (drained) before the first submission.
+        self.engine.run()
+        self.core.on_finish.append(self._on_command_finish)
+        #: Completion-queue doorbell: fired once per IoCompletion.  A
+        #: daemon signal — a host reaper parked on it between
+        #: completions is an expected-idle state, not a deadlock.
+        self.completion = self.engine.signal(daemon=True)
+        #: Completion queue (append-only, completion order).
+        self.completions: list[IoCompletion] = []
+        self._io: dict[int, _IoRecord] = {}
+        self._backlog: deque[tuple[DieCommand, float]] = deque()
+        self._next_tag = 0
+
+    # -- open-loop submission stream ---------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Commands dispatched to the device and not yet complete."""
+        return self.core.in_flight
+
+    @property
+    def backlog(self) -> int:
+        """Submitted commands still waiting for the in-flight window."""
+        return len(self._backlog)
+
+    def submit(
+        self, io: IoCommand, ftl: "DieStripedFtl | None" = None
+    ) -> int:
+        """Post one I/O to the submission queue; returns its tag.
+
+        Callable from host code between engine runs or from a DES
+        process on the session engine (an open-loop arrival generator).
+        The FTL data path (mapping, allocation, ECC, error injection)
+        runs immediately; the command's timing is played out on the
+        shared timeline and completes asynchronously via
+        :attr:`completion`.
+        """
+        ftl = self.ftl if ftl is None else ftl
+        if ftl is None:
+            raise SimulationError(
+                "session has no FTL: pass one at construction or per submit"
+            )
+        tag = self._next_tag
+        self._next_tag += 1
+        submit_s = self.engine.now_s
+        if io.kind is TraceOpKind.READ:
+            datas, commands = ftl.stage_reads([io.lpn], tags=(tag,))
+            data = datas[0]
+        elif io.kind is TraceOpKind.WRITE:
+            commands = ftl.stage_writes([(io.lpn, io.data)], tags=(tag,))
+            data = None
+        else:
+            raise SimulationError(
+                f"sessions carry reads and writes only, not {io.kind}"
+            )
+        self._io[tag] = _IoRecord(io.kind, io.lpn, data, submit_s)
+        command = commands[0]
+        if self.queue_depth is None or self.core.in_flight < self.queue_depth:
+            self.core.enqueue(command, submit_s=submit_s)
+        else:
+            self._backlog.append((command, submit_s))
+        return tag
+
+    def take_completions(self) -> list[IoCompletion]:
+        """Drain and return the completion queue (completion order)."""
+        done = self.completions
+        self.completions = []
+        return done
+
+    def drain(self) -> float:
+        """Run the session engine until every in-flight I/O completes.
+
+        Returns the simulation time reached.  The resident workers stay
+        parked for the next submission.
+        """
+        end = self.engine.run()
+        if self.core.in_flight or self._backlog:
+            raise SimulationError(
+                f"session drained with {self.core.in_flight} in flight and "
+                f"{len(self._backlog)} backlogged"
+            )
+        # IoCompletions were already routed to the session's queue; the
+        # core's raw list would otherwise grow without bound.
+        self.core.completions.clear()
+        return end
+
+    # -- closed-loop batch surface -------------------------------------------------
+
+    def execute(
+        self,
+        commands: list[DieCommand],
+        queue_depth: int | None = None,
+    ) -> ScheduleResult:
+        """Drain one closed batch of pre-built die commands.
+
+        The compatibility surface behind ``read_many``/``write_many``:
+        requires an idle session (nothing in flight, empty backlog, no
+        scheduled events), re-bases the clock to zero and replays the
+        batch through the resident core — bit-exact with
+        :meth:`~repro.ssd.scheduler.CommandScheduler.run` on a fresh
+        engine (same completion order, same latencies, same makespan).
+        """
+        if not self.core.idle or self._backlog:
+            raise SimulationError(
+                "execute() needs an idle session; use submit() to overlap "
+                "with in-flight commands"
+            )
+        if not self.engine.idle:
+            raise SimulationError(
+                "execute() needs an idle engine (no scheduled events)"
+            )
+        validate_batch(self.core.topology, commands, queue_depth)
+        self.engine.rebase()
+        self.core.reset_accounting()
+        self.core.completions.clear()
+        self.engine.spawn(closed_admission(
+            self.core, commands, queue_depth, wake_workers=True
+        ))
+        makespan = self.engine.run()
+        completions = list(self.core.completions)
+        if len(completions) != len(commands):
+            raise SimulationError(
+                f"session completed {len(completions)} of "
+                f"{len(commands)} commands"
+            )
+        return ScheduleResult(
+            completions=completions,
+            makespan_s=makespan,
+            die_busy_s=list(self.core.die_busy_s),
+            channel_busy_s=list(self.core.channel_busy_s),
+            ecc_busy_s=list(self.core.ecc_busy_s),
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _on_command_finish(self, completion) -> None:
+        record = self._io.pop(completion.tag, None)
+        if record is not None:
+            self.completions.append(IoCompletion(
+                tag=completion.tag,
+                kind=record.kind,
+                lpn=record.lpn,
+                data=record.data,
+                submit_s=record.submit_s,
+                dispatch_s=completion.admit_s,
+                done_s=completion.done_s,
+            ))
+            self.completion.fire()
+        # Top the in-flight window back up from the submission backlog.
+        while self._backlog and (
+            self.queue_depth is None
+            or self.core.in_flight < self.queue_depth
+        ):
+            command, submit_s = self._backlog.popleft()
+            self.core.enqueue(command, submit_s=submit_s)

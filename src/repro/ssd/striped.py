@@ -26,11 +26,23 @@ The surface mirrors :class:`~repro.ftl.ftl.FlashTranslationLayer`
 (write/read/trim/write_many/read_many/stats/apply_config), so namespaces
 in :class:`~repro.ftl.service.DifferentiatedStorage` can be backed by
 either a single-die partition or a striped SSD span.
+
+Timing is executed by the device's persistent
+:class:`~repro.ssd.session.SsdSession` rather than a fresh run-to-drain
+scheduler per batch: ``read_many``/``write_many`` drain a closed batch
+through :meth:`~repro.ssd.session.SsdSession.execute` (bit-exact with
+the classic scheduler), while :meth:`stage_reads`/:meth:`stage_writes`
+expose the same data-path + command-building step per submission so the
+session's open-loop ``submit()`` stream reuses one code path.  Every
+striped FTL over one :class:`~repro.ssd.device.SsdDevice` shares that
+device's session by default, so namespaces contend in one device-wide
+queue.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from repro.controller.controller import ReadReport, WriteReport
 from repro.errors import ControllerError
@@ -45,6 +57,9 @@ from repro.ssd.scheduler import (
     ScheduleResult,
 )
 from repro.ssd.topology import group_indices_by_die
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session uses striped)
+    from repro.ssd.session import SsdSession
 
 
 @dataclass(frozen=True)
@@ -64,6 +79,7 @@ class DieStripedFtl:
         blocks: list[int] | None = None,
         queue_depth: int | None = None,
         plane_interleave: bool = False,
+        session: "SsdSession | None" = None,
     ):
         """Stripe over ``blocks`` of every die (the whole die by default).
 
@@ -73,8 +89,12 @@ class DieStripedFtl:
         blocks across the die's array planes, so consecutive writes land
         on alternating planes — the placement policy that lets the
         scheduler's ``multi_plane`` pipeline overlap ISPP phases.
+        ``session`` overrides the queue pair batches execute on; by
+        default the device-wide :attr:`SsdDevice.session` is shared, so
+        every span over one SSD queues on one timeline.
         """
         self.ssd = ssd
+        self._session = session
         if blocks is None:
             blocks = list(range(ssd.geometry.blocks))
         self.blocks = list(blocks)
@@ -89,6 +109,17 @@ class DieStripedFtl:
             shard.logical_capacity for shard in self.shards
         )
         self.last_schedule: ScheduleResult | None = None
+
+    @property
+    def session(self) -> "SsdSession":
+        """The queue pair this FTL's commands execute on.
+
+        Defaults to the device-wide session so independent spans (e.g.
+        service-class namespaces) share one queue and one timeline.
+        """
+        if self._session is None:
+            self._session = self.ssd.session
+        return self._session
 
     @property
     def dies(self) -> int:
@@ -132,17 +163,7 @@ class DieStripedFtl:
         scheduled completion minus admission (queueing included).  The
         full timeline is kept in :attr:`last_schedule`.
         """
-        routes = [self.route(lpn) for lpn, _ in items]
-        per_die = self._group(routes)
-        commands: list[DieCommand] = []
-        for die, indices in per_die.items():
-            reports = self.shards[die].write_many_reports(
-                [(routes[i].shard_lpn, items[i][1]) for i in indices]
-            )
-            commands.extend(
-                self._program_command(die, index, report)
-                for index, report in zip(indices, reports)
-            )
+        commands = self.stage_writes(items)
         return self._schedule(commands, len(items), queue_depth)
 
     def read_many(
@@ -155,6 +176,50 @@ class DieStripedFtl:
         streams); latency per page comes from the scheduled READ timeline
         (die sense, then channel transfer + decode).
         """
+        datas, commands = self.stage_reads(lpns)
+        latencies = self._schedule(commands, len(lpns), queue_depth)
+        return list(zip(datas, latencies))
+
+    def stage_writes(
+        self,
+        items: list[tuple[int, bytes]],
+        tags: "Sequence[int] | None" = None,
+    ) -> list[DieCommand]:
+        """Run the write data path and build (untimed) PROGRAM commands.
+
+        ``tags`` names each command's submission tag (defaults to the
+        item index); the commands are returned in tag order, ready for
+        :meth:`~repro.ssd.session.SsdSession.execute` or a per-command
+        :meth:`~repro.ssd.session.SsdSession.submit`.
+        """
+        if tags is None:
+            tags = range(len(items))
+        routes = [self.route(lpn) for lpn, _ in items]
+        per_die = self._group(routes)
+        commands: list[DieCommand] = []
+        for die, indices in per_die.items():
+            reports = self.shards[die].write_many_reports(
+                [(routes[i].shard_lpn, items[i][1]) for i in indices]
+            )
+            commands.extend(
+                self._program_command(die, tags[index], report)
+                for index, report in zip(indices, reports)
+            )
+        commands.sort(key=lambda command: command.tag)
+        return commands
+
+    def stage_reads(
+        self,
+        lpns: list[int],
+        tags: "Sequence[int] | None" = None,
+    ) -> tuple[list[bytes], list[DieCommand]]:
+        """Run the read data path and build (untimed) READ commands.
+
+        Returns the decoded page data (submission order) and the
+        commands in tag order; see :meth:`stage_writes` for ``tags``.
+        """
+        if tags is None:
+            tags = range(len(lpns))
         routes = [self.route(lpn) for lpn in lpns]
         per_die = self._group(routes)
         datas: list[bytes | None] = [None] * len(lpns)
@@ -165,9 +230,9 @@ class DieStripedFtl:
             )
             for index, (data, report) in zip(indices, reads):
                 datas[index] = data
-                commands.append(self._read_command(die, index, report))
-        latencies = self._schedule(commands, len(lpns), queue_depth)
-        return list(zip(datas, latencies))
+                commands.append(self._read_command(die, tags[index], report))
+        commands.sort(key=lambda command: command.tag)
+        return datas, commands
 
     def trim(self, lpn: int) -> None:
         """Discard a logical page."""
@@ -262,10 +327,16 @@ class DieStripedFtl:
         count: int,
         queue_depth: int | None,
     ) -> list[float]:
-        """Run the scheduler; returns per-tag latencies in host order."""
-        commands.sort(key=lambda command: command.tag)
+        """Drain the batch on the device session; per-tag latencies.
+
+        Uses :meth:`~repro.ssd.session.SsdSession.execute`, which is
+        bit-exact with a fresh run-to-drain
+        :class:`~repro.ssd.scheduler.CommandScheduler` — the session
+        merely keeps its workers (and any sibling namespaces' traffic)
+        on one persistent timeline.
+        """
         if queue_depth is None:
             queue_depth = self.queue_depth
-        self.last_schedule = self.ssd.scheduler.run(commands, queue_depth)
+        self.last_schedule = self.session.execute(commands, queue_depth)
         by_tag = self.last_schedule.latency_by_tag()
         return [by_tag[tag] for tag in range(count)]

@@ -9,10 +9,12 @@ from repro.workloads.traces import (
     QueuedTrace,
     TraceOp,
     TraceOpKind,
+    fixed_rate_arrivals,
     interleave_streams,
     mixed_trace,
     multimedia_playback_trace,
     os_upgrade_trace,
+    poisson_arrivals,
     queued_playback_trace,
 )
 
@@ -23,9 +25,11 @@ __all__ = [
     "QueuedTrace",
     "TraceOp",
     "TraceOpKind",
+    "fixed_rate_arrivals",
     "interleave_streams",
     "multimedia_playback_trace",
     "os_upgrade_trace",
     "mixed_trace",
+    "poisson_arrivals",
     "queued_playback_trace",
 ]

@@ -13,12 +13,22 @@ commands the host keeps outstanding, and :func:`interleave_streams`
 merges independent sequential streams round-robin — the classic way a
 deep host queue exposes die parallelism to the command scheduler (QD-1
 traffic serialises on one die at a time; QD-n keeps n dies busy).
+
+For the **open-loop** host model (:class:`~repro.ssd.session.SsdSession`)
+every :class:`TraceOp` additionally carries an ``issue_s`` arrival
+timestamp: instead of the host waiting for each batch to drain, an
+arrival process submits op *i* at ``issue_s[i]`` regardless of what is
+still in flight.  :func:`fixed_rate_arrivals` stamps a deterministic
+constant-rate clock and :func:`poisson_arrivals` a seeded Poisson
+process (exponential inter-arrival gaps) — sweeping the rate against
+the device's saturation throughput produces the classic throughput /
+latency-knee curve.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -36,12 +46,18 @@ class TraceOpKind(enum.Enum):
 
 @dataclass(frozen=True)
 class TraceOp:
-    """One host operation."""
+    """One host operation.
+
+    ``issue_s`` is the op's arrival time for open-loop playback (0.0 —
+    the default — means "as soon as the host gets to it", which is what
+    closed-loop runners assume; they ignore the field entirely).
+    """
 
     kind: TraceOpKind
     block: int
     page: int = 0
     data: bytes = b""
+    issue_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -115,6 +131,50 @@ def queued_playback_trace(
             for op in ops
         ])
     return QueuedTrace(interleave_streams(traces), queue_depth=streams)
+
+
+def fixed_rate_arrivals(
+    operations: list[TraceOp],
+    rate_ops_s: float,
+    start_s: float = 0.0,
+) -> list[TraceOp]:
+    """Stamp a constant-rate arrival clock onto a trace.
+
+    Op ``i`` arrives at ``start_s + i / rate_ops_s`` — the deterministic
+    open-loop generator (no randomness, no seed).  Order and contents
+    are preserved; only ``issue_s`` changes.
+    """
+    if rate_ops_s <= 0:
+        raise ConfigurationError("arrival rate must be positive")
+    return [
+        replace(op, issue_s=start_s + index / rate_ops_s)
+        for index, op in enumerate(operations)
+    ]
+
+
+def poisson_arrivals(
+    operations: list[TraceOp],
+    rate_ops_s: float,
+    seed: int = 17,
+    start_s: float = 0.0,
+) -> list[TraceOp]:
+    """Stamp seeded Poisson-process arrivals onto a trace.
+
+    Inter-arrival gaps are i.i.d. exponential with mean
+    ``1 / rate_ops_s`` (so the long-run offered rate is ``rate_ops_s``),
+    cumulated from ``start_s``.  Deterministic for a given
+    ``(operations, rate, seed)`` triple; order and contents are
+    preserved, only ``issue_s`` changes.
+    """
+    if rate_ops_s <= 0:
+        raise ConfigurationError("arrival rate must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_ops_s, size=len(operations))
+    times = start_s + np.cumsum(gaps)
+    return [
+        replace(op, issue_s=float(time))
+        for op, time in zip(operations, times)
+    ]
 
 
 def _sequential_writes(

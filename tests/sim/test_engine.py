@@ -162,3 +162,85 @@ class TestSignal:
         engine.spawn(firer(signal))
         engine.run()
         assert times == [pytest.approx(5.0), pytest.approx(7.0)]
+
+
+class TestDaemonSignalsAndRebase:
+    def test_daemon_parked_process_is_not_a_deadlock(self):
+        def worker(signal):
+            while True:
+                yield signal
+
+        engine = SimEngine()
+        signal = engine.signal(daemon=True)
+        engine.spawn(worker(signal))
+        assert engine.run() == 0.0  # drains with the worker still parked
+
+    def test_daemon_worker_survives_across_runs(self):
+        served = []
+
+        def worker(engine, signal, queue):
+            while True:
+                while not queue:
+                    yield signal
+                item = queue.pop(0)
+                yield 1.0
+                served.append((item, engine.now_s))
+
+        def submit(signal, queue, item):
+            queue.append(item)
+            signal.fire()
+            yield 0.0
+
+        engine = SimEngine()
+        signal = engine.signal(daemon=True)
+        queue = []
+        engine.spawn(worker(engine, signal, queue))
+        engine.run()
+        engine.spawn(submit(signal, queue, "a"))
+        engine.run()
+        engine.spawn(submit(signal, queue, "b"))
+        engine.run()
+        assert served == [("a", 1.0), ("b", 2.0)]
+
+    def test_non_daemon_park_still_detected(self):
+        def waiter(signal):
+            yield signal
+
+        engine = SimEngine()
+        engine.spawn(waiter(engine.signal()))
+        with pytest.raises(SimulationError, match="deadlock"):
+            engine.run()
+
+    def test_rebase_resets_idle_clock(self):
+        def tick():
+            yield 3.5
+
+        engine = SimEngine()
+        engine.spawn(tick())
+        assert engine.run() == 3.5
+        assert engine.idle
+        engine.rebase()
+        assert engine.now_s == 0.0
+        engine.spawn(tick())
+        assert engine.run() == 3.5  # fresh-engine float arithmetic
+
+    def test_rebase_with_pending_events_rejected(self):
+        engine = SimEngine()
+        engine.spawn(iter([]), delay_s=1.0)
+        assert not engine.idle
+        with pytest.raises(SimulationError, match="rebase"):
+            engine.rebase()
+
+    def test_max_events_guard_is_per_run_not_lifetime(self):
+        def tick(n):
+            for _ in range(n):
+                yield 1.0
+
+        engine = SimEngine()
+        for _ in range(4):  # 4 runs x 60 events: fine at max_events=100
+            engine.spawn(tick(59))
+            engine.run(max_events=100)
+        assert engine.events_processed == 4 * 60
+        engine.spawn(tick(150))
+        with pytest.raises(SimulationError, match="exceeded"):
+            engine.run(max_events=100)

@@ -132,3 +132,35 @@ class TestFtlWorkload:
         result = run_ftl_workload(ftl, HostWorkload("upd", ops))
         assert result.stats.writes == 2
         assert ftl.read(0)[0] == payload_b
+
+    def test_erase_discards_only_that_blocks_pages(self):
+        """Host-side ERASE trims the erased block via the per-block index."""
+        from repro.sim.host import run_ftl_workload
+
+        keep = bytes([0x11]) * 4096
+        ops = [
+            TraceOp(TraceOpKind.WRITE, 0, page, bytes(4096))
+            for page in range(3)
+        ]
+        ops += [TraceOp(TraceOpKind.WRITE, 1, 0, keep)]
+        ops += [TraceOp(TraceOpKind.ERASE, 0)]
+        ops += [TraceOp(TraceOpKind.READ, 1, 0)]
+        ops += [TraceOp(TraceOpKind.ERASE, 2)]  # never-named block: no-op
+        ftl = self._ftl()
+        result = run_ftl_workload(ftl, HostWorkload("erase", ops))
+        assert result.stats.reads == 1
+        # Block-0 names (LPNs 0-2) trimmed, block-1 name (LPN 3) intact.
+        assert not any(ftl.is_mapped(lpn) for lpn in range(3))
+        assert ftl.read(3)[0] == keep
+
+    def test_latency_percentiles_include_queue_service_split(self):
+        from repro.sim.host import run_ftl_workload
+
+        trace = mixed_trace(blocks=1, pages_per_block=2)
+        result = run_ftl_workload(self._ftl(), HostWorkload("m", trace))
+        tails = result.latency_percentiles()
+        for key in ("queue_p50_s", "queue_p95_s", "queue_p99_s",
+                    "service_p50_s", "service_p95_s", "service_p99_s"):
+            assert key in tails
+        # Single-die runners never queue host-side.
+        assert tails["queue_p99_s"] == 0.0

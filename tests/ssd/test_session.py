@@ -1,0 +1,508 @@
+"""SsdSession tests: closed-loop equivalence oracle + open-loop streams.
+
+The oracle below reproduces the PR 4 batch-drain host path verbatim: a
+``DieStripedFtl`` whose ``_schedule`` spins up a fresh run-to-drain
+``CommandScheduler`` per batch, driven by a copy of the PR 4
+``_ssd_process`` loop.  The session-backed ``run_ssd_workload`` must
+reproduce its per-op latencies and makespans **bit-exact** on randomized
+mixed traces — the guarantee that lets the open-loop redesign ride on
+the same timing model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import OperatingMode
+from repro.core.policy import CrossLayerPolicy
+from repro.errors import SimulationError
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NandTimingModel
+from repro.sim.engine import SimEngine
+from repro.sim.host import (
+    HostWorkload,
+    OpenLoopWorkload,
+    WorkloadResult,
+    run_open_loop_workload,
+    run_ssd_workload,
+)
+from repro.sim.stats import ThroughputStats
+from repro.ssd import (
+    CommandScheduler,
+    DieStripedFtl,
+    IoCommand,
+    PipelineConfig,
+    SsdDevice,
+    SsdSession,
+    SsdTopology,
+)
+from repro.ssd.scheduler import CommandKind, DieCommand
+from repro.workloads.traces import (
+    TraceOp,
+    TraceOpKind,
+    fixed_rate_arrivals,
+    mixed_trace,
+)
+
+
+# ---------------------------------------------------------------------------
+# Oracle: the PR 4 batch-drain host path, kept verbatim.
+# ---------------------------------------------------------------------------
+
+
+class Pr4StripedFtl(DieStripedFtl):
+    """PR 4 scheduling: a fresh run-to-drain scheduler pass per batch."""
+
+    def _schedule(self, commands, count, queue_depth):
+        commands.sort(key=lambda command: command.tag)
+        if queue_depth is None:
+            queue_depth = self.queue_depth
+        self.last_schedule = self.ssd.scheduler.run(commands, queue_depth)
+        by_tag = self.last_schedule.latency_by_tag()
+        return [by_tag[tag] for tag in range(count)]
+
+
+def _pr4_batched_ops(operations, batch_pages):
+    group = []
+    for op in operations:
+        if group and (op.kind is not group[0].kind or len(group) >= batch_pages):
+            yield group
+            group = []
+        group.append(op)
+    if group:
+        yield group
+
+
+def _pr4_ssd_process(ftl, workload, result):
+    """Verbatim copy of the PR 4 ``_ssd_process`` batch-drain loop."""
+    page_bytes = ftl.geometry.page_data_bytes
+    batch_pages = max(1, workload.batch_pages)
+    queue_depth = workload.queue_depth if workload.queue_depth > 0 else None
+    lpns = {}
+
+    def lpn_of(op):
+        return lpns.setdefault((op.block, op.page), len(lpns))
+
+    for group in _pr4_batched_ops(workload.operations, batch_pages):
+        kind = group[0].kind
+        elapsed = 0.0
+        if kind is TraceOpKind.WRITE:
+            for op_latency in ftl.write_many(
+                [(lpn_of(op), op.data) for op in group],
+                queue_depth=queue_depth,
+            ):
+                result.stats.observe_write(page_bytes, op_latency)
+        elif kind is TraceOpKind.READ:
+            for _, op_latency in ftl.read_many(
+                [lpn_of(op) for op in group], queue_depth=queue_depth
+            ):
+                result.stats.observe_read(page_bytes, op_latency)
+        else:
+            for op in group:
+                for (block, _), lpn in list(lpns.items()):
+                    if block == op.block and ftl.is_mapped(lpn):
+                        ftl.trim(lpn)
+        if kind is not TraceOpKind.ERASE and ftl.last_schedule is not None:
+            elapsed = ftl.last_schedule.makespan_s
+        result.corrected_bits = ftl.stats.corrected_bits
+        yield elapsed + len(group) * workload.think_time_s
+
+
+def _pr4_run_ssd_workload(ftl, workload):
+    result = WorkloadResult(
+        name=workload.name, elapsed_s=0.0, stats=ThroughputStats()
+    )
+    engine = SimEngine()
+    engine.spawn(_pr4_ssd_process(ftl, workload, result))
+    result.elapsed_s = engine.run()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Shared builders
+# ---------------------------------------------------------------------------
+
+
+def _build(
+    channels=1,
+    dies_per_channel=2,
+    pipeline=None,
+    cls=DieStripedFtl,
+    seed=2012,
+    wear=10_000,
+):
+    topology = SsdTopology(
+        channels=channels,
+        dies_per_channel=dies_per_channel,
+        geometry=NandGeometry(blocks=8, pages_per_block=8),
+    )
+    ssd = SsdDevice(
+        topology, policy=CrossLayerPolicy(), seed=seed, pipeline=pipeline
+    )
+    for controller in ssd.controllers:
+        controller.device.array._wear[:] = wear
+    ssd.set_mode(OperatingMode.BASELINE, pe_reference=float(wear))
+    return cls(ssd)
+
+
+def _erase_spiced(trace, seed):
+    """Append scratch writes + host-side ERASE ops to a mixed trace.
+
+    The erased trace block is never read afterwards (a trimmed LPN may
+    not be re-read), and one erase targets a block the trace never
+    named — both paths must treat it as a no-op.
+    """
+    rng = np.random.default_rng(seed)
+    scratch = [
+        TraceOp(TraceOpKind.WRITE, 9, page, rng.bytes(4096))
+        for page in range(2)
+    ]
+    return (
+        list(trace)
+        + scratch
+        + [TraceOp(TraceOpKind.ERASE, 9), TraceOp(TraceOpKind.ERASE, 7)]
+    )
+
+
+def _read_commands(count, dies, tags=None):
+    tags = range(count) if tags is None else tags
+    return [
+        DieCommand.from_phases(
+            CommandKind.READ,
+            die=index % dies,
+            tag=tag,
+            phases=NandTimingModel.read_phases(
+                sense_s=75e-6, transfer_s=10e-6, decode_s=100e-6,
+                decode_hold_s=60e-6,
+            ),
+            plane=index % 2,
+            cache_busy_s=3e-6,
+        )
+        for index, tag in enumerate(tags)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop equivalence (the acceptance-criterion oracle test)
+# ---------------------------------------------------------------------------
+
+
+class TestClosedLoopEquivalence:
+    @pytest.mark.parametrize("channels,dies_per_channel,pipeline", [
+        (1, 1, None),
+        (1, 2, PipelineConfig.full()),
+        (2, 2, PipelineConfig(cache_read=True, pipelined_ecc=True)),
+    ])
+    @pytest.mark.parametrize("batch_pages,queue_depth", [
+        (4, 0), (8, 2),
+    ])
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_session_reproduces_pr4_batch_drain_bit_exact(
+        self, channels, dies_per_channel, pipeline, batch_pages,
+        queue_depth, seed,
+    ):
+        trace = _erase_spiced(
+            mixed_trace(blocks=2, pages_per_block=4, seed=seed), seed
+        )
+        workload = HostWorkload(
+            "equiv", trace, batch_pages=batch_pages, queue_depth=queue_depth
+        )
+        oracle = _pr4_run_ssd_workload(
+            _build(channels, dies_per_channel, pipeline, cls=Pr4StripedFtl),
+            workload,
+        )
+        session_backed = run_ssd_workload(
+            _build(channels, dies_per_channel, pipeline), workload
+        )
+        assert (
+            session_backed.stats.read_latency.samples
+            == oracle.stats.read_latency.samples
+        )
+        assert (
+            session_backed.stats.write_latency.samples
+            == oracle.stats.write_latency.samples
+        )
+        assert session_backed.elapsed_s == oracle.elapsed_s
+        assert session_backed.corrected_bits == oracle.corrected_bits
+        assert (
+            session_backed.uncorrectable_pages == oracle.uncorrectable_pages
+        )
+
+    @pytest.mark.parametrize("queue_depth", [None, 1, 3])
+    def test_execute_matches_run_to_drain_scheduler(self, queue_depth):
+        topology = SsdTopology(
+            channels=2, dies_per_channel=2,
+            geometry=NandGeometry(blocks=4, pages_per_block=8),
+        )
+        config = PipelineConfig.full()
+        commands = _read_commands(24, topology.dies)
+        reference = CommandScheduler(topology, config).run(
+            commands, queue_depth
+        )
+        ssd = SsdDevice(topology, seed=1, pipeline=config)
+        for _ in range(2):  # the resident core must reproduce it repeatedly
+            result = ssd.session.execute(commands, queue_depth)
+            assert [
+                (c.tag, c.admit_s, c.done_s) for c in result.completions
+            ] == [
+                (c.tag, c.admit_s, c.done_s) for c in reference.completions
+            ]
+            assert result.makespan_s == reference.makespan_s
+            assert result.die_busy_s == reference.die_busy_s
+            assert result.channel_busy_s == reference.channel_busy_s
+            assert result.ecc_busy_s == reference.ecc_busy_s
+
+    def test_closed_batch_queue_breakdown_is_admission_wait(self):
+        ftl = _build(1, 1)
+        ftl.write_many([(lpn, bytes(4096)) for lpn in range(6)])
+        ftl.read_many(list(range(6)), queue_depth=2)
+        completions = ftl.last_schedule.completions
+        # Everything was submitted at the (re-based) batch start...
+        assert all(c.submit_s == 0.0 for c in completions)
+        # ...so later commands show a growing submit->dispatch wait.
+        assert max(c.queue_s for c in completions) > 0.0
+        assert all(
+            c.total_latency_s == pytest.approx(c.queue_s + c.latency_s)
+            for c in completions
+        )
+
+
+# ---------------------------------------------------------------------------
+# Open-loop submission/completion streams
+# ---------------------------------------------------------------------------
+
+
+class TestOpenLoopSession:
+    def test_submit_completes_with_data(self):
+        ftl = _build()
+        payloads = {lpn: bytes([lpn]) * 4096 for lpn in range(8)}
+        ftl.write_many(list(payloads.items()))
+        session = SsdSession(ftl)
+        tags = {
+            session.submit(IoCommand(TraceOpKind.READ, lpn)): lpn
+            for lpn in payloads
+        }
+        session.drain()
+        done = session.take_completions()
+        assert len(done) == len(payloads)
+        for completion in done:
+            assert completion.lpn == tags[completion.tag]
+            assert completion.data == payloads[completion.lpn]
+            assert completion.done_s >= completion.dispatch_s
+            assert completion.dispatch_s >= completion.submit_s
+        assert session.take_completions() == []
+
+    def test_mixed_reads_and_writes_overlap_in_flight(self):
+        """A write stream and a read stream share the timeline open loop."""
+        ftl = _build(1, 2, PipelineConfig.full())
+        ftl.write_many([(lpn, bytes(4096)) for lpn in range(8)])
+        session = SsdSession(ftl)
+        for lpn in range(8):
+            session.submit(IoCommand(TraceOpKind.READ, lpn))
+            session.submit(
+                IoCommand(TraceOpKind.WRITE, 8 + lpn, bytes(4096))
+            )
+        open_elapsed = session.drain()
+
+        drained = _build(1, 2, PipelineConfig.full())
+        drained.write_many([(lpn, bytes(4096)) for lpn in range(8)])
+        total = 0.0
+        for lpn in range(8):  # batch-drain: each op runs to completion
+            drained.read_many([lpn])
+            total += drained.last_schedule.makespan_s
+            drained.write_many([(8 + lpn, bytes(4096))])
+            total += drained.last_schedule.makespan_s
+        assert open_elapsed < total
+
+    def test_queue_depth_clamps_dispatch(self):
+        ftl = _build(1, 1)
+        ftl.write_many([(lpn, bytes(4096)) for lpn in range(8)])
+        session = SsdSession(ftl, queue_depth=1)
+        for lpn in range(8):
+            session.submit(IoCommand(TraceOpKind.READ, lpn))
+        assert session.in_flight == 1
+        assert session.backlog == 7
+        session.drain()
+        done = session.take_completions()
+        # QD-1: each command dispatches only when its predecessor is done.
+        for earlier, later in zip(done, done[1:]):
+            assert later.dispatch_s >= earlier.done_s
+        assert max(c.queue_s for c in done) > 0.0
+
+    def test_deterministic_replay(self):
+        def run():
+            ftl = _build(2, 2, PipelineConfig.full())
+            ftl.write_many([(lpn, bytes(4096)) for lpn in range(16)])
+            trace = fixed_rate_arrivals(
+                [TraceOp(TraceOpKind.READ, 0, lpn) for lpn in range(16)] * 2,
+                rate_ops_s=20_000,
+            )
+            result = run_open_loop_workload(
+                ftl, OpenLoopWorkload("det", trace, queue_depth=4)
+            )
+            return (
+                result.elapsed_s,
+                result.stats.read_latency.samples,
+                result.latency_percentiles(),
+            )
+
+        assert run() == run()
+
+    def test_open_loop_runner_percentiles_and_erase(self):
+        ftl = _build()
+        ops = [
+            TraceOp(TraceOpKind.WRITE, 0, page, bytes(4096))
+            for page in range(8)
+        ]
+        ops += [TraceOp(TraceOpKind.READ, 0, page) for page in range(8)]
+        ops += [TraceOp(TraceOpKind.ERASE, 0)]
+        result = run_open_loop_workload(
+            ftl, OpenLoopWorkload("ol", fixed_rate_arrivals(ops, 5_000))
+        )
+        assert result.stats.writes == 8
+        assert result.stats.reads == 8
+        assert result.elapsed_s > 0
+        tails = result.latency_percentiles()
+        assert tails["service_p50_s"] > 0
+        # The ERASE op trimmed every page at its arrival instant.
+        assert not any(ftl.is_mapped(lpn) for lpn in range(8))
+
+    def test_overload_latency_dominated_by_queueing(self):
+        def at_rate(rate):
+            ftl = _build(1, 1)
+            ftl.write_many([(lpn, bytes(4096)) for lpn in range(8)])
+            trace = fixed_rate_arrivals(
+                [TraceOp(TraceOpKind.READ, 0, lpn) for lpn in range(8)] * 4,
+                rate_ops_s=rate,
+            )
+            return run_open_loop_workload(
+                ftl, OpenLoopWorkload("rate", trace, queue_depth=2)
+            )
+
+        relaxed = at_rate(500)       # well under saturation
+        slammed = at_rate(500_000)   # far past saturation
+        assert (
+            relaxed.queue_latency.p95_s < slammed.queue_latency.p95_s
+        )
+        assert (
+            slammed.stats.read_latency.p95_s
+            > relaxed.stats.read_latency.p95_s
+        )
+
+    def test_runner_on_shared_session_rebases_and_restores_depth(self):
+        """A used device-wide session paces arrivals like a fresh one."""
+        def trace():
+            return fixed_rate_arrivals(
+                [TraceOp(TraceOpKind.READ, 0, lpn) for lpn in range(8)] * 2,
+                rate_ops_s=2_000,
+            )
+
+        private_ftl = _build()
+        private_ftl.write_many([(lpn, bytes(4096)) for lpn in range(8)])
+        private = run_open_loop_workload(
+            private_ftl, OpenLoopWorkload("p", trace(), queue_depth=2)
+        )
+
+        shared_ftl = _build()
+        shared_ftl.write_many([(lpn, bytes(4096)) for lpn in range(8)])
+        session = shared_ftl.session
+        assert session.engine.now_s > 0.0  # clock left at the prewrite
+        shared = run_open_loop_workload(
+            shared_ftl,
+            OpenLoopWorkload("s", trace(), queue_depth=2),
+            session=session,
+        )
+        assert shared.elapsed_s == private.elapsed_s
+        assert (
+            shared.stats.read_latency.samples
+            == private.stats.read_latency.samples
+        )
+        # The per-run queue-depth override must not outlive the run.
+        assert session.queue_depth is None
+
+    def test_runner_rejects_busy_shared_session(self):
+        ftl = _build()
+        ftl.write_many([(0, bytes(4096))])
+        session = ftl.session
+        session.submit(IoCommand(TraceOpKind.READ, 0), ftl=ftl)
+        with pytest.raises(SimulationError):
+            run_open_loop_workload(
+                ftl, OpenLoopWorkload("busy", []), session=session
+            )
+        session.drain()
+
+    def test_reaper_parked_on_doorbell_is_not_a_deadlock(self):
+        """The documented pattern: a host process parked on the doorbell."""
+        ftl = _build()
+        ftl.write_many([(lpn, bytes(4096)) for lpn in range(4)])
+        session = SsdSession(ftl)
+        seen = []
+
+        def reaper():
+            while True:
+                yield session.completion
+                seen.extend(session.take_completions())
+
+        session.engine.spawn(reaper())
+        for lpn in range(4):
+            session.submit(IoCommand(TraceOpKind.READ, lpn))
+        session.drain()  # the reaper stays parked on the daemon doorbell
+        assert len(seen) == 4
+
+    def test_invalid_open_loop_queue_depth_rejected_up_front(self):
+        with pytest.raises(SimulationError):
+            OpenLoopWorkload("bad", [], queue_depth=0)
+
+    def test_elapsed_is_last_completion_not_last_arrival(self):
+        ftl = _build()
+        ftl.write_many([(0, bytes(4096))])
+        ops = [
+            TraceOp(TraceOpKind.READ, 0, 0),
+            # An I/O-free erase arriving much later must not stretch
+            # the measured interval (and so deflate MB/s).
+            TraceOp(TraceOpKind.ERASE, 5, issue_s=5.0),
+        ]
+        result = run_open_loop_workload(ftl, OpenLoopWorkload("tail", ops))
+        assert result.elapsed_s < 1.0
+        assert result.elapsed_s == pytest.approx(
+            result.stats.read_latency.max_s
+        )
+        assert result.read_mb_s > 1.0
+
+    def test_preread_lpns_matches_runner_naming(self):
+        from repro.sim.host import preread_lpns
+
+        ops = [
+            TraceOp(TraceOpKind.READ, 0, 0),       # name 0: pre-read
+            TraceOp(TraceOpKind.WRITE, 1, 0, b""),  # name 1: written first
+            TraceOp(TraceOpKind.ERASE, 2),          # names nothing
+            TraceOp(TraceOpKind.READ, 0, 1),        # name 2: pre-read
+            TraceOp(TraceOpKind.READ, 1, 0),        # name 1 again: covered
+        ]
+        assert preread_lpns(ops) == [0, 2]
+
+    def test_submit_rejects_erase_kind(self):
+        session = SsdSession(_build())
+        with pytest.raises(SimulationError):
+            session.submit(IoCommand(TraceOpKind.ERASE, 0))
+
+    def test_execute_requires_idle_session(self):
+        ftl = _build()
+        ftl.write_many([(0, bytes(4096))])
+        session = ftl.session  # device-wide: routes I/O per explicit FTL
+        session.submit(IoCommand(TraceOpKind.READ, 0), ftl=ftl)
+        with pytest.raises(SimulationError):
+            ftl.read_many([0])
+        session.drain()
+        assert ftl.read_many([0])[0][0] == bytes(4096)
+
+    def test_namespaces_share_device_session(self):
+        from repro.ftl.service import DifferentiatedStorage, ServiceClass
+
+        ssd = _build(1, 2).ssd
+        storage = DifferentiatedStorage(ssd=ssd)
+        media = storage.create_namespace("media", ServiceClass.STREAMING, 3)
+        logs = storage.create_namespace(
+            "logs", ServiceClass.MISSION_CRITICAL, 3
+        )
+        assert media.ftl.session is logs.ftl.session is ssd.session
+        assert storage.session is ssd.session

@@ -73,3 +73,108 @@ class TestTraces:
             multimedia_playback_trace(blocks=0)
         with pytest.raises(ConfigurationError):
             mixed_trace(read_fraction=1.5)
+
+
+class TestInterleaveOrderProperties:
+    """Property tests: interleaving preserves per-stream op order."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_per_stream_order_preserved_under_interleaving(self, seed):
+        import numpy as np
+
+        from repro.workloads.traces import TraceOp, interleave_streams
+
+        rng = np.random.default_rng(seed)
+        streams = []
+        for stream_id in range(int(rng.integers(1, 6))):
+            length = int(rng.integers(0, 12))
+            streams.append([
+                TraceOp(TraceOpKind.READ, block=stream_id, page=position)
+                for position in range(length)
+            ])
+        merged = interleave_streams(streams)
+        assert sorted(
+            (op.block, op.page) for op in merged
+        ) == sorted(
+            (op.block, op.page) for stream in streams for op in stream
+        )
+        for stream_id, stream in enumerate(streams):
+            replayed = [op for op in merged if op.block == stream_id]
+            assert replayed == stream  # order within a stream survives
+
+    @pytest.mark.parametrize("seed", [7, 8, 9])
+    def test_queued_playback_streams_stay_sequential(self, seed):
+        from repro.workloads.traces import queued_playback_trace
+
+        trace = queued_playback_trace(
+            streams=3, blocks_per_stream=1, pages_per_block=4,
+            read_passes=2, seed=seed,
+        )
+        assert trace.queue_depth == 3
+        for block in range(3):
+            pages = [
+                op.page for op in trace.operations
+                if op.block == block and op.kind is TraceOpKind.READ
+            ]
+            # Each stream re-reads its pages sequentially, pass by pass.
+            assert pages == list(range(4)) * 2
+
+
+class TestArrivalGenerators:
+    """Seeded open-loop arrival stamping must be deterministic."""
+
+    def _ops(self, count=32):
+        from repro.workloads.traces import TraceOp
+
+        return [TraceOp(TraceOpKind.READ, 0, page) for page in range(count)]
+
+    def test_fixed_rate_is_deterministic_and_monotonic(self):
+        from repro.workloads.traces import fixed_rate_arrivals
+
+        ops = self._ops()
+        first = fixed_rate_arrivals(ops, 1000.0, start_s=0.5)
+        second = fixed_rate_arrivals(ops, 1000.0, start_s=0.5)
+        assert first == second
+        times = [op.issue_s for op in first]
+        assert times[0] == 0.5
+        assert all(b - a == pytest.approx(1e-3) for a, b in zip(times, times[1:]))
+
+    def test_poisson_same_seed_same_arrivals(self):
+        from repro.workloads.traces import poisson_arrivals
+
+        ops = self._ops()
+        first = poisson_arrivals(ops, 500.0, seed=42)
+        second = poisson_arrivals(ops, 500.0, seed=42)
+        assert first == second
+        times = [op.issue_s for op in first]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert all(t > 0 for t in times)
+
+    def test_poisson_different_seeds_differ(self):
+        from repro.workloads.traces import poisson_arrivals
+
+        ops = self._ops()
+        assert poisson_arrivals(ops, 500.0, seed=1) != poisson_arrivals(
+            ops, 500.0, seed=2
+        )
+
+    def test_stamping_preserves_op_identity_and_order(self):
+        from repro.workloads.traces import poisson_arrivals
+
+        ops = mixed_trace(blocks=2, pages_per_block=3, seed=5)
+        stamped = poisson_arrivals(ops, 2000.0, seed=3)
+        assert [
+            (op.kind, op.block, op.page, op.data) for op in stamped
+        ] == [
+            (op.kind, op.block, op.page, op.data) for op in ops
+        ]
+
+    def test_invalid_rate_rejected(self):
+        from repro.workloads.traces import (
+            fixed_rate_arrivals, poisson_arrivals,
+        )
+
+        with pytest.raises(ConfigurationError):
+            fixed_rate_arrivals(self._ops(), 0.0)
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(self._ops(), -1.0)
