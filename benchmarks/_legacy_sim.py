@@ -1,0 +1,336 @@
+"""Verbatim replica of the pre-calendar-queue DES engine.
+
+``bench_sim_speed`` measures "simulated ops per second vs the pre-PR
+engine" — a ratio that is only honest if both sides run on the same
+machine in the same process.  This module pins the old hot loop so the
+baseline cannot drift: the ``@dataclass(order=True)`` event records, the
+``itertools.count`` sequence source, the single global binary heap and
+the wake-*all* Signal (every ``fire()`` resumes every waiter, so each
+bus release schedules a wake for every queued worker — the thundering
+herd the handoff signals eliminated).
+
+:class:`LegacySimEngine` is API-compatible with the current engine for
+everything the scheduler uses — ``signal(daemon=..., handoff=...)``
+accepts and *ignores* ``handoff`` (pre-PR locks were wake-all), which is
+exactly what makes the comparison faithful: today's scheduler code
+running on this engine reproduces the pre-PR event pattern.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Union
+
+from repro.errors import SimulationError
+
+Process = Generator[Union[float, "LegacySignal"], None, None]
+
+
+class LegacySignal:
+    """Pre-PR wake-up channel: ``fire()`` resumes every parked process."""
+
+    def __init__(self, engine: "LegacySimEngine", daemon: bool = False):
+        self._engine = engine
+        self._daemon = daemon
+        self._waiters: list[Process] = []
+
+    def fire(self) -> int:
+        woken = len(self._waiters)
+        for process in self._waiters:
+            self._engine._resume_parked(process, daemon=self._daemon)
+        self._waiters.clear()
+        return woken
+
+    def _park(self, process: Process) -> None:
+        self._waiters.append(process)
+        if not self._daemon:
+            self._engine._parked += 1
+
+
+@dataclass(order=True)
+class LegacyEvent:
+    """Pre-PR scheduled resumption: an ordered dataclass record."""
+
+    time_s: float
+    sequence: int
+    process: Process = field(compare=False)
+
+
+class LegacySimEngine:
+    """The pre-PR single-clock event loop, preserved verbatim."""
+
+    def __init__(self) -> None:
+        self._queue: list[LegacyEvent] = []
+        self._counter = itertools.count()
+        self.now_s = 0.0
+        self.events_processed = 0
+        self._parked = 0
+
+    def spawn(self, process: Process, delay_s: float = 0.0) -> None:
+        if delay_s < 0:
+            raise SimulationError("delay must be non-negative")
+        heapq.heappush(
+            self._queue,
+            LegacyEvent(self.now_s + delay_s, next(self._counter), process),
+        )
+
+    def signal(
+        self, daemon: bool = False, handoff: bool = False
+    ) -> LegacySignal:
+        # ``handoff`` accepted for scheduler compatibility, ignored:
+        # the pre-PR engine only had wake-all signals.
+        return LegacySignal(self, daemon=daemon)
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue
+
+    def rebase(self) -> None:
+        if self._queue:
+            raise SimulationError(
+                "cannot rebase the clock with scheduled events pending"
+            )
+        self.now_s = 0.0
+
+    def _resume_parked(self, process: Process, daemon: bool = False) -> None:
+        if not daemon:
+            self._parked -= 1
+        heapq.heappush(
+            self._queue,
+            LegacyEvent(self.now_s, next(self._counter), process),
+        )
+
+    def run(self, until_s: float | None = None, max_events: int = 10**7) -> float:
+        processed = 0
+        while self._queue:
+            if processed >= max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+            event = self._queue[0]
+            if until_s is not None and event.time_s > until_s:
+                self.now_s = until_s
+                return self.now_s
+            heapq.heappop(self._queue)
+            self.now_s = event.time_s
+            processed += 1
+            self.events_processed += 1
+            try:
+                delay = event.process.send(None)
+            except StopIteration:
+                continue
+            if isinstance(delay, LegacySignal):
+                delay._park(event.process)
+                continue
+            if delay is None or delay < 0:
+                raise SimulationError(
+                    f"process yielded invalid delay {delay!r}"
+                )
+            heapq.heappush(
+                self._queue,
+                LegacyEvent(self.now_s + delay, next(self._counter), event.process),
+            )
+        if self._parked:
+            raise SimulationError(
+                f"deadlock: {self._parked} process(es) parked on signals "
+                "with an empty event queue"
+            )
+        return self.now_s
+
+
+# ---------------------------------------------------------------------------
+# Pre-PR scheduler core, preserved verbatim: wake-all locks, per-command
+# phase-list comprehensions, unconditional wake-ups on enqueue and
+# wake_workers.  Paired with LegacySimEngine this reproduces the pre-PR
+# hot loop end to end, so the benchmark's speedup ratios measure the
+# whole PR (engine + scheduler) against what actually ran before it.
+# ---------------------------------------------------------------------------
+
+from collections import deque
+
+from repro.nand.timing import PhaseResource
+from repro.ssd.scheduler import CommandCompletion, CommandKind, PipelineConfig
+from repro.ssd.topology import SsdTopology
+
+
+class _LegacyLock:
+    """Pre-PR serially-reusable resource: wake-all freed signal."""
+
+    def __init__(self, engine: LegacySimEngine):
+        self.busy = False
+        self.freed = engine.signal()
+
+
+def legacy_closed_admission(core, commands, queue_depth, wake_workers=False):
+    """Pre-PR closed-batch admission: wake everything, then admit."""
+    limit = len(commands) if queue_depth is None else queue_depth
+    submit_s = core.engine.now_s
+    if wake_workers:
+        core.wake_workers()
+    for command in commands:
+        while core.in_flight >= limit:
+            yield core.completed
+        core.enqueue(command, submit_s=submit_s)
+
+
+class LegacySchedulerCore:
+    """The pre-PR incremental resource-reservation core, verbatim."""
+
+    def __init__(self, engine, topology, pipeline=None):
+        self.engine = engine
+        self.topology = topology
+        self.pipeline = pipeline or PipelineConfig()
+        self.planes = (
+            topology.geometry.planes if self.pipeline.multi_plane else 1
+        )
+        self.completions = []
+        self.die_busy_s = [0.0] * topology.dies
+        self.channel_busy_s = [0.0] * topology.channels
+        self.ecc_busy_s = [0.0] * topology.channels
+        self.completed = engine.signal()
+        self.on_finish = []
+        self.in_flight = 0
+        self._buses = [_LegacyLock(engine) for _ in range(topology.channels)]
+        self._engines = [_LegacyLock(engine) for _ in range(topology.channels)]
+        self._caches = [
+            [_LegacyLock(engine) for _ in range(self.planes)]
+            for _ in range(topology.dies)
+        ]
+        self._queues = [
+            [deque() for _ in range(self.planes)]
+            for _ in range(topology.dies)
+        ]
+        self._work = [
+            [engine.signal(daemon=True) for _ in range(self.planes)]
+            for _ in range(topology.dies)
+        ]
+        self._admit_s = {}
+        self._submit_s = {}
+        self._live_tags = set()
+        self._started = False
+
+    def start(self):
+        if self._started:
+            raise RuntimeError("scheduler core already started")
+        self._started = True
+        for die in range(self.topology.dies):
+            for plane in range(self.planes):
+                self.engine.spawn(self._worker(die, plane))
+
+    @property
+    def idle(self):
+        return self.in_flight == 0
+
+    def wake_workers(self):
+        for die_signals in self._work:
+            for signal in die_signals:
+                signal.fire()
+
+    def enqueue(self, command, submit_s=None):
+        self._live_tags.add(command.tag)
+        self.in_flight += 1
+        self._admit_s[command.tag] = self.engine.now_s
+        self._submit_s[command.tag] = submit_s
+        slot = command.plane % self.planes
+        self._queues[command.die][slot].append(command)
+        self._work[command.die][slot].fire()
+
+    def _finish(self, command, die, channel):
+        tag = command.tag
+        completion = CommandCompletion(
+            tag=tag,
+            die=die,
+            channel=channel,
+            admit_s=self._admit_s.pop(tag),
+            done_s=self.engine.now_s,
+            submit_s=self._submit_s.pop(tag),
+        )
+        self.completions.append(completion)
+        self._live_tags.discard(tag)
+        self.in_flight -= 1
+        self.completed.fire()
+        for callback in self.on_finish:
+            callback(completion)
+
+    def _hold(self, lock, duration_s):
+        while lock.busy:
+            yield lock.freed
+        lock.busy = True
+        yield duration_s
+        lock.busy = False
+        lock.freed.fire()
+
+    def _channel_section(self, phases, channel, cache):
+        bus, ecc = self._buses[channel], self._engines[channel]
+        if not self.pipeline.pipelined_ecc:
+            total = sum(p.duration_s for p in phases)
+            yield from self._hold(bus, total)
+            self.channel_busy_s[channel] += total
+            if cache is not None:
+                cache.busy = False
+                cache.freed.fire()
+            return
+        for phase in phases:
+            if phase.resource is PhaseResource.CHANNEL:
+                yield from self._hold(bus, phase.duration_s)
+                self.channel_busy_s[channel] += phase.duration_s
+                if cache is not None:
+                    cache.busy = False
+                    cache.freed.fire()
+                    cache = None
+            else:
+                yield from self._hold(ecc, phase.occupancy_s)
+                self.ecc_busy_s[channel] += phase.occupancy_s
+                drain = phase.duration_s - phase.occupancy_s
+                if drain > 0:
+                    yield drain
+        if cache is not None:
+            cache.busy = False
+            cache.freed.fire()
+
+    def _read_drain(self, command, die, channel, cache, phases):
+        yield from self._channel_section(phases, channel, cache)
+        self._finish(command, die, channel)
+
+    def _worker(self, die, plane):
+        channel = self.topology.channel_of(die)
+        queue = self._queues[die][plane]
+        work = self._work[die][plane]
+        while True:
+            while not queue:
+                yield work
+            command = queue.popleft()
+            plan = command.phase_plan()
+            array = [
+                p for p in plan if p.resource is PhaseResource.PLANE
+            ]
+            channel_phases = [
+                p for p in plan if p.resource is not PhaseResource.PLANE
+            ]
+            if command.kind is CommandKind.READ:
+                for phase in array:
+                    yield phase.duration_s
+                    self.die_busy_s[die] += phase.duration_s
+                if self.pipeline.cache_read and channel_phases:
+                    cache = self._caches[die][plane]
+                    while cache.busy:
+                        yield cache.freed
+                    cache.busy = True
+                    if command.cache_busy_s > 0:
+                        yield command.cache_busy_s
+                        self.die_busy_s[die] += command.cache_busy_s
+                    self.engine.spawn(self._read_drain(
+                        command, die, channel, cache, channel_phases
+                    ))
+                    continue
+                yield from self._channel_section(channel_phases, channel, None)
+            elif command.kind is CommandKind.PROGRAM:
+                yield from self._channel_section(channel_phases, channel, None)
+                for phase in array:
+                    yield phase.duration_s
+                    self.die_busy_s[die] += phase.duration_s
+            else:
+                for phase in array:
+                    yield phase.duration_s
+                    self.die_busy_s[die] += phase.duration_s
+            self._finish(command, die, channel)

@@ -1,0 +1,320 @@
+"""Simulation-speed trajectory: simulated ops/sec across the topology grid.
+
+This PR made sim speed a first-class metric; this benchmark is the
+instrument.  It drives the command scheduler directly (timing only — no
+BCH math, no page data) so what is measured is exactly the DES hot loop:
+event-list push/pop, generator resumption, signal wake-ups and resource
+reservation.
+
+Three workload shapes per topology (1x1 up to 8x8 channels x dies):
+
+* ``reads-closed`` / ``writes-closed`` — homogeneous closed batches at
+  queue depth 32: the die-striped FTL's bread-and-butter pattern, and
+  the shape the batched stripe-reservation fast path accelerates.  The
+  ``fast`` mode runs it; ``heap``/``calendar`` pin the generator path
+  by disabling ``fast_batch``.
+* ``mixed-open`` — an open-loop 70/30 read/program stream with paced
+  2 us arrivals through a 256-deep in-flight window, transfer-heavy
+  phase shapes (bus-saturated: the thundering-herd regime the handoff
+  signals eliminated).  This is the acceptance shape.
+
+Every mode is measured against ``legacy`` — a verbatim replica of the
+pre-PR engine *and* scheduler core (``_legacy_sim``: dataclass events,
+one global heap, wake-all signals, per-command phase list comps) run in
+the same process, so the speedup column is an honest same-machine
+ratio.  All modes of a shape must agree on the simulated makespan
+bit-for-bit; the benchmark asserts it.
+
+The acceptance gate: on the 4ch x 4die ``mixed-open`` stream the new
+engine must clear ``MIN_SPEEDUP_TARGET`` (3x) when this PR lands, and
+CI enforces the regression floor ``MIN_SPEEDUP_FLOOR`` (2x) on every
+run (shared-runner wall clocks are noisy; the floor leaves headroom
+while still catching a real regression).  Results append to
+``benchmarks/out/BENCH_sim_speed.json`` — the sim-speed trajectory.
+
+Run standalone (``python benchmarks/bench_sim_speed.py [--quick]``) or
+through pytest; ``--quick`` shrinks streams and skips the 8x8 point.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _legacy_sim import (  # noqa: E402  (path bootstrap above)
+    LegacySchedulerCore,
+    LegacySimEngine,
+    legacy_closed_admission,
+)
+from repro.nand.timing import NandTimingModel  # noqa: E402
+from repro.sim.engine import SimEngine  # noqa: E402
+from repro.ssd.scheduler import (  # noqa: E402
+    CommandKind,
+    CommandScheduler,
+    DieCommand,
+    PipelineConfig,
+    SchedulerCore,
+    closed_admission,
+)
+from repro.ssd.topology import SsdTopology  # noqa: E402
+
+#: CI regression floor on the 4ch x 4die mixed-open speedup (either
+#: backend): wall-clock ratios on shared runners are noisy, so the
+#: enforced floor sits below the target this PR demonstrated.
+MIN_SPEEDUP_FLOOR = 2.0
+
+#: The tentpole target demonstrated when this trajectory started.
+MIN_SPEEDUP_TARGET = 3.0
+
+#: (channels, dies_per_channel) grid; 8x8 is skipped under --quick.
+TOPOLOGIES = ((1, 1), (2, 2), (4, 4), (8, 8))
+
+#: The acceptance topology for the mixed-open speedup gate.
+GATE_TOPOLOGY = (4, 4)
+
+#: Commands per (topology, shape) measurement.
+OPS = 12_000
+QUICK_OPS = 3_000
+
+#: Mixed-open stream parameters: in-flight window and arrival spacing.
+OPEN_WINDOW = 256
+OPEN_ARRIVAL_S = 2e-6
+
+#: Closed-batch queue depth.
+CLOSED_QD = 32
+
+_TIMING = NandTimingModel()
+
+#: Transfer-heavy phase shapes (see module docstring): pipelined-decoder
+#: read and a short-ISPP program, both with 60 us bus transfers.
+READ_PHASES = _TIMING.read_phases(30e-6, 60e-6, 110e-6, 28e-6)
+PROGRAM_PHASES = _TIMING.program_phases(200e-6, 60e-6, 25e-6)
+CACHE_BUSY_S = 3e-6
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_sim_speed.json"
+
+
+def _build_stream(
+    n: int, dies: int, read_fraction: float, seed: int = 7
+) -> list[DieCommand]:
+    """Random die/plane command stream with the given read fraction."""
+    rng = random.Random(seed)
+    commands: list[DieCommand] = []
+    for tag in range(n):
+        die, plane = rng.randrange(dies), rng.randrange(2)
+        if rng.random() < read_fraction:
+            commands.append(DieCommand.from_phases(
+                CommandKind.READ, die, tag, READ_PHASES,
+                plane=plane, cache_busy_s=CACHE_BUSY_S,
+            ))
+        else:
+            commands.append(DieCommand.from_phases(
+                CommandKind.PROGRAM, die, tag, PROGRAM_PHASES, plane=plane,
+            ))
+    return commands
+
+
+def _open_admission(core, commands, window: int, arrival_s: float):
+    """Open-loop arrival process: paced submissions through a window."""
+    for command in commands:
+        while core.in_flight >= window:
+            yield core.completed
+        core.enqueue(command, submit_s=core.engine.now_s)
+        yield arrival_s
+
+
+def _run_open(mode: str, topology: SsdTopology, commands) -> tuple[float, float]:
+    """(wall seconds, simulated makespan) for one mixed-open run."""
+    if mode == "legacy":
+        engine = LegacySimEngine()
+        core = LegacySchedulerCore(engine, topology, PipelineConfig.full())
+    else:
+        engine = SimEngine(event_list=mode)
+        core = SchedulerCore(engine, topology, PipelineConfig.full())
+    core.start()
+    engine.spawn(_open_admission(core, commands, OPEN_WINDOW, OPEN_ARRIVAL_S))
+    start = time.perf_counter()
+    makespan = engine.run()
+    return time.perf_counter() - start, makespan
+
+
+def _run_closed(mode: str, topology: SsdTopology, commands) -> tuple[float, float]:
+    """(wall seconds, simulated makespan) for one closed-batch run."""
+    if mode == "legacy":
+        engine = LegacySimEngine()
+        core = LegacySchedulerCore(engine, topology, PipelineConfig.full())
+        # Admission before workers: CommandScheduler's spawn order (the
+        # sequence numbers, and hence tie-breaks, depend on it).
+        engine.spawn(legacy_closed_admission(core, commands, CLOSED_QD))
+        core.start()
+        start = time.perf_counter()
+        makespan = engine.run()
+        return time.perf_counter() - start, makespan
+    if mode == "fast":
+        scheduler = CommandScheduler(topology, pipeline=PipelineConfig.full())
+        start = time.perf_counter()
+        result = scheduler.run(commands, queue_depth=CLOSED_QD)
+        return time.perf_counter() - start, result.makespan_s
+    # Generator path on the chosen event-list backend.
+    engine = SimEngine(event_list=mode)
+    core = SchedulerCore(engine, topology, PipelineConfig.full())
+    engine.spawn(closed_admission(core, commands, CLOSED_QD))
+    core.start()
+    start = time.perf_counter()
+    makespan = engine.run()
+    return time.perf_counter() - start, makespan
+
+
+def _measure(runner, mode, topology, commands, repeats: int) -> tuple[float, float]:
+    """Best-of-N wall time and the (asserted-stable) makespan."""
+    best = float("inf")
+    makespan = None
+    for _ in range(repeats):
+        wall, mk = runner(mode, topology, commands)
+        if makespan is None:
+            makespan = mk
+        elif mk != makespan:
+            raise AssertionError(f"non-deterministic makespan in {mode}")
+        best = min(best, wall)
+    return best, makespan
+
+
+def run_benchmark(quick: bool = False) -> tuple[str, dict]:
+    """Measure the grid; returns (report text, metrics)."""
+    ops = QUICK_OPS if quick else OPS
+    repeats = 2 if quick else 3
+    topologies = [t for t in TOPOLOGIES if not (quick and t == (8, 8))]
+    shapes = (
+        ("reads-closed", _run_closed, 1.0, ("legacy", "heap", "calendar", "fast")),
+        ("writes-closed", _run_closed, 0.0, ("legacy", "heap", "calendar", "fast")),
+        ("mixed-open", _run_open, 0.7, ("legacy", "heap", "calendar")),
+    )
+    lines = [
+        "Simulation speed: simulated ops/sec, new engine vs verbatim "
+        "pre-PR engine+scheduler (same process, same stream)",
+        f"(full pipeline, {ops} commands, best of {repeats}; mixed-open: "
+        f"window {OPEN_WINDOW}, {OPEN_ARRIVAL_S * 1e6:.0f} us arrivals; "
+        f"closed: QD {CLOSED_QD})",
+        "",
+        f"{'topology':>9} {'shape':>14} {'mode':>9} {'ops/s':>9} {'speedup':>8}",
+    ]
+    results = []
+    gate_speedups: dict[str, float] = {}
+    for channels, dies_per_channel in topologies:
+        topology = SsdTopology(channels=channels, dies_per_channel=dies_per_channel)
+        label = f"{channels}x{dies_per_channel}"
+        for shape, runner, read_fraction, modes in shapes:
+            commands = _build_stream(ops, topology.dies, read_fraction)
+            makespans = set()
+            baseline_wall = None
+            for mode in modes:
+                wall, makespan = _measure(runner, mode, topology, commands, repeats)
+                makespans.add(makespan)
+                if mode == "legacy":
+                    baseline_wall = wall
+                speedup = baseline_wall / wall
+                results.append({
+                    "topology": label,
+                    "shape": shape,
+                    "mode": mode,
+                    "ops_per_sec": round(ops / wall, 1),
+                    "speedup_vs_legacy": round(speedup, 3),
+                    "makespan_s": makespan,
+                })
+                lines.append(
+                    f"{label:>9} {shape:>14} {mode:>9} {ops / wall:>9.0f} "
+                    f"{speedup:>7.2f}x"
+                )
+                if (
+                    (channels, dies_per_channel) == GATE_TOPOLOGY
+                    and shape == "mixed-open"
+                    and mode != "legacy"
+                ):
+                    gate_speedups[mode] = speedup
+            if len(makespans) != 1:
+                raise AssertionError(
+                    f"{label}/{shape}: modes disagree on makespan: {makespans}"
+                )
+    gate = max(gate_speedups.values()) if gate_speedups else 0.0
+    metrics = {
+        "gate_speedup": gate,
+        "gate_speedups": gate_speedups,
+        "results": results,
+    }
+    lines += [
+        "",
+        f"gate (4x4 mixed-open, best backend): {gate:.2f}x vs pre-PR "
+        f"(target {MIN_SPEEDUP_TARGET:.1f}x at PR time, CI floor "
+        f"{MIN_SPEEDUP_FLOOR:.1f}x)",
+    ]
+    return "\n".join(lines) + "\n", metrics
+
+
+def _save(text: str, metrics: dict, quick: bool) -> None:
+    """Append this run to the trajectory JSON and print the table."""
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    trajectory = []
+    if OUT_PATH.exists():
+        trajectory = json.loads(OUT_PATH.read_text()).get("trajectory", [])
+    trajectory.append({
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "gate_speedup_vs_legacy": round(metrics["gate_speedup"], 3),
+        "gate_speedups": {
+            mode: round(value, 3)
+            for mode, value in metrics["gate_speedups"].items()
+        },
+        "results": metrics["results"],
+    })
+    OUT_PATH.write_text(json.dumps({
+        "benchmark": "sim_speed",
+        "gate": {
+            "topology": f"{GATE_TOPOLOGY[0]}x{GATE_TOPOLOGY[1]}",
+            "shape": "mixed-open",
+            "floor": MIN_SPEEDUP_FLOOR,
+            "target": MIN_SPEEDUP_TARGET,
+        },
+        "trajectory": trajectory,
+    }, indent=2) + "\n")
+    print("\n" + text)
+
+
+def _check(metrics: dict) -> list[str]:
+    failures = []
+    if metrics["gate_speedup"] < MIN_SPEEDUP_FLOOR:
+        failures.append(
+            f"4x4 mixed-open speedup {metrics['gate_speedup']:.2f}x vs the "
+            f"pre-PR engine, below the {MIN_SPEEDUP_FLOOR:.1f}x floor"
+        )
+    return failures
+
+
+@pytest.mark.slow
+def test_sim_speed(quick):
+    """Record the sim-speed grid and enforce the speedup floor."""
+    text, metrics = run_benchmark(quick=quick)
+    _save(text, metrics, quick)
+    failures = _check(metrics)
+    assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":
+    is_quick = "--quick" in sys.argv
+    report, run_metrics = run_benchmark(quick=is_quick)
+    _save(report, run_metrics, is_quick)
+    run_failures = _check(run_metrics)
+    for failure in run_failures:
+        print("FAIL:", failure)
+    print(
+        f"sim-speed floor (>= {MIN_SPEEDUP_FLOOR:.1f}x on 4x4 mixed-open): "
+        f"{run_metrics['gate_speedup']:.2f}x "
+        f"{'FAIL' if run_failures else 'PASS'}"
+    )
+    sys.exit(1 if run_failures else 0)

@@ -14,6 +14,9 @@ fixture, so ``pytest benchmarks -m "not slow"`` stays snappy and
 
 from __future__ import annotations
 
+import cProfile
+import io
+import pstats
 from pathlib import Path
 
 import pytest
@@ -27,6 +30,27 @@ OUT_DIR = Path(__file__).parent / "out"
 def quick(request) -> bool:
     """True when the run asked for reduced benchmark sizes (``--quick``)."""
     return bool(request.config.getoption("--quick"))
+
+
+@pytest.fixture(autouse=True)
+def _profile(request):
+    """Wrap each benchmark in cProfile when ``--profile`` is given.
+
+    Prints the top 25 functions by cumulative time after the test body —
+    the first place to look when a sim-speed number moves.
+    """
+    if not request.config.getoption("--profile"):
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    yield
+    profiler.disable()
+    report = io.StringIO()
+    stats = pstats.Stats(profiler, stream=report)
+    stats.sort_stats("cumulative").print_stats(25)
+    print(f"\n--- cProfile (top 25 cumulative) for {request.node.name} ---")
+    print(report.getvalue())
 
 
 @pytest.fixture(scope="session")

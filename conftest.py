@@ -15,6 +15,12 @@ def pytest_addoption(parser) -> None:
         default=False,
         help="shrink benchmark batch sizes for a fast smoke run",
     )
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="emit a cProfile top-25 cumulative report per benchmark",
+    )
 
 
 def pytest_configure(config) -> None:

@@ -47,5 +47,10 @@ class ControllerError(ReproError):
     """Memory-controller protocol violation."""
 
 
-class SimulationError(ReproError):
-    """Discrete-event simulation engine misuse."""
+class SimulationError(ReproError, RuntimeError):
+    """Discrete-event simulation engine misuse.
+
+    Also a :class:`RuntimeError` so generic runtime guards (e.g. the
+    ``max_events`` exhaustion check) surface to callers that only catch
+    the builtin hierarchy.
+    """

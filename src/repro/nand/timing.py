@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro import units
 from repro.errors import SimulationError
@@ -127,6 +128,7 @@ class NandTimingModel:
     # -- command-phase decomposition ----------------------------------------
 
     @staticmethod
+    @lru_cache(maxsize=4096)
     def read_phases(
         sense_s: float,
         transfer_s: float,
@@ -139,6 +141,11 @@ class NandTimingModel:
         (clamped to the decode duration); omit it for a non-pipelined
         engine.  A zero decode duration (raw, ECC-less read) drops the
         decode phase entirely.
+
+        Cached (phases are immutable): a die-striped stream re-derives
+        the same few timing shapes for every page, so identical
+        parameters return the *same* tuple object — downstream per-plan
+        caches can then hit on identity instead of re-hashing phases.
         """
         phases = [
             CommandPhase(PhaseResource.PLANE, sense_s),
@@ -150,13 +157,17 @@ class NandTimingModel:
         return tuple(phases)
 
     @staticmethod
+    @lru_cache(maxsize=4096)
     def program_phases(
         program_s: float,
         transfer_s: float,
         encode_s: float = 0.0,
         encode_hold_s: float | None = None,
     ) -> tuple[CommandPhase, ...]:
-        """Phases of one page program: ECC encode -> bus transfer -> ISPP."""
+        """Phases of one page program: ECC encode -> bus transfer -> ISPP.
+
+        Cached like :meth:`read_phases` (same identity-reuse rationale).
+        """
         phases: list[CommandPhase] = []
         if encode_s > 0:
             hold = None if encode_hold_s is None else min(encode_hold_s, encode_s)
@@ -166,6 +177,7 @@ class NandTimingModel:
         return tuple(phases)
 
     @staticmethod
+    @lru_cache(maxsize=1024)
     def erase_phases(erase_s: float) -> tuple[CommandPhase, ...]:
         """Phases of one block erase (array-only, nothing on the bus)."""
         return (CommandPhase(PhaseResource.PLANE, erase_s),)

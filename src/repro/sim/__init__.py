@@ -1,6 +1,12 @@
 """Discrete-event simulation substrate for system-level experiments."""
 
-from repro.sim.engine import Event, Signal, SimEngine, Process
+from repro.sim.engine import (
+    CalendarEventList,
+    HeapEventList,
+    Signal,
+    SimEngine,
+    Process,
+)
 from repro.sim.stats import LatencyStats, ThroughputStats
 from repro.sim.host import (
     HostWorkload,
@@ -15,7 +21,8 @@ from repro.sim.host import (
 
 __all__ = [
     "SimEngine",
-    "Event",
+    "CalendarEventList",
+    "HeapEventList",
     "Signal",
     "Process",
     "LatencyStats",

@@ -47,6 +47,10 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
+from functools import lru_cache
+from heapq import heappop, heappush
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.nand.timing import CommandPhase, PhaseResource
@@ -250,11 +254,75 @@ class ScheduleResult:
 
 
 class _Lock:
-    """Serially-reusable resource guarded by a wake-up signal."""
+    """Serially-reusable resource guarded by a wake-up signal.
+
+    ``freed`` is a *handoff* signal: every waiter sits in a
+    ``while busy: yield freed`` re-check loop, the one discipline for
+    which waking only the head waiter is observably identical to waking
+    all of them (see the engine module's determinism contract) — so
+    releasing a contended bus no longer schedules a no-op wake-up for
+    every other queued worker.
+    """
+
+    __slots__ = ("busy", "freed")
 
     def __init__(self, engine: SimEngine):
         self.busy = False
-        self.freed = engine.signal()
+        self.freed = engine.signal(handoff=True)
+
+
+@lru_cache(maxsize=4096)
+def _split_plan(
+    plan: tuple[CommandPhase, ...],
+) -> tuple[tuple[float, ...], tuple[tuple[bool, float, float], ...], float]:
+    """Pre-decompose a phase plan for the worker hot loop.
+
+    Returns ``(array_durations, section_ops, fused_s)``: the plane
+    (array) phase durations, the channel-section phases flattened to
+    ``(is_channel, duration_s, occupancy_s)`` triples (so the worker
+    loop touches plain floats, not dataclass attributes), and the fused
+    section total used by the non-pipelined configuration — summed in
+    phase order, so it is the bit-identical float the per-command
+    ``sum()`` used to produce.
+
+    Cached: the pages of a die-striped batch overwhelmingly share
+    identical phase tuples, so the split (and its tuple allocations)
+    happens once per distinct plan instead of once per command.
+    """
+    array = tuple(
+        p.duration_s for p in plan if p.resource is PhaseResource.PLANE
+    )
+    channel = tuple(
+        p for p in plan if p.resource is not PhaseResource.PLANE
+    )
+    ops = tuple(
+        (p.resource is PhaseResource.CHANNEL, p.duration_s, p.occupancy_s)
+        for p in channel
+    )
+    fused = sum(p.duration_s for p in channel)
+    return array, ops, fused
+
+
+#: Identity front-cache for :func:`_split_plan`.  ``lru_cache`` hashes
+#: the whole phase tuple (three generated dataclass ``__hash__`` calls
+#: per lookup) on every command; commands built by the striped FTL share
+#: literal tuple objects, so an ``id()`` probe answers most lookups with
+#: one dict hit.  Entries keep the plan alive, so a live entry's ``id``
+#: cannot be recycled; after an eviction the ``is`` check rejects any
+#: stale match.
+_split_memo: dict[int, tuple] = {}
+
+
+def _split_plan_fast(plan: tuple[CommandPhase, ...]):
+    """`_split_plan` behind an identity probe (see ``_split_memo``)."""
+    entry = _split_memo.get(id(plan))
+    if entry is not None and entry[0] is plan:
+        return entry[1]
+    split = _split_plan(plan)
+    if len(_split_memo) >= 4096:
+        _split_memo.clear()
+    _split_memo[id(plan)] = (plan, split)
+    return split
 
 
 def validate_batch(
@@ -295,19 +363,565 @@ def closed_admission(
     ``queue_depth`` bounds how many commands are in flight at once
     (``None`` admits everything immediately — an infinitely deep
     queue).  Commands are admitted in list order.  ``wake_workers``
-    pre-fires every worker's wake-up in (die, plane) order before the
-    first admission — required when the core's workers are already
-    resident (parked), so they resume in the same deterministic order
-    as a fresh core's worker start-up.
+    is required when the core's workers are already resident (parked):
+    the initial in-flight window is queued with wake-ups suppressed,
+    then :meth:`SchedulerCore.wake_workers` resumes the workers that
+    actually received work in (die, plane) order — the same
+    deterministic order as a fresh core's worker start-up, without
+    scheduling a no-op wake for every idle plane.
     """
     limit = len(commands) if queue_depth is None else queue_depth
     submit_s = core.engine.now_s  # the whole batch is submitted up front
+    index = 0
     if wake_workers:
+        for command in commands:
+            if core.in_flight >= limit:
+                break
+            core.enqueue(command, submit_s=submit_s, wake=False)
+            index += 1
         core.wake_workers()
-    for command in commands:
+    for command in commands[index:]:
         while core.in_flight >= limit:
             yield core.completed
         core.enqueue(command, submit_s=submit_s)
+
+
+# -- batched stripe-reservation fast path -----------------------------------
+#
+# Die-striped read_many/write_many emit *homogeneous* batches: every
+# command the same CommandKind under one PipelineConfig.  For those, the
+# generator machinery (32 resident coroutines round-tripping through the
+# engine per page at 4ch x 4die x 2plane) is pure interpretation
+# overhead: the control flow per command is fixed.  _run_fast_batch
+# replays the exact same schedule as a flat mini-DES — tuple events,
+# integer program counters, handoff locks as 4-slot lists — after one
+# numpy pass extracts the stripe's phase durations.  It is a
+# *transliteration*, not an approximation: every generator ``yield``
+# becomes one scheduled tuple event, every signal fire/park keeps its
+# order and its sequence-allocation position, and the busy accounters
+# are accumulated in the same float addition order, so completions,
+# busy times and the makespan are bit-exact against the generator path
+# (equivalence-tested on randomized streams in tests/ssd).
+
+# Worker/drain program counters (resume points after a scheduled event
+# or a lock park).
+_P_POP = 0        # fetch the next queued command (or park on the work signal)
+_P_ARRAY = 1      # an array phase's busy time just elapsed
+_P_CACHEQ = 2     # woken on a cache register's freed signal: re-check
+_P_TRCBSY = 3     # the tRCBSY cache-handoff busy time just elapsed
+_P_SECTION = 4    # enter the channel section (drain frames start here)
+_P_BUSQ = 5       # woken on a bus's freed signal: re-check
+_P_BUSREL = 6     # the bus hold just elapsed: release and account
+_P_ECCQ = 7       # woken on an ECC engine's freed signal: re-check
+_P_ECCREL = 8     # the ECC occupancy just elapsed: release and account
+_P_ECCDRAIN = 9   # the ECC post-occupancy drain just elapsed
+
+# Frame layout (plain lists — the mini-DES analogue of a coroutine):
+# [0] pc  [1] die  [2] slot  [3] channel  [4] queue (deque of command
+# indices; None for drain frames)  [5] parked-on-work-signal flag
+# [6] current command index  [7] array phase cursor  [8] channel phase
+# cursor  [9] cache lock to release mid-section (drain frames), or None
+#
+# Lock layout (the handoff Signal transliterated):
+# [0] busy  [1] waiters (frames, park order)  [2] pending woken head
+# [3] waiters left behind the pending head at fire time
+
+
+def _fast_eligible(commands: list[DieCommand]) -> bool:
+    """The stripe fast path covers homogeneous (single-kind) batches."""
+    if not commands:
+        return False
+    kind = commands[0].kind
+    return all(command.kind is kind for command in commands)
+
+
+def _fast_decompose(
+    plan: tuple[CommandPhase, ...],
+) -> tuple[tuple[float, ...], tuple[tuple[bool, float, float], ...], float]:
+    """(array durations, (is_channel, duration, occupancy) section, fused total)."""
+    array = tuple(
+        p.duration_s for p in plan if p.resource is PhaseResource.PLANE
+    )
+    chan = tuple(
+        (p.resource is PhaseResource.CHANNEL, p.duration_s, p.occupancy_s)
+        for p in plan
+        if p.resource is not PhaseResource.PLANE
+    )
+    fused = sum(
+        p.duration_s for p in plan if p.resource is not PhaseResource.PLANE
+    )
+    return array, chan, fused
+
+
+def _run_fast_batch(
+    core: "SchedulerCore",
+    commands: list[DieCommand],
+    queue_depth: int | None,
+    resident: bool,
+) -> float:
+    """Drain one homogeneous closed batch without coroutines.
+
+    Mutates ``core`` exactly as the generator path would (completions
+    appended in completion order, busy accounters accumulated in the
+    same addition order, ``on_finish`` callbacks invoked at their
+    completion instants with ``engine.now_s`` advanced) and returns the
+    batch makespan.  ``resident=True`` replays the
+    ``closed_admission(wake_workers=True)`` start-up of a parked
+    resident core; ``resident=False`` replays a fresh
+    :class:`CommandScheduler` run (admission spawned before the worker
+    start-up events).  The core's real generator workers are never
+    woken — their queues are never touched.
+    """
+    engine = core.engine
+    topology = core.topology
+    planes = core.planes
+    n = len(commands)
+    limit = n if queue_depth is None else queue_depth
+    t0 = engine.now_s
+    kind = commands[0].kind
+    is_read = kind is CommandKind.READ
+    is_program = kind is CommandKind.PROGRAM
+    cache_mode = core.pipeline.cache_read and is_read
+    pipelined_ecc = core.pipeline.pipelined_ecc
+    dies = topology.dies
+    channel_of = [topology.channel_of(die) for die in range(dies)]
+
+    # ---- one numpy pass: stripe routing + phase durations ------------------
+    cmd_tag = [command.tag for command in commands]
+    cmd_die = np.fromiter(
+        (command.die for command in commands), np.intp, n
+    ).tolist()
+    cmd_slot = (
+        np.fromiter((command.plane for command in commands), np.intp, n)
+        % planes
+    ).tolist()
+    if any(command.phases is not None for command in commands):
+        split: dict = {}
+        cmd_array = []
+        cmd_chan = []
+        cmd_fused = []
+        for command in commands:
+            entry = split.get(command.phases)
+            if entry is None:
+                entry = _fast_decompose(command.phase_plan())
+                split[command.phases] = entry
+            cmd_array.append(entry[0])
+            cmd_chan.append(entry[1])
+            cmd_fused.append(entry[2])
+    else:
+        die_s = np.fromiter(
+            (command.die_s for command in commands), np.float64, n
+        ).tolist()
+        cmd_array = [(d,) for d in die_s]
+        if kind is CommandKind.ERASE:
+            cmd_chan = [()] * n
+            cmd_fused = [0.0] * n
+        else:
+            # Classic decomposition: one fused CHANNEL phase.
+            cmd_fused = np.fromiter(
+                (command.channel_s for command in commands), np.float64, n
+            ).tolist()
+            cmd_chan = [((True, s, s),) for s in cmd_fused]
+    cmd_cachebusy = (
+        np.fromiter(
+            (command.cache_busy_s for command in commands), np.float64, n
+        ).tolist()
+        if cache_mode
+        else None
+    )
+
+    # ---- mini-DES state ----------------------------------------------------
+    buses = [[False, [], None, 0] for _ in range(topology.channels)]
+    eccs = [[False, [], None, 0] for _ in range(topology.channels)]
+    caches = (
+        [[[False, [], None, 0] for _ in range(planes)] for _ in range(dies)]
+        if cache_mode
+        else None
+    )
+    workers = [
+        [
+            [_P_POP, die, slot, channel_of[die], deque(), resident, -1, 0, 0, None]
+            for slot in range(planes)
+        ]
+        for die in range(dies)
+    ]
+    completions = core.completions
+    die_busy = core.die_busy_s
+    channel_busy = core.channel_busy_s
+    ecc_busy = core.ecc_busy_s
+    on_finish = core.on_finish
+    admit_s = [t0] * n
+    in_flight = 0
+    admitted = 0          # next command index the admission process admits
+    admit_parked = False  # admission parked on core.completed
+    initial_fill = resident
+    admit_frame = [None]  # sentinel identity for admission's wake events
+
+    events: list = []
+    seq = 1
+    heappush(events, (t0, 0, admit_frame))
+    if not resident:
+        # Fresh core: start() spawns every worker after the admission
+        # process, (die, plane) order — including idle planes, whose
+        # single no-op run the generator path performs too.
+        for die in range(dies):
+            for slot in range(planes):
+                heappush(events, (t0, seq, workers[die][slot]))
+                seq += 1
+    now = t0
+
+    def lock_fire(lock: list) -> None:
+        """Signal.fire, handoff discipline: wake the head waiter."""
+        nonlocal seq
+        waiters = lock[1]
+        if waiters:
+            head = waiters.pop(0)
+            lock[2] = head
+            lock[3] = len(waiters)
+            heappush(events, (now, seq, head))
+            seq += 1
+
+    def lock_park(lock: list, frame: list) -> None:
+        """Signal._park, including the woken head's re-park splice."""
+        if lock[2] is frame:
+            lock[2] = None
+            rest = lock[3]
+            waiters = lock[1]
+            if rest:
+                wave = waiters[:rest]
+                del waiters[:rest]
+                waiters.append(frame)
+                waiters.extend(wave)
+            else:
+                waiters.append(frame)
+        else:
+            lock[1].append(frame)
+
+    def mini_enqueue(index: int, wake: bool) -> None:
+        """SchedulerCore.enqueue against the mini worker frames."""
+        nonlocal in_flight, seq
+        in_flight += 1
+        core.in_flight = in_flight
+        admit_s[index] = now
+        frame = workers[cmd_die[index]][cmd_slot[index]]
+        frame[4].append(index)
+        if wake and frame[5]:
+            frame[5] = False
+            heappush(events, (now, seq, frame))
+            seq += 1
+
+    def admit() -> None:
+        """The closed_admission process body (one resumption)."""
+        nonlocal admitted, admit_parked, initial_fill, seq
+        if initial_fill:
+            # Resident start-up: queue the initial window silently, then
+            # wake exactly the workers that received work, (die, plane)
+            # order — closed_admission(wake_workers=True) transliterated.
+            initial_fill = False
+            while admitted < n and in_flight < limit:
+                mini_enqueue(admitted, wake=False)
+                admitted += 1
+            for die in range(dies):
+                for slot in range(planes):
+                    frame = workers[die][slot]
+                    if frame[4] and frame[5]:
+                        frame[5] = False
+                        heappush(events, (now, seq, frame))
+                        seq += 1
+        while admitted < n:
+            if in_flight >= limit:
+                admit_parked = True
+                return
+            mini_enqueue(admitted, wake=True)
+            admitted += 1
+
+    def finish(frame: list) -> None:
+        """SchedulerCore._finish: complete frame's current command."""
+        nonlocal in_flight, seq, admit_parked
+        index = frame[6]
+        completion = CommandCompletion(
+            tag=cmd_tag[index],
+            die=frame[1],
+            channel=frame[3],
+            admit_s=admit_s[index],
+            done_s=now,
+            submit_s=t0,
+        )
+        completions.append(completion)
+        in_flight -= 1
+        core.in_flight = in_flight
+        if admit_parked:  # completed.fire()
+            admit_parked = False
+            heappush(events, (now, seq, admit_frame))
+            seq += 1
+        if on_finish:
+            engine.now_s = now
+            for callback in on_finish:
+                callback(completion)
+
+    # ---- event loop --------------------------------------------------------
+    while events:
+        now, _, frame = heappop(events)
+        if frame is admit_frame:
+            admit()
+            continue
+        pc = frame[0]
+        while True:
+            if pc == _P_POP:
+                queue = frame[4]
+                if not queue:
+                    frame[0] = _P_POP
+                    frame[5] = True  # park on the work signal
+                    break
+                index = queue.popleft()
+                frame[6] = index
+                if is_program:
+                    frame[9] = None
+                    frame[8] = 0
+                    pc = _P_SECTION
+                    continue
+                # READ / ERASE: array phases first.
+                array = cmd_array[index]
+                if array:
+                    frame[7] = 0
+                    frame[0] = _P_ARRAY
+                    heappush(events, (now + array[0], seq, frame))
+                    seq += 1
+                    break
+                pc = _P_ARRAY  # empty array: fall through to after-array
+                frame[7] = 0
+                # (no busy time to account; handled below by cursor == end)
+            if pc == _P_ARRAY:
+                index = frame[6]
+                array = cmd_array[index]
+                cursor = frame[7]
+                if cursor < len(array):
+                    die_busy[frame[1]] += array[cursor]
+                    cursor += 1
+                    frame[7] = cursor
+                    if cursor < len(array):
+                        frame[0] = _P_ARRAY
+                        heappush(events, (now + array[cursor], seq, frame))
+                        seq += 1
+                        break
+                # Array phases done.
+                if not is_read:  # PROGRAM after section, or ERASE
+                    finish(frame)
+                    if frame[4] is None:
+                        break  # drain frames run once
+                    pc = _P_POP
+                    continue
+                chan = cmd_chan[index]
+                if cache_mode and chan:
+                    cache = caches[frame[1]][frame[2]]
+                    if cache[0]:
+                        frame[0] = _P_CACHEQ
+                        lock_park(cache, frame)
+                        break
+                    cache[0] = True
+                    # acquired without waiting (no yield in the generator)
+                    trcbsy = cmd_cachebusy[index]
+                    if trcbsy > 0.0:
+                        frame[0] = _P_TRCBSY
+                        heappush(events, (now + trcbsy, seq, frame))
+                        seq += 1
+                        break
+                    # zero handoff: spawn the drain and move on
+                    drain = [
+                        _P_SECTION, frame[1], frame[2], frame[3],
+                        None, False, index, 0, 0, cache,
+                    ]
+                    heappush(events, (now, seq, drain))
+                    seq += 1
+                    pc = _P_POP
+                    continue
+                frame[9] = None
+                frame[8] = 0
+                pc = _P_SECTION
+                continue
+            if pc == _P_CACHEQ:
+                cache = caches[frame[1]][frame[2]]
+                if cache[0]:
+                    lock_park(cache, frame)
+                    break
+                cache[0] = True
+                index = frame[6]
+                trcbsy = cmd_cachebusy[index]
+                if trcbsy > 0.0:
+                    frame[0] = _P_TRCBSY
+                    heappush(events, (now + trcbsy, seq, frame))
+                    seq += 1
+                    break
+                drain = [
+                    _P_SECTION, frame[1], frame[2], frame[3],
+                    None, False, index, 0, 0, cache,
+                ]
+                heappush(events, (now, seq, drain))
+                seq += 1
+                pc = _P_POP
+                continue
+            if pc == _P_TRCBSY:
+                index = frame[6]
+                die_busy[frame[1]] += cmd_cachebusy[index]
+                drain = [
+                    _P_SECTION, frame[1], frame[2], frame[3],
+                    None, False, index, 0, 0,
+                    caches[frame[1]][frame[2]],
+                ]
+                heappush(events, (now, seq, drain))
+                seq += 1
+                pc = _P_POP
+                continue
+            if pc == _P_SECTION:
+                index = frame[6]
+                if not pipelined_ecc:
+                    # Fused section: one bus hold for the summed total
+                    # (taken even for an empty section, as the generator
+                    # path's _hold(bus, 0.0) does).
+                    bus = buses[frame[3]]
+                    if bus[0]:
+                        frame[0] = _P_BUSQ
+                        lock_park(bus, frame)
+                        break
+                    bus[0] = True
+                    frame[0] = _P_BUSREL
+                    heappush(events, (now + cmd_fused[index], seq, frame))
+                    seq += 1
+                    break
+                chan = cmd_chan[index]
+                cursor = frame[8]
+                if cursor < len(chan):
+                    is_channel, duration, occupancy = chan[cursor]
+                    if is_channel:
+                        bus = buses[frame[3]]
+                        if bus[0]:
+                            frame[0] = _P_BUSQ
+                            lock_park(bus, frame)
+                            break
+                        bus[0] = True
+                        frame[0] = _P_BUSREL
+                        heappush(events, (now + duration, seq, frame))
+                        seq += 1
+                        break
+                    ecc = eccs[frame[3]]
+                    if ecc[0]:
+                        frame[0] = _P_ECCQ
+                        lock_park(ecc, frame)
+                        break
+                    ecc[0] = True
+                    frame[0] = _P_ECCREL
+                    heappush(events, (now + occupancy, seq, frame))
+                    seq += 1
+                    break
+                # Section exhausted: free a still-held cache register.
+                cache = frame[9]
+                if cache is not None:
+                    cache[0] = False
+                    lock_fire(cache)
+                    frame[9] = None
+                if is_program:
+                    array = cmd_array[index]
+                    if array:
+                        frame[7] = 0
+                        frame[0] = _P_ARRAY
+                        heappush(events, (now + array[0], seq, frame))
+                        seq += 1
+                        break
+                    frame[7] = 0
+                    pc = _P_ARRAY
+                    continue
+                finish(frame)
+                if frame[4] is None:
+                    break
+                pc = _P_POP
+                continue
+            if pc == _P_BUSQ:
+                bus = buses[frame[3]]
+                if bus[0]:
+                    lock_park(bus, frame)
+                    break
+                bus[0] = True
+                index = frame[6]
+                if not pipelined_ecc:
+                    duration = cmd_fused[index]
+                else:
+                    duration = cmd_chan[index][frame[8]][1]
+                frame[0] = _P_BUSREL
+                heappush(events, (now + duration, seq, frame))
+                seq += 1
+                break
+            if pc == _P_BUSREL:
+                bus = buses[frame[3]]
+                bus[0] = False
+                lock_fire(bus)
+                index = frame[6]
+                if not pipelined_ecc:
+                    channel_busy[frame[3]] += cmd_fused[index]
+                    cache = frame[9]
+                    if cache is not None:
+                        cache[0] = False
+                        lock_fire(cache)
+                        frame[9] = None
+                    # Fused section complete.
+                    if is_program:
+                        array = cmd_array[index]
+                        if array:
+                            frame[7] = 0
+                            frame[0] = _P_ARRAY
+                            heappush(events, (now + array[0], seq, frame))
+                            seq += 1
+                            break
+                        frame[7] = 0
+                        pc = _P_ARRAY
+                        continue
+                    finish(frame)
+                    if frame[4] is None:
+                        break
+                    pc = _P_POP
+                    continue
+                channel_busy[frame[3]] += cmd_chan[index][frame[8]][1]
+                cache = frame[9]
+                if cache is not None:
+                    cache[0] = False
+                    lock_fire(cache)
+                    frame[9] = None
+                frame[8] += 1
+                pc = _P_SECTION
+                continue
+            if pc == _P_ECCQ:
+                ecc = eccs[frame[3]]
+                if ecc[0]:
+                    lock_park(ecc, frame)
+                    break
+                ecc[0] = True
+                occupancy = cmd_chan[frame[6]][frame[8]][2]
+                frame[0] = _P_ECCREL
+                heappush(events, (now + occupancy, seq, frame))
+                seq += 1
+                break
+            if pc == _P_ECCREL:
+                ecc = eccs[frame[3]]
+                ecc[0] = False
+                lock_fire(ecc)
+                phase = cmd_chan[frame[6]][frame[8]]
+                ecc_busy[frame[3]] += phase[2]
+                remainder = phase[1] - phase[2]
+                if remainder > 0:
+                    frame[0] = _P_ECCDRAIN
+                    heappush(events, (now + remainder, seq, frame))
+                    seq += 1
+                    break
+                frame[8] += 1
+                pc = _P_SECTION
+                continue
+            if pc == _P_ECCDRAIN:
+                frame[8] += 1
+                pc = _P_SECTION
+                continue
+            raise SimulationError(f"fast batch: invalid state {pc}")
+
+    engine.now_s = now
+    return now
 
 
 class SchedulerCore:
@@ -361,9 +975,10 @@ class SchedulerCore:
             [engine.signal(daemon=True) for _ in range(self.planes)]
             for _ in range(topology.dies)
         ]
-        self._admit_s: dict[int, float] = {}
-        self._submit_s: dict[int, float | None] = {}
-        self._live_tags: set[int] = set()
+        #: In-flight bookkeeping: tag -> (admit_s, submit_s).  One dict
+        #: (one hash per enqueue / one per finish) also doubles as the
+        #: live-tag set for duplicate detection.
+        self._meta: dict[int, tuple[float, float | None]] = {}
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -383,16 +998,19 @@ class SchedulerCore:
         return self.in_flight == 0
 
     def wake_workers(self) -> None:
-        """Fire every parked worker's wake-up in (die, plane) order.
+        """Fire the wake-up of every worker with queued work, (die, plane) order.
 
         Before admitting a closed batch into a resident core, this puts
         the workers' resume events in the same deterministic order as a
         fresh core's start-up, so batch timelines are reproducible
-        regardless of which worker went idle last.
+        regardless of which worker went idle last.  Workers with empty
+        queues stay parked — their wake would be a no-op event (resume,
+        find nothing, re-park) and cannot be observed by the batch.
         """
-        for die_signals in self._work:
-            for signal in die_signals:
-                signal.fire()
+        for die_queues, die_signals in zip(self._queues, self._work):
+            for queue, signal in zip(die_queues, die_signals):
+                if queue:
+                    signal.fire()
 
     def reset_accounting(self) -> None:
         """Zero the busy accumulators (only legal while idle)."""
@@ -407,7 +1025,10 @@ class SchedulerCore:
     # -- submission --------------------------------------------------------------
 
     def enqueue(
-        self, command: DieCommand, submit_s: float | None = None
+        self,
+        command: DieCommand,
+        submit_s: float | None = None,
+        wake: bool = True,
     ) -> None:
         """Admit one command into the in-flight set at the current time.
 
@@ -415,90 +1036,96 @@ class SchedulerCore:
         submitted the command (for queueing-time accounting); the admit
         (dispatch) time is always the current simulation time.  The tag
         must be unique among commands currently in flight.
+        ``wake=False`` suppresses the worker wake-up — used by
+        :func:`closed_admission` to queue a resident batch's initial
+        window before waking the non-idle workers in one ordered pass.
         """
         if not 0 <= command.die < self.topology.dies:
             raise SimulationError(
                 f"command die {command.die} outside topology "
                 f"({self.topology.dies} dies)"
             )
-        if command.tag in self._live_tags:
+        if command.tag in self._meta:
             raise SimulationError(
                 f"duplicate command tag {command.tag}: tags must be "
                 "unique among in-flight commands"
             )
-        self._live_tags.add(command.tag)
         self.in_flight += 1
-        self._admit_s[command.tag] = self.engine.now_s
-        self._submit_s[command.tag] = submit_s
+        self._meta[command.tag] = (self.engine.now_s, submit_s)
         slot = command.plane % self.planes
         self._queues[command.die][slot].append(command)
-        self._work[command.die][slot].fire()
+        if wake:
+            self._work[command.die][slot].fire()
 
     # -- internals ---------------------------------------------------------------
 
     def _finish(self, command: DieCommand, die: int, channel: int) -> None:
         tag = command.tag
+        admit_s, submit_s = self._meta.pop(tag)
         completion = CommandCompletion(
             tag=tag,
             die=die,
             channel=channel,
-            admit_s=self._admit_s.pop(tag),
+            admit_s=admit_s,
             done_s=self.engine.now_s,
-            submit_s=self._submit_s.pop(tag),
+            submit_s=submit_s,
         )
         self.completions.append(completion)
-        self._live_tags.discard(tag)
         self.in_flight -= 1
         self.completed.fire()
         for callback in self.on_finish:
             callback(completion)
 
-    def _hold(self, lock: _Lock, duration_s: float) -> Process:
-        """Acquire a resource, hold it for ``duration_s``, release."""
-        while lock.busy:
-            yield lock.freed
-        lock.busy = True
-        yield duration_s
-        lock.busy = False
-        lock.freed.fire()
+    # The channel-section body is spelled out inline in both
+    # `_channel_section` and `_read_drain` (and `_channel_section` is
+    # itself delegated to from `_worker` at top level only): every
+    # `yield from` level adds one frame each `send()` must traverse for
+    # every event, and the section loop is the hottest code in the
+    # simulator.  The acquire/hold/release pattern is the `_Lock`
+    # handoff discipline: `while busy: yield freed` re-check, holder
+    # sets `busy`, releases and fires.
 
     def _channel_section(
         self,
-        phases: list[CommandPhase],
+        ops: tuple[tuple[bool, float, float], ...],
+        fused_s: float,
         channel: int,
-        cache: _Lock | None,
     ) -> Process:
-        """Run a command's channel/ECC phases, freeing ``cache`` once
-        the data has left the cache register (bus transfer done)."""
-        bus, ecc = self._buses[channel], self._engines[channel]
+        """Run a command's channel/ECC section (no cache register)."""
+        bus = self._buses[channel]
         if not self.pipeline.pipelined_ecc:
             # Paper-faithful fused section: transfer + encode/decode
             # occupy the bus as one non-pipelined unit (the structural
             # hazard of the single-page-buffer controller FSM).
-            total = sum(p.duration_s for p in phases)
-            yield from self._hold(bus, total)
-            self.channel_busy_s[channel] += total
-            if cache is not None:
-                cache.busy = False
-                cache.freed.fire()
+            while bus.busy:
+                yield bus.freed
+            bus.busy = True
+            yield fused_s
+            bus.busy = False
+            bus.freed.fire()
+            self.channel_busy_s[channel] += fused_s
             return
-        for phase in phases:
-            if phase.resource is PhaseResource.CHANNEL:
-                yield from self._hold(bus, phase.duration_s)
-                self.channel_busy_s[channel] += phase.duration_s
-                if cache is not None:
-                    cache.busy = False
-                    cache.freed.fire()
-                    cache = None
+        ecc = self._engines[channel]
+        for is_channel, duration, occupancy in ops:
+            if is_channel:
+                while bus.busy:
+                    yield bus.freed
+                bus.busy = True
+                yield duration
+                bus.busy = False
+                bus.freed.fire()
+                self.channel_busy_s[channel] += duration
             else:  # ECC: held for the initiation interval only.
-                yield from self._hold(ecc, phase.occupancy_s)
-                self.ecc_busy_s[channel] += phase.occupancy_s
-                drain = phase.duration_s - phase.occupancy_s
+                while ecc.busy:
+                    yield ecc.freed
+                ecc.busy = True
+                yield occupancy
+                ecc.busy = False
+                ecc.freed.fire()
+                self.ecc_busy_s[channel] += occupancy
+                drain = duration - occupancy
                 if drain > 0:
                     yield drain
-        if cache is not None:  # no transfer phase: free on exit
-            cache.busy = False
-            cache.freed.fire()
 
     def _read_drain(
         self,
@@ -506,33 +1133,75 @@ class SchedulerCore:
         die: int,
         channel: int,
         cache: _Lock,
-        phases: list[CommandPhase],
+        ops: tuple[tuple[bool, float, float], ...],
+        fused_s: float,
     ) -> Process:
-        """Stream a cached page out and complete its command."""
-        yield from self._channel_section(phases, channel, cache)
+        """Stream a cached page out and complete its command.
+
+        Identical to `_channel_section` except the cache register is
+        freed the moment the data leaves it (fused section done, or
+        first bus transfer under pipelined ECC).
+        """
+        bus = self._buses[channel]
+        if not self.pipeline.pipelined_ecc:
+            while bus.busy:
+                yield bus.freed
+            bus.busy = True
+            yield fused_s
+            bus.busy = False
+            bus.freed.fire()
+            self.channel_busy_s[channel] += fused_s
+            cache.busy = False
+            cache.freed.fire()
+            self._finish(command, die, channel)
+            return
+        ecc = self._engines[channel]
+        held = cache
+        for is_channel, duration, occupancy in ops:
+            if is_channel:
+                while bus.busy:
+                    yield bus.freed
+                bus.busy = True
+                yield duration
+                bus.busy = False
+                bus.freed.fire()
+                self.channel_busy_s[channel] += duration
+                if held is not None:
+                    held.busy = False
+                    held.freed.fire()
+                    held = None
+            else:
+                while ecc.busy:
+                    yield ecc.freed
+                ecc.busy = True
+                yield occupancy
+                ecc.busy = False
+                ecc.freed.fire()
+                self.ecc_busy_s[channel] += occupancy
+                drain = duration - occupancy
+                if drain > 0:
+                    yield drain
+        if held is not None:  # no transfer phase: free on exit
+            held.busy = False
+            held.freed.fire()
         self._finish(command, die, channel)
 
     def _worker(self, die: int, plane: int) -> Process:
         channel = self.topology.channel_of(die)
         queue = self._queues[die][plane]
         work = self._work[die][plane]
+        cache_read = self.pipeline.cache_read
         while True:
             while not queue:
                 yield work
             command = queue.popleft()
-            plan = command.phase_plan()
-            array = [
-                p for p in plan if p.resource is PhaseResource.PLANE
-            ]
-            channel_phases = [
-                p for p in plan if p.resource is not PhaseResource.PLANE
-            ]
+            array, ops, fused = _split_plan_fast(command.phase_plan())
             if command.kind is CommandKind.READ:
                 # Sense into the plane's page buffer, then stream out.
-                for phase in array:
-                    yield phase.duration_s
-                    self.die_busy_s[die] += phase.duration_s
-                if self.pipeline.cache_read and channel_phases:
+                for duration in array:
+                    yield duration
+                    self.die_busy_s[die] += duration
+                if cache_read and ops:
                     # Hand the page to the cache register and sense on.
                     cache = self._caches[die][plane]
                     while cache.busy:
@@ -542,21 +1211,21 @@ class SchedulerCore:
                         yield command.cache_busy_s
                         self.die_busy_s[die] += command.cache_busy_s
                     self.engine.spawn(self._read_drain(
-                        command, die, channel, cache, channel_phases
+                        command, die, channel, cache, ops, fused
                     ))
                     continue  # completion happens in the drain
-                yield from self._channel_section(channel_phases, channel, None)
+                yield from self._channel_section(ops, fused, channel)
             elif command.kind is CommandKind.PROGRAM:
                 # Encode + stream in (bus frees for siblings), then
                 # busy the plane with the ISPP.
-                yield from self._channel_section(channel_phases, channel, None)
-                for phase in array:
-                    yield phase.duration_s
-                    self.die_busy_s[die] += phase.duration_s
+                yield from self._channel_section(ops, fused, channel)
+                for duration in array:
+                    yield duration
+                    self.die_busy_s[die] += duration
             else:  # ERASE: array-only, no data on the bus.
-                for phase in array:
-                    yield phase.duration_s
-                    self.die_busy_s[die] += phase.duration_s
+                for duration in array:
+                    yield duration
+                    self.die_busy_s[die] += duration
             self._finish(command, die, channel)
 
 
@@ -567,9 +1236,11 @@ class CommandScheduler:
         self,
         topology: SsdTopology,
         pipeline: PipelineConfig | None = None,
+        fast_batch: bool = True,
     ):
         self.topology = topology
         self.pipeline = pipeline or PipelineConfig()
+        self.fast_batch = fast_batch
 
     def run(
         self,
@@ -582,16 +1253,24 @@ class CommandScheduler:
         ``queue_depth`` bounds how many commands are in flight at once
         (``None`` admits everything immediately), per-plane service is
         FIFO, and buses / ECC engines arbitrate among their dies in
-        wake-up order.  For a persistent queue that accepts submissions
-        while earlier commands are in flight, use
-        :class:`~repro.ssd.session.SsdSession` instead.
+        wake-up order.  Homogeneous (single-kind) batches take the
+        batched stripe-reservation fast path — bit-exact with the
+        generator machinery; ``fast_batch=False`` at construction forces
+        the generator path (the equivalence oracle).  For a persistent
+        queue that accepts submissions while earlier commands are in
+        flight, use :class:`~repro.ssd.session.SsdSession` instead.
         """
         validate_batch(self.topology, commands, queue_depth)
         engine = SimEngine()
         core = SchedulerCore(engine, self.topology, self.pipeline)
-        engine.spawn(closed_admission(core, commands, queue_depth))
-        core.start()
-        makespan = engine.run()
+        if self.fast_batch and _fast_eligible(commands):
+            makespan = _run_fast_batch(
+                core, commands, queue_depth, resident=False
+            )
+        else:
+            engine.spawn(closed_admission(core, commands, queue_depth))
+            core.start()
+            makespan = engine.run()
         if len(core.completions) != len(commands):
             raise SimulationError(
                 f"scheduler completed {len(core.completions)} of "

@@ -49,6 +49,8 @@ from repro.ssd.scheduler import (
     DieCommand,
     ScheduleResult,
     SchedulerCore,
+    _fast_eligible,
+    _run_fast_batch,
     closed_admission,
     validate_batch,
 )
@@ -142,6 +144,7 @@ class SsdSession:
         ssd: "SsdDevice | None" = None,
         engine: SimEngine | None = None,
         queue_depth: int | None = None,
+        fast_batch: bool = True,
     ):
         if ssd is None:
             if ftl is None:
@@ -153,6 +156,7 @@ class SsdSession:
         self.ssd = ssd
         self.engine = engine or SimEngine()
         self.queue_depth = queue_depth
+        self.fast_batch = fast_batch
         self.core = SchedulerCore(self.engine, ssd.topology, ssd.pipeline)
         self.core.start()
         # Park the resident workers on their wake-up signals so the
@@ -271,10 +275,19 @@ class SsdSession:
         self.engine.rebase()
         self.core.reset_accounting()
         self.core.completions.clear()
-        self.engine.spawn(closed_admission(
-            self.core, commands, queue_depth, wake_workers=True
-        ))
-        makespan = self.engine.run()
+        if self.fast_batch and _fast_eligible(commands):
+            # Homogeneous batch: batched stripe reservation, bit-exact
+            # with the resident generator workers (who stay parked).
+            makespan = _run_fast_batch(
+                self.core, commands, queue_depth, resident=True
+            )
+            if not self.engine.idle:  # events scheduled by callbacks
+                makespan = self.engine.run()
+        else:
+            self.engine.spawn(closed_admission(
+                self.core, commands, queue_depth, wake_workers=True
+            ))
+            makespan = self.engine.run()
         completions = list(self.core.completions)
         if len(completions) != len(commands):
             raise SimulationError(

@@ -1,0 +1,217 @@
+"""Event-list backends: ordering equivalence and engine-level contracts.
+
+The determinism contract (see ``sim/engine.py``): the calendar queue and
+the reference heap must produce the *identical* pop sequence — time-major,
+FIFO within a timestamp — on any schedule, including same-timestamp ties
+and interleaved push/pop.  These tests drive both structures directly
+with randomized schedules and also check the engine-facing behaviours
+this PR added: the named-backend constructor, the pending-count
+``max_events`` error, and handoff signal semantics.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    CalendarEventList,
+    DEFAULT_BUCKET_WIDTH_S,
+    HeapEventList,
+    SimEngine,
+)
+
+
+def _random_schedule_agreement(rng, event_list, steps: int) -> None:
+    """Interleave pushes/pops; the list must match a reference heap."""
+    reference: list = []
+    now = 0.0
+    seq = 0
+    for step in range(steps):
+        if reference and rng.random() < 0.45:
+            popped = event_list.pop()
+            expected = heapq.heappop(reference)
+            assert popped == expected, f"diverged at step {step}"
+            now = popped[0]
+        else:
+            # Heavy tie mass: ~1/3 of pushes land exactly at `now`
+            # (signal wake-ups do), the rest spread over the phase
+            # spectrum from sub-bucket offsets to multi-millisecond
+            # erases.
+            offset = rng.choice(
+                [0.0, 0.0, 1e-7, 5e-6, DEFAULT_BUCKET_WIDTH_S, 3e-3]
+            )
+            entry = (now + offset * rng.random(), seq, None)
+            seq += 1
+            event_list.push(entry)
+            heapq.heappush(reference, entry)
+    while reference:
+        assert event_list.pop() == heapq.heappop(reference)
+    assert not event_list
+    assert len(event_list) == 0
+
+
+class TestOrderingAgreement:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_calendar_matches_heap_on_random_schedules(self, seed):
+        rng = random.Random(seed)
+        _random_schedule_agreement(rng, CalendarEventList(), steps=500)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_heap_event_list_matches_reference(self, seed):
+        rng = random.Random(seed)
+        _random_schedule_agreement(rng, HeapEventList(), steps=300)
+
+    def test_fifo_within_one_timestamp(self):
+        # All at one instant: pop order must be exactly push (seq) order.
+        calendar = CalendarEventList()
+        entries = [(1e-3, seq, None) for seq in range(50)]
+        for entry in entries:
+            calendar.push(entry)
+        assert [calendar.pop() for _ in entries] == entries
+
+    def test_reuse_after_drain_accepts_earlier_times(self):
+        # A drained list is reused at a rebased (smaller) clock — the
+        # cached head bucket must not shadow the new epoch.
+        calendar = CalendarEventList()
+        calendar.push((5e-3, 0, None))
+        assert calendar.pop() == (5e-3, 0, None)
+        calendar.push((0.0, 1, None))
+        calendar.push((1e-6, 2, None))
+        assert calendar.pop() == (0.0, 1, None)
+        assert calendar.pop() == (1e-6, 2, None)
+
+    def test_peek_time_tracks_minimum(self):
+        calendar = CalendarEventList()
+        calendar.push((3e-3, 0, None))
+        assert calendar.peek_time() == 3e-3
+        calendar.push((1e-6, 1, None))
+        assert calendar.peek_time() == 1e-6
+        calendar.pop()
+        assert calendar.peek_time() == 3e-3
+
+    def test_invalid_bucket_width_rejected(self):
+        with pytest.raises(SimulationError):
+            CalendarEventList(bucket_width_s=0.0)
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="unknown event list"):
+            SimEngine(event_list="splay")
+
+    @pytest.mark.parametrize("backend", ["heap", "calendar"])
+    def test_identical_run_across_backends(self, backend):
+        # A full engine run (delays, signals, ties) must be bit-exact
+        # regardless of backend.
+        def trace_run(engine):
+            order = []
+            gate = engine.signal()
+
+            def waiter(name):
+                yield gate
+                order.append((name, engine.now_s))
+
+            def firer():
+                yield 250e-6
+                gate.fire()
+                yield 0.0
+                order.append(("firer", engine.now_s))
+
+            for name in ("a", "b", "c"):
+                engine.spawn(waiter(name))
+            engine.spawn(firer())
+            engine.run()
+            return order, engine.now_s, engine.events_processed
+
+        reference = trace_run(SimEngine(event_list="heap"))
+        assert trace_run(SimEngine(event_list=backend)) == reference
+
+
+class TestMaxEventsExhaustion:
+    def test_error_names_pending_count_and_is_runtime_error(self):
+        engine = SimEngine()
+
+        def ticker():
+            while True:
+                yield 1e-6
+
+        for _ in range(3):
+            engine.spawn(ticker())
+        with pytest.raises(RuntimeError, match=r"exceeded 10 events") as err:
+            engine.run(max_events=10)
+        # The interrupted event goes back in the queue: all 3 tickers
+        # still pending, named in the message.
+        assert "3 event(s) still pending" in str(err.value)
+        assert isinstance(err.value, SimulationError)
+
+    def test_exhausted_run_can_resume(self):
+        engine = SimEngine()
+        done = []
+
+        def ticker():
+            for _ in range(30):
+                yield 1e-6
+            done.append(engine.now_s)
+
+        engine.spawn(ticker())
+        with pytest.raises(SimulationError):
+            engine.run(max_events=10)
+        engine.run()  # picks up exactly where the guard stopped it
+        assert done and done[0] == pytest.approx(30e-6)
+
+
+class TestHandoffSignals:
+    def test_handoff_wakes_only_head_waiter(self):
+        engine = SimEngine()
+        woken = []
+        gate = engine.signal(handoff=True)
+
+        def waiter(name):
+            yield gate
+            woken.append(name)
+
+        def firer():
+            yield 1e-6
+            assert gate.fire() == 1
+
+        for name in ("a", "b", "c"):
+            engine.spawn(waiter(name))
+        engine.spawn(firer())
+        with pytest.raises(SimulationError, match="deadlock"):
+            engine.run()  # b and c stay parked forever
+        assert woken == ["a"]
+
+    def test_handoff_lock_discipline_matches_wake_all(self):
+        # The scheduler's re-check-loop discipline: N holders contend
+        # for one serially-reusable resource.  Handoff and wake-all
+        # must produce identical acquisition orders and finish times.
+        def run(handoff: bool):
+            engine = SimEngine()
+            busy = [False]
+            freed = engine.signal(handoff=handoff)
+            log = []
+
+            def holder(name, hold_s):
+                while busy[0]:
+                    yield freed
+                busy[0] = True
+                yield hold_s
+                busy[0] = False
+                freed.fire()
+                log.append((name, engine.now_s))
+
+            for index, name in enumerate("abcde"):
+                engine.spawn(holder(name, (index + 1) * 10e-6))
+            engine.run()
+            return log
+
+        assert run(handoff=True) == run(handoff=False)
+
+    def test_fire_with_no_waiters_is_noop(self):
+        engine = SimEngine()
+        signal = engine.signal()
+        assert signal.fire() == 0
+        assert engine.idle
+        assert engine.events_processed == 0

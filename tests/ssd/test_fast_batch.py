@@ -1,0 +1,222 @@
+"""Batched stripe-reservation fast path: bit-exact equivalence tests.
+
+The fast path (``_run_fast_batch``) is a transliteration of the
+generator workers into a flat mini-DES; these tests pin the contract
+that it is *bit-exact*, not merely close: identical completion order,
+identical timestamps, identical busy accounting and makespan, for every
+pipeline configuration, command kind, queue depth and topology — on
+both the fresh :class:`CommandScheduler` surface and the resident
+:meth:`SsdSession.execute` surface.
+
+The second half is the replay contract for the event-list backends: a
+full open-loop session (FTL data path, ECC, error injection, backlog,
+doorbell) must produce byte-identical completions whether the engine
+runs on the reference heap or the calendar queue.
+"""
+
+import random
+
+import pytest
+
+from repro.core.modes import OperatingMode
+from repro.core.policy import CrossLayerPolicy
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NandTimingModel
+from repro.sim.engine import SimEngine
+from repro.ssd import (
+    DieStripedFtl,
+    IoCommand,
+    PipelineConfig,
+    SsdDevice,
+    SsdSession,
+    SsdTopology,
+)
+from repro.ssd.scheduler import CommandKind, CommandScheduler, DieCommand
+from repro.workloads.traces import TraceOpKind
+
+# Neat-number phase shapes: durations are exact multiples of 5 us so
+# independent command chains collide on identical timestamps constantly
+# — the regime where a tie-break divergence between the fast path and
+# the generator path would surface immediately.
+READ_PHASES = NandTimingModel.read_phases(
+    sense_s=50e-6, transfer_s=20e-6, decode_s=40e-6, decode_hold_s=25e-6
+)
+PROGRAM_PHASES = NandTimingModel.program_phases(
+    program_s=200e-6, transfer_s=20e-6, encode_s=15e-6
+)
+ERASE_PHASES = NandTimingModel.erase_phases(2e-3)
+
+PIPELINES = [
+    PipelineConfig.serial(),
+    PipelineConfig(cache_read=True),
+    PipelineConfig(pipelined_ecc=True),
+    PipelineConfig.full(),
+]
+
+
+def _stream(kind: CommandKind, n: int, dies: int, seed: int) -> list[DieCommand]:
+    """Homogeneous random die/plane stream of one command kind."""
+    rng = random.Random(seed)
+    phases = {
+        CommandKind.READ: READ_PHASES,
+        CommandKind.PROGRAM: PROGRAM_PHASES,
+        CommandKind.ERASE: ERASE_PHASES,
+    }[kind]
+    cache_busy_s = 3e-6 if kind is CommandKind.READ else 0.0
+    return [
+        DieCommand.from_phases(
+            kind, die=rng.randrange(dies), tag=tag, phases=phases,
+            plane=rng.randrange(2), cache_busy_s=cache_busy_s,
+        )
+        for tag in range(n)
+    ]
+
+
+def _assert_identical(fast, slow) -> None:
+    """Every observable of a ScheduleResult, compared bit-for-bit."""
+    assert fast.completions == slow.completions
+    assert fast.makespan_s == slow.makespan_s
+    assert fast.die_busy_s == slow.die_busy_s
+    assert fast.channel_busy_s == slow.channel_busy_s
+    assert fast.ecc_busy_s == slow.ecc_busy_s
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("pipeline", PIPELINES, ids=lambda p: p.describe())
+    @pytest.mark.parametrize(
+        "kind", [CommandKind.READ, CommandKind.PROGRAM, CommandKind.ERASE]
+    )
+    @pytest.mark.parametrize("channels,dies_per_channel,queue_depth,seed", [
+        (1, 1, None, 3),
+        (2, 2, 4, 11),
+        (4, 2, 32, 23),
+    ])
+    def test_fresh_run_bit_exact(
+        self, pipeline, kind, channels, dies_per_channel, queue_depth, seed
+    ):
+        topology = SsdTopology(
+            channels=channels, dies_per_channel=dies_per_channel
+        )
+        commands = _stream(kind, 48, topology.dies, seed)
+        fast = CommandScheduler(
+            topology, pipeline=pipeline, fast_batch=True
+        ).run(commands, queue_depth)
+        slow = CommandScheduler(
+            topology, pipeline=pipeline, fast_batch=False
+        ).run(commands, queue_depth)
+        _assert_identical(fast, slow)
+
+    def test_mixed_batch_falls_back_to_generators(self):
+        # A mixed-kind batch is not fast-eligible; with fast_batch=True
+        # it must transparently take (and match) the generator path.
+        topology = SsdTopology(channels=2, dies_per_channel=2)
+        rng = random.Random(5)
+        commands = []
+        for tag in range(40):
+            kind = rng.choice([CommandKind.READ, CommandKind.PROGRAM])
+            commands.append(_stream(kind, 1, topology.dies, tag)[0])
+        commands = [
+            DieCommand.from_phases(
+                c.kind, die=c.die, tag=tag, phases=c.phases, plane=c.plane,
+                cache_busy_s=c.cache_busy_s,
+            )
+            for tag, c in enumerate(commands)
+        ]
+        fast = CommandScheduler(
+            topology, pipeline=PipelineConfig.full(), fast_batch=True
+        ).run(commands, queue_depth=8)
+        slow = CommandScheduler(
+            topology, pipeline=PipelineConfig.full(), fast_batch=False
+        ).run(commands, queue_depth=8)
+        _assert_identical(fast, slow)
+
+
+class TestSessionEquivalence:
+    @pytest.mark.parametrize("pipeline", PIPELINES, ids=lambda p: p.describe())
+    @pytest.mark.parametrize(
+        "kind", [CommandKind.READ, CommandKind.PROGRAM, CommandKind.ERASE]
+    )
+    def test_resident_execute_bit_exact(self, pipeline, kind):
+        # Back-to-back batches through one resident session, checked
+        # against a fast_batch=False twin AND a fresh scheduler — the
+        # rebase()/reset_accounting() reuse path must not drift.
+        topology = SsdTopology(channels=2, dies_per_channel=2)
+        fast_session = SsdSession(
+            ssd=SsdDevice(topology, seed=0, pipeline=pipeline),
+            fast_batch=True,
+        )
+        slow_session = SsdSession(
+            ssd=SsdDevice(topology, seed=0, pipeline=pipeline),
+            fast_batch=False,
+        )
+        for round_seed in (7, 41):
+            commands = _stream(kind, 32, topology.dies, round_seed)
+            fast = fast_session.execute(list(commands), queue_depth=6)
+            slow = slow_session.execute(list(commands), queue_depth=6)
+            _assert_identical(fast, slow)
+            fresh = CommandScheduler(
+                topology, pipeline=pipeline, fast_batch=False
+            ).run(list(commands), queue_depth=6)
+            _assert_identical(fast, fresh)
+
+
+# ---------------------------------------------------------------------------
+# Event-list backend replay: full open-loop sessions, byte-identical.
+# ---------------------------------------------------------------------------
+
+
+def _build_ftl(pipeline, seed=2012, wear=10_000):
+    topology = SsdTopology(
+        channels=2,
+        dies_per_channel=2,
+        geometry=NandGeometry(blocks=8, pages_per_block=8),
+    )
+    ssd = SsdDevice(
+        topology, policy=CrossLayerPolicy(), seed=seed, pipeline=pipeline
+    )
+    for controller in ssd.controllers:
+        controller.device.array._wear[:] = wear
+    ssd.set_mode(OperatingMode.BASELINE, pe_reference=float(wear))
+    return DieStripedFtl(ssd)
+
+
+def _open_loop_trace(backend: str):
+    """One full open-loop session on the given backend; returns its trace."""
+    ftl = _build_ftl(PipelineConfig.full())
+    page = ftl.geometry.page_data_bytes
+    rng = random.Random(99)
+    ftl.write_many([(lpn, bytes([lpn]) * page) for lpn in range(8)])
+    session = SsdSession(
+        ftl, engine=SimEngine(event_list=backend), queue_depth=4
+    )
+    ops = []
+    for _ in range(48):
+        if rng.random() < 0.6:
+            ops.append(IoCommand(TraceOpKind.READ, rng.randrange(8)))
+        else:
+            ops.append(IoCommand(
+                TraceOpKind.WRITE, rng.randrange(8), rng.randbytes(page)
+            ))
+
+    def arrivals():
+        for io in ops:
+            session.submit(io)
+            yield 15e-6  # fast arrivals: keeps the backlog exercised
+
+    session.engine.spawn(arrivals())
+    session.drain()
+    completions = session.take_completions()
+    assert len(completions) == len(ops)
+    return (
+        [
+            (c.tag, c.kind, c.lpn, c.data, c.submit_s, c.dispatch_s, c.done_s)
+            for c in completions
+        ],
+        session.engine.now_s,
+        session.engine.events_processed,
+    )
+
+
+class TestBackendReplay:
+    def test_open_loop_session_identical_on_heap_and_calendar(self):
+        assert _open_loop_trace("calendar") == _open_loop_trace("heap")
