@@ -48,7 +48,13 @@ from repro.sim.host import (
     run_open_loop_workload,
     run_ssd_workload,
 )
-from repro.ssd import DieStripedFtl, PipelineConfig, SsdDevice, SsdTopology
+from repro.ssd import (
+    DieStripedFtl,
+    PipelineConfig,
+    SsdDevice,
+    SsdSession,
+    SsdTopology,
+)
 from repro.workloads.traces import TraceOp, TraceOpKind, fixed_rate_arrivals
 
 #: End-of-life wear: RBER ~1e-3 on the ISPP-SV lifetime curve.
@@ -130,9 +136,20 @@ def _compare(ops: list[TraceOp], pages: int, seed: int) -> tuple[float, float]:
     _prewrite(open_ftl, ops, rng)
     # issue_s defaults to 0.0 for every op: the whole stream is offered
     # up front, so the completed rate is the device's sustained capacity.
+    session = SsdSession(open_ftl, queue_depth=QUEUE_DEPTH)
     sustained = run_open_loop_workload(
-        open_ftl, OpenLoopWorkload("open-loop", ops, queue_depth=QUEUE_DEPTH)
+        open_ftl,
+        OpenLoopWorkload("open-loop", ops, queue_depth=QUEUE_DEPTH),
+        session=session,
     )
+    # The session defaults to the flat dispatch core: every die command
+    # must have taken the fast path (erases are host-side trims and
+    # never reach the scheduler in this stream).
+    stats = session.fast_path_stats
+    if stats.fallback or not stats.fast:
+        raise AssertionError(
+            f"open-loop session fast path not engaged: {stats}"
+        )
     return closed.read_mb_s, sustained.read_mb_s
 
 

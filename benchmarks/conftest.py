@@ -37,7 +37,9 @@ def _profile(request):
     """Wrap each benchmark in cProfile when ``--profile`` is given.
 
     Prints the top 25 functions by cumulative time after the test body —
-    the first place to look when a sim-speed number moves.
+    the first place to look when a sim-speed number moves — and writes
+    the same table to ``benchmarks/out/profile_<test>.txt`` so CI runs
+    keep it as an artifact alongside the figure reports.
     """
     if not request.config.getoption("--profile"):
         yield
@@ -49,8 +51,16 @@ def _profile(request):
     report = io.StringIO()
     stats = pstats.Stats(profiler, stream=report)
     stats.sort_stats("cumulative").print_stats(25)
+    table = report.getvalue()
     print(f"\n--- cProfile (top 25 cumulative) for {request.node.name} ---")
-    print(report.getvalue())
+    print(table)
+    OUT_DIR.mkdir(exist_ok=True)
+    slug = "".join(
+        ch if ch.isalnum() or ch in "._-" else "_" for ch in request.node.name
+    )
+    (OUT_DIR / f"profile_{slug}.txt").write_text(
+        f"cProfile (top 25 cumulative) for {request.node.name}\n\n{table}"
+    )
 
 
 @pytest.fixture(scope="session")

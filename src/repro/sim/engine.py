@@ -55,6 +55,29 @@ Signals come in two wake disciplines:
   It is *only* observably equivalent for re-check-loop waiters — do not
   use it for one-shot doorbell signals.
 
+Flat dispatch (coroutine-free processes)
+----------------------------------------
+
+Generators are the engine's general programming model, but the SSD
+scheduler's steady state is a fixed per-command control flow — pure
+interpretation overhead when run as coroutines.  The engine therefore
+admits a second kind of process: a **flat frame**, any plain ``list``
+scheduled as an event's process slot.  A component that owns flat
+frames registers one handler via :meth:`SimEngine.attach_flat`; when the
+run loop pops an event whose process is a list it hands the event to
+that handler, which may *burst*: keep popping consecutive flat events
+from the shared queue (locals bound, no per-event dispatch) until it
+meets a generator event, the time horizon, or the drained queue, and
+return the leftover event for the normal loop to process.  Flat frames
+share the queue, the clock and the sequence counter with generator
+processes, so their events interleave in exactly the global
+``(time_s, sequence)`` order — a flat transliteration of a generator
+process that allocates sequence numbers at the same points produces
+bit-identical schedules (the SSD scheduler's fast path is equivalence-
+tested on exactly this contract).  :meth:`SimEngine.schedule_at` is the
+bulk entry point for scheduling frames at absolute times;
+:meth:`SimEngine.run` remains the run-until-quiescent drain.
+
 Two features exist for *persistent* sessions (long-lived worker
 processes that outlive any one batch of work, e.g. the SSD session's
 per-plane dispatch workers):
@@ -303,7 +326,9 @@ class SimEngine:
     heap is kept as the reference for cross-backend equivalence tests.
     """
 
-    __slots__ = ("_queue", "_seq", "now_s", "events_processed", "_parked")
+    __slots__ = (
+        "_queue", "_seq", "now_s", "events_processed", "_parked", "_flat"
+    )
 
     def __init__(
         self,
@@ -325,6 +350,7 @@ class SimEngine:
         self.now_s = 0.0
         self.events_processed = 0
         self._parked = 0
+        self._flat = None
 
     def _next_seq(self) -> int:
         seq = self._seq
@@ -336,6 +362,33 @@ class SimEngine:
         if delay_s < 0:
             raise SimulationError("delay must be non-negative")
         self._queue.push((self.now_s + delay_s, self._next_seq(), process))
+
+    def schedule_at(self, time_s: float, process) -> None:
+        """Schedule a process (or flat frame) at an absolute time.
+
+        The bulk entry point for flat dispatch cores: no delay
+        arithmetic, no validation beyond monotonicity — the event list
+        itself orders arbitrarily many frames pushed back to back.
+        """
+        if time_s < self.now_s:
+            raise SimulationError("cannot schedule into the past")
+        self._queue.push((time_s, self._next_seq(), process))
+
+    def attach_flat(self, handler) -> None:
+        """Register the flat-frame handler (one per engine).
+
+        ``handler(event, until_s)`` receives a popped event whose
+        process slot is a ``list``; it must process that event — and may
+        burst through consecutive flat events — and return
+        ``(leftover_event_or_None, n_processed)``.  A leftover event is
+        one the handler popped but must not process: a generator event,
+        or any event beyond ``until_s``.
+        """
+        if self._flat is not None:
+            raise SimulationError(
+                "a flat dispatch handler is already attached to this engine"
+            )
+        self._flat = handler
 
     def signal(self, daemon: bool = False, handoff: bool = False) -> Signal:
         """Create a :class:`Signal` bound to this engine.
@@ -379,6 +432,7 @@ class SimEngine:
         queue = self._queue
         queue_pop = queue.pop
         queue_push = queue.push
+        flat = self._flat
         processed = 0
         try:
             # Pop-driven loop: draining is detected by the IndexError
@@ -403,6 +457,23 @@ class SimEngine:
                         f"with {len(queue)} event(s) still pending"
                     )
                 process = event[2]
+                if flat is not None and type(process) is list:
+                    # Flat frame: hand to the attached handler, which
+                    # bursts through consecutive flat events and hands
+                    # back the first one it cannot process (a generator
+                    # event or one beyond the horizon).  The burst is
+                    # counted against max_events wholesale — the guard
+                    # stays a runaway brake, not an exact budget.
+                    event, burst = flat(event, until_s)
+                    processed += burst
+                    if event is None:
+                        continue
+                    time_s = event[0]
+                    if until_s is not None and time_s > until_s:
+                        queue_push(event)
+                        self.now_s = until_s
+                        return until_s
+                    process = event[2]
                 self.now_s = time_s
                 processed += 1
                 try:

@@ -49,7 +49,12 @@ from repro.ssd.scheduler import (
     ScheduleResult,
     SchedulerCore,
 )
-from repro.ssd.session import IoCommand, IoCompletion, SsdSession
+from repro.ssd.session import (
+    FastPathStats,
+    IoCommand,
+    IoCompletion,
+    SsdSession,
+)
 from repro.ssd.striped import DieStripedFtl, StripedLocation
 from repro.ssd.topology import (
     ChannelTimingParams,
@@ -67,6 +72,7 @@ __all__ = [
     "DieCommand",
     "DiePageAddress",
     "DieStripedFtl",
+    "FastPathStats",
     "IoCommand",
     "IoCompletion",
     "PipelineConfig",

@@ -31,15 +31,21 @@ Which overlaps are allowed is governed by :class:`PipelineConfig`:
   streams page i+1, lifting the per-channel read ceiling.
 
 The execution machinery is an **incremental** resource-reservation
-core (:class:`SchedulerCore`): resident per-(die, plane) workers parked
-on daemon wake-up signals accept :meth:`SchedulerCore.enqueue` calls at
-any simulation time, while earlier commands are still in flight — the
-substrate behind the open-loop :class:`~repro.ssd.session.SsdSession`.
-:class:`CommandScheduler` is the classic closed-batch view: `run()`
-spawns a fresh core plus a queue-depth-bounded admission process (the
-NVMe-style host queue) and drains it to the batch makespan.  Everything
-is deterministic: the same command list, topology, pipeline config and
-queue depth produce the same completion order and the same final clock.
+core (:class:`SchedulerCore`): resident per-(die, plane) dispatchers
+accept :meth:`SchedulerCore.enqueue` calls at any simulation time,
+while earlier commands are still in flight — the substrate behind the
+open-loop :class:`~repro.ssd.session.SsdSession`.  The dispatchers come
+in two bit-exact implementations: generator workers parked on daemon
+wake-up signals (``flat=False``, the readable oracle) and the **flat
+dispatch core** (``flat=True``, the default everywhere performance
+matters) — coroutine-free state-machine frames scheduled directly on
+the engine's event list and advanced by a burst handler (see the
+"flat dispatch core" section below).  :class:`CommandScheduler` is the
+classic closed-batch view: `run()` spawns a fresh core plus a
+queue-depth-bounded admission process (the NVMe-style host queue) and
+drains it to the batch makespan.  Everything is deterministic: the same
+command list, topology, pipeline config and queue depth produce the
+same completion order and the same final clock.
 """
 
 from __future__ import annotations
@@ -49,12 +55,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from functools import lru_cache
 from heapq import heappop, heappush
-
-import numpy as np
+from math import inf
+from typing import NamedTuple
 
 from repro.errors import SimulationError
 from repro.nand.timing import CommandPhase, PhaseResource
-from repro.sim.engine import Process, SimEngine, Signal
+from repro.sim.engine import Process, SimEngine
 from repro.ssd.topology import SsdTopology
 
 
@@ -180,8 +186,7 @@ class DieCommand:
         return (CommandPhase(PhaseResource.PLANE, self.die_s),)
 
 
-@dataclass(frozen=True)
-class CommandCompletion:
+class CommandCompletion(NamedTuple):
     """Timestamped completion of one command.
 
     ``submit_s`` is when the host handed the command to the session
@@ -189,6 +194,10 @@ class CommandCompletion:
     admitted (dispatched) it.  Closed-batch schedules submit everything
     at the batch start, so for them ``admit_s - submit_s`` is exactly
     the queue-depth admission wait.
+
+    A named tuple rather than a dataclass: the flat dispatch core
+    constructs one per command on its hottest path, and tuple
+    construction skips ``__init__``/``__setattr__`` entirely.
     """
 
     tag: int
@@ -386,542 +395,111 @@ def closed_admission(
         core.enqueue(command, submit_s=submit_s)
 
 
-# -- batched stripe-reservation fast path -----------------------------------
+# -- flat dispatch core ------------------------------------------------------
 #
-# Die-striped read_many/write_many emit *homogeneous* batches: every
-# command the same CommandKind under one PipelineConfig.  For those, the
-# generator machinery (32 resident coroutines round-tripping through the
-# engine per page at 4ch x 4die x 2plane) is pure interpretation
-# overhead: the control flow per command is fixed.  _run_fast_batch
-# replays the exact same schedule as a flat mini-DES — tuple events,
-# integer program counters, handoff locks as 4-slot lists — after one
-# numpy pass extracts the stripe's phase durations.  It is a
-# *transliteration*, not an approximation: every generator ``yield``
-# becomes one scheduled tuple event, every signal fire/park keeps its
-# order and its sequence-allocation position, and the busy accounters
-# are accumulated in the same float addition order, so completions,
-# busy times and the makespan are bit-exact against the generator path
-# (equivalence-tested on randomized streams in tests/ssd).
+# The steady-state control flow per command is fixed: pop, array
+# phases, channel section, finish.  Running it as 32 resident
+# coroutines (4ch x 4die x 2plane) round-tripping through the engine
+# and Signal park/fire per phase is pure interpretation overhead.  The
+# flat dispatch core replays the *exact same schedule* coroutine-free:
+# each (die, plane) dispatcher is a plain-list frame scheduled directly
+# on the engine's shared event list, advanced by a burst handler
+# (:meth:`SchedulerCore._flat_burst`) that the engine invokes for
+# list-type events and that keeps draining consecutive flat events with
+# its locals bound.  It is a *transliteration*, not an approximation:
+# every generator ``yield`` becomes one scheduled tuple event, every
+# handoff-signal fire/park keeps its order and its sequence-allocation
+# position on the engine's shared counter, and the busy accounters are
+# accumulated in the same float addition order — so completions, busy
+# times and makespans are bit-exact against the generator path for
+# mixed command kinds, closed batches and open-loop mid-flight
+# admission alike (equivalence-tested on randomized streams in
+# tests/ssd).  Generator workers remain as the bit-exactness oracle
+# (``flat=False``).
 
-# Worker/drain program counters (resume points after a scheduled event
-# or a lock park).
-_P_POP = 0        # fetch the next queued command (or park on the work signal)
+# Dispatcher/drain program counters (resume points after a scheduled
+# event or a lock park).
+_P_POP = 0        # fetch the next queued command (or park until woken)
 _P_ARRAY = 1      # an array phase's busy time just elapsed
-_P_CACHEQ = 2     # woken on a cache register's freed signal: re-check
+_P_CACHEQ = 2     # woken on a cache register's freed lock: re-check
 _P_TRCBSY = 3     # the tRCBSY cache-handoff busy time just elapsed
 _P_SECTION = 4    # enter the channel section (drain frames start here)
-_P_BUSQ = 5       # woken on a bus's freed signal: re-check
+_P_BUSQ = 5       # woken on a bus's freed lock: re-check
 _P_BUSREL = 6     # the bus hold just elapsed: release and account
-_P_ECCQ = 7       # woken on an ECC engine's freed signal: re-check
+_P_ECCQ = 7       # woken on an ECC engine's freed lock: re-check
 _P_ECCREL = 8     # the ECC occupancy just elapsed: release and account
 _P_ECCDRAIN = 9   # the ECC post-occupancy drain just elapsed
+_P_ADMIT = 10     # admission frame: admit the next command of a stream
 
-# Frame layout (plain lists — the mini-DES analogue of a coroutine):
-# [0] pc  [1] die  [2] slot  [3] channel  [4] queue (deque of command
-# indices; None for drain frames)  [5] parked-on-work-signal flag
-# [6] current command index  [7] array phase cursor  [8] channel phase
-# cursor  [9] cache lock to release mid-section (drain frames), or None
+# Dispatcher/drain frame layout (plain lists — the flat analogue of a
+# worker coroutine):
+# [0] pc  [1] die  [2] slot  [3] channel  [4] queue (deque of
+# DieCommand; None for one-shot drain frames)  [5] parked-idle flag
+# [6] current command  [7] array phase cursor  [8] channel phase cursor
+# [9] cache lock to release mid-section (drain frames), or None
+# [10] array durations  [11] section ops (is_channel, duration,
+# occupancy)  [12] fused section total  [13] is-read  [14] is-program
+# [15] channel bus lock  [16] channel ECC lock  [17] plane cache lock
+#
+# Admission frame layout (an open-loop arrival process, flattened):
+# [0] pc (_P_ADMIT)  [1] next command index  [2] command list  [3] list
+# length  [4] in-flight window limit  [5] parked-on-completed flag
+# [6] inter-arrival pacing (seconds)
 #
 # Lock layout (the handoff Signal transliterated):
 # [0] busy  [1] waiters (frames, park order)  [2] pending woken head
 # [3] waiters left behind the pending head at fire time
+#
+# Lock fires are inlined in the burst handler (they mirror the handoff
+# ``Signal.fire``: wake the head waiter only, allocate no sequence
+# number on an uncontended release); parking goes through
+# :func:`_flat_lock_park` below, with the caller accounting the park
+# toward the engine's deadlock counter.
 
 
-def _fast_eligible(commands: list[DieCommand]) -> bool:
-    """The stripe fast path covers homogeneous (single-kind) batches."""
-    if not commands:
-        return False
-    kind = commands[0].kind
-    return all(command.kind is kind for command in commands)
+def _flat_lock_park(lock: list, frame: list) -> None:
+    """``Signal._park``, including the woken head's re-park splice.
+
+    The caller adds the park to the engine's deadlock counter, so
+    parked frames count exactly like generator workers parked on a
+    non-daemon freed signal.
+    """
+    if lock[2] is frame:
+        lock[2] = None
+        rest = lock[3]
+        waiters = lock[1]
+        if rest:
+            wave = waiters[:rest]
+            del waiters[:rest]
+            waiters.append(frame)
+            waiters.extend(wave)
+        else:
+            waiters.append(frame)
+    else:
+        lock[1].append(frame)
 
 
-def _fast_decompose(
-    plan: tuple[CommandPhase, ...],
-) -> tuple[tuple[float, ...], tuple[tuple[bool, float, float], ...], float]:
-    """(array durations, (is_channel, duration, occupancy) section, fused total)."""
-    array = tuple(
-        p.duration_s for p in plan if p.resource is PhaseResource.PLANE
-    )
-    chan = tuple(
-        (p.resource is PhaseResource.CHANNEL, p.duration_s, p.occupancy_s)
-        for p in plan
-        if p.resource is not PhaseResource.PLANE
-    )
-    fused = sum(
-        p.duration_s for p in plan if p.resource is not PhaseResource.PLANE
-    )
-    return array, chan, fused
-
-
-def _run_fast_batch(
+def open_admission(
     core: "SchedulerCore",
     commands: list[DieCommand],
-    queue_depth: int | None,
-    resident: bool,
-) -> float:
-    """Drain one homogeneous closed batch without coroutines.
+    window: int | None,
+    arrival_s: float,
+) -> Process:
+    """Open-loop arrival process: paced submissions through a window.
 
-    Mutates ``core`` exactly as the generator path would (completions
-    appended in completion order, busy accounters accumulated in the
-    same addition order, ``on_finish`` callbacks invoked at their
-    completion instants with ``engine.now_s`` advanced) and returns the
-    batch makespan.  ``resident=True`` replays the
-    ``closed_admission(wake_workers=True)`` start-up of a parked
-    resident core; ``resident=False`` replays a fresh
-    :class:`CommandScheduler` run (admission spawned before the worker
-    start-up events).  The core's real generator workers are never
-    woken — their queues are never touched.
+    Admits ``commands`` in order, one every ``arrival_s`` simulated
+    seconds, stalling while ``window`` commands are in flight (``None``
+    leaves the stream unwindowed).  The generator form — the oracle
+    behind the flat admission frame installed by
+    :meth:`SchedulerCore.submit_stream`, which replays the exact same
+    schedule without a generator resume per arrival.
     """
-    engine = core.engine
-    topology = core.topology
-    planes = core.planes
-    n = len(commands)
-    limit = n if queue_depth is None else queue_depth
-    t0 = engine.now_s
-    kind = commands[0].kind
-    is_read = kind is CommandKind.READ
-    is_program = kind is CommandKind.PROGRAM
-    cache_mode = core.pipeline.cache_read and is_read
-    pipelined_ecc = core.pipeline.pipelined_ecc
-    dies = topology.dies
-    channel_of = [topology.channel_of(die) for die in range(dies)]
-
-    # ---- one numpy pass: stripe routing + phase durations ------------------
-    cmd_tag = [command.tag for command in commands]
-    cmd_die = np.fromiter(
-        (command.die for command in commands), np.intp, n
-    ).tolist()
-    cmd_slot = (
-        np.fromiter((command.plane for command in commands), np.intp, n)
-        % planes
-    ).tolist()
-    if any(command.phases is not None for command in commands):
-        split: dict = {}
-        cmd_array = []
-        cmd_chan = []
-        cmd_fused = []
-        for command in commands:
-            entry = split.get(command.phases)
-            if entry is None:
-                entry = _fast_decompose(command.phase_plan())
-                split[command.phases] = entry
-            cmd_array.append(entry[0])
-            cmd_chan.append(entry[1])
-            cmd_fused.append(entry[2])
-    else:
-        die_s = np.fromiter(
-            (command.die_s for command in commands), np.float64, n
-        ).tolist()
-        cmd_array = [(d,) for d in die_s]
-        if kind is CommandKind.ERASE:
-            cmd_chan = [()] * n
-            cmd_fused = [0.0] * n
-        else:
-            # Classic decomposition: one fused CHANNEL phase.
-            cmd_fused = np.fromiter(
-                (command.channel_s for command in commands), np.float64, n
-            ).tolist()
-            cmd_chan = [((True, s, s),) for s in cmd_fused]
-    cmd_cachebusy = (
-        np.fromiter(
-            (command.cache_busy_s for command in commands), np.float64, n
-        ).tolist()
-        if cache_mode
-        else None
-    )
-
-    # ---- mini-DES state ----------------------------------------------------
-    buses = [[False, [], None, 0] for _ in range(topology.channels)]
-    eccs = [[False, [], None, 0] for _ in range(topology.channels)]
-    caches = (
-        [[[False, [], None, 0] for _ in range(planes)] for _ in range(dies)]
-        if cache_mode
-        else None
-    )
-    workers = [
-        [
-            [_P_POP, die, slot, channel_of[die], deque(), resident, -1, 0, 0, None]
-            for slot in range(planes)
-        ]
-        for die in range(dies)
-    ]
-    completions = core.completions
-    die_busy = core.die_busy_s
-    channel_busy = core.channel_busy_s
-    ecc_busy = core.ecc_busy_s
-    on_finish = core.on_finish
-    admit_s = [t0] * n
-    in_flight = 0
-    admitted = 0          # next command index the admission process admits
-    admit_parked = False  # admission parked on core.completed
-    initial_fill = resident
-    admit_frame = [None]  # sentinel identity for admission's wake events
-
-    events: list = []
-    seq = 1
-    heappush(events, (t0, 0, admit_frame))
-    if not resident:
-        # Fresh core: start() spawns every worker after the admission
-        # process, (die, plane) order — including idle planes, whose
-        # single no-op run the generator path performs too.
-        for die in range(dies):
-            for slot in range(planes):
-                heappush(events, (t0, seq, workers[die][slot]))
-                seq += 1
-    now = t0
-
-    def lock_fire(lock: list) -> None:
-        """Signal.fire, handoff discipline: wake the head waiter."""
-        nonlocal seq
-        waiters = lock[1]
-        if waiters:
-            head = waiters.pop(0)
-            lock[2] = head
-            lock[3] = len(waiters)
-            heappush(events, (now, seq, head))
-            seq += 1
-
-    def lock_park(lock: list, frame: list) -> None:
-        """Signal._park, including the woken head's re-park splice."""
-        if lock[2] is frame:
-            lock[2] = None
-            rest = lock[3]
-            waiters = lock[1]
-            if rest:
-                wave = waiters[:rest]
-                del waiters[:rest]
-                waiters.append(frame)
-                waiters.extend(wave)
-            else:
-                waiters.append(frame)
-        else:
-            lock[1].append(frame)
-
-    def mini_enqueue(index: int, wake: bool) -> None:
-        """SchedulerCore.enqueue against the mini worker frames."""
-        nonlocal in_flight, seq
-        in_flight += 1
-        core.in_flight = in_flight
-        admit_s[index] = now
-        frame = workers[cmd_die[index]][cmd_slot[index]]
-        frame[4].append(index)
-        if wake and frame[5]:
-            frame[5] = False
-            heappush(events, (now, seq, frame))
-            seq += 1
-
-    def admit() -> None:
-        """The closed_admission process body (one resumption)."""
-        nonlocal admitted, admit_parked, initial_fill, seq
-        if initial_fill:
-            # Resident start-up: queue the initial window silently, then
-            # wake exactly the workers that received work, (die, plane)
-            # order — closed_admission(wake_workers=True) transliterated.
-            initial_fill = False
-            while admitted < n and in_flight < limit:
-                mini_enqueue(admitted, wake=False)
-                admitted += 1
-            for die in range(dies):
-                for slot in range(planes):
-                    frame = workers[die][slot]
-                    if frame[4] and frame[5]:
-                        frame[5] = False
-                        heappush(events, (now, seq, frame))
-                        seq += 1
-        while admitted < n:
-            if in_flight >= limit:
-                admit_parked = True
-                return
-            mini_enqueue(admitted, wake=True)
-            admitted += 1
-
-    def finish(frame: list) -> None:
-        """SchedulerCore._finish: complete frame's current command."""
-        nonlocal in_flight, seq, admit_parked
-        index = frame[6]
-        completion = CommandCompletion(
-            tag=cmd_tag[index],
-            die=frame[1],
-            channel=frame[3],
-            admit_s=admit_s[index],
-            done_s=now,
-            submit_s=t0,
-        )
-        completions.append(completion)
-        in_flight -= 1
-        core.in_flight = in_flight
-        if admit_parked:  # completed.fire()
-            admit_parked = False
-            heappush(events, (now, seq, admit_frame))
-            seq += 1
-        if on_finish:
-            engine.now_s = now
-            for callback in on_finish:
-                callback(completion)
-
-    # ---- event loop --------------------------------------------------------
-    while events:
-        now, _, frame = heappop(events)
-        if frame is admit_frame:
-            admit()
-            continue
-        pc = frame[0]
-        while True:
-            if pc == _P_POP:
-                queue = frame[4]
-                if not queue:
-                    frame[0] = _P_POP
-                    frame[5] = True  # park on the work signal
-                    break
-                index = queue.popleft()
-                frame[6] = index
-                if is_program:
-                    frame[9] = None
-                    frame[8] = 0
-                    pc = _P_SECTION
-                    continue
-                # READ / ERASE: array phases first.
-                array = cmd_array[index]
-                if array:
-                    frame[7] = 0
-                    frame[0] = _P_ARRAY
-                    heappush(events, (now + array[0], seq, frame))
-                    seq += 1
-                    break
-                pc = _P_ARRAY  # empty array: fall through to after-array
-                frame[7] = 0
-                # (no busy time to account; handled below by cursor == end)
-            if pc == _P_ARRAY:
-                index = frame[6]
-                array = cmd_array[index]
-                cursor = frame[7]
-                if cursor < len(array):
-                    die_busy[frame[1]] += array[cursor]
-                    cursor += 1
-                    frame[7] = cursor
-                    if cursor < len(array):
-                        frame[0] = _P_ARRAY
-                        heappush(events, (now + array[cursor], seq, frame))
-                        seq += 1
-                        break
-                # Array phases done.
-                if not is_read:  # PROGRAM after section, or ERASE
-                    finish(frame)
-                    if frame[4] is None:
-                        break  # drain frames run once
-                    pc = _P_POP
-                    continue
-                chan = cmd_chan[index]
-                if cache_mode and chan:
-                    cache = caches[frame[1]][frame[2]]
-                    if cache[0]:
-                        frame[0] = _P_CACHEQ
-                        lock_park(cache, frame)
-                        break
-                    cache[0] = True
-                    # acquired without waiting (no yield in the generator)
-                    trcbsy = cmd_cachebusy[index]
-                    if trcbsy > 0.0:
-                        frame[0] = _P_TRCBSY
-                        heappush(events, (now + trcbsy, seq, frame))
-                        seq += 1
-                        break
-                    # zero handoff: spawn the drain and move on
-                    drain = [
-                        _P_SECTION, frame[1], frame[2], frame[3],
-                        None, False, index, 0, 0, cache,
-                    ]
-                    heappush(events, (now, seq, drain))
-                    seq += 1
-                    pc = _P_POP
-                    continue
-                frame[9] = None
-                frame[8] = 0
-                pc = _P_SECTION
-                continue
-            if pc == _P_CACHEQ:
-                cache = caches[frame[1]][frame[2]]
-                if cache[0]:
-                    lock_park(cache, frame)
-                    break
-                cache[0] = True
-                index = frame[6]
-                trcbsy = cmd_cachebusy[index]
-                if trcbsy > 0.0:
-                    frame[0] = _P_TRCBSY
-                    heappush(events, (now + trcbsy, seq, frame))
-                    seq += 1
-                    break
-                drain = [
-                    _P_SECTION, frame[1], frame[2], frame[3],
-                    None, False, index, 0, 0, cache,
-                ]
-                heappush(events, (now, seq, drain))
-                seq += 1
-                pc = _P_POP
-                continue
-            if pc == _P_TRCBSY:
-                index = frame[6]
-                die_busy[frame[1]] += cmd_cachebusy[index]
-                drain = [
-                    _P_SECTION, frame[1], frame[2], frame[3],
-                    None, False, index, 0, 0,
-                    caches[frame[1]][frame[2]],
-                ]
-                heappush(events, (now, seq, drain))
-                seq += 1
-                pc = _P_POP
-                continue
-            if pc == _P_SECTION:
-                index = frame[6]
-                if not pipelined_ecc:
-                    # Fused section: one bus hold for the summed total
-                    # (taken even for an empty section, as the generator
-                    # path's _hold(bus, 0.0) does).
-                    bus = buses[frame[3]]
-                    if bus[0]:
-                        frame[0] = _P_BUSQ
-                        lock_park(bus, frame)
-                        break
-                    bus[0] = True
-                    frame[0] = _P_BUSREL
-                    heappush(events, (now + cmd_fused[index], seq, frame))
-                    seq += 1
-                    break
-                chan = cmd_chan[index]
-                cursor = frame[8]
-                if cursor < len(chan):
-                    is_channel, duration, occupancy = chan[cursor]
-                    if is_channel:
-                        bus = buses[frame[3]]
-                        if bus[0]:
-                            frame[0] = _P_BUSQ
-                            lock_park(bus, frame)
-                            break
-                        bus[0] = True
-                        frame[0] = _P_BUSREL
-                        heappush(events, (now + duration, seq, frame))
-                        seq += 1
-                        break
-                    ecc = eccs[frame[3]]
-                    if ecc[0]:
-                        frame[0] = _P_ECCQ
-                        lock_park(ecc, frame)
-                        break
-                    ecc[0] = True
-                    frame[0] = _P_ECCREL
-                    heappush(events, (now + occupancy, seq, frame))
-                    seq += 1
-                    break
-                # Section exhausted: free a still-held cache register.
-                cache = frame[9]
-                if cache is not None:
-                    cache[0] = False
-                    lock_fire(cache)
-                    frame[9] = None
-                if is_program:
-                    array = cmd_array[index]
-                    if array:
-                        frame[7] = 0
-                        frame[0] = _P_ARRAY
-                        heappush(events, (now + array[0], seq, frame))
-                        seq += 1
-                        break
-                    frame[7] = 0
-                    pc = _P_ARRAY
-                    continue
-                finish(frame)
-                if frame[4] is None:
-                    break
-                pc = _P_POP
-                continue
-            if pc == _P_BUSQ:
-                bus = buses[frame[3]]
-                if bus[0]:
-                    lock_park(bus, frame)
-                    break
-                bus[0] = True
-                index = frame[6]
-                if not pipelined_ecc:
-                    duration = cmd_fused[index]
-                else:
-                    duration = cmd_chan[index][frame[8]][1]
-                frame[0] = _P_BUSREL
-                heappush(events, (now + duration, seq, frame))
-                seq += 1
-                break
-            if pc == _P_BUSREL:
-                bus = buses[frame[3]]
-                bus[0] = False
-                lock_fire(bus)
-                index = frame[6]
-                if not pipelined_ecc:
-                    channel_busy[frame[3]] += cmd_fused[index]
-                    cache = frame[9]
-                    if cache is not None:
-                        cache[0] = False
-                        lock_fire(cache)
-                        frame[9] = None
-                    # Fused section complete.
-                    if is_program:
-                        array = cmd_array[index]
-                        if array:
-                            frame[7] = 0
-                            frame[0] = _P_ARRAY
-                            heappush(events, (now + array[0], seq, frame))
-                            seq += 1
-                            break
-                        frame[7] = 0
-                        pc = _P_ARRAY
-                        continue
-                    finish(frame)
-                    if frame[4] is None:
-                        break
-                    pc = _P_POP
-                    continue
-                channel_busy[frame[3]] += cmd_chan[index][frame[8]][1]
-                cache = frame[9]
-                if cache is not None:
-                    cache[0] = False
-                    lock_fire(cache)
-                    frame[9] = None
-                frame[8] += 1
-                pc = _P_SECTION
-                continue
-            if pc == _P_ECCQ:
-                ecc = eccs[frame[3]]
-                if ecc[0]:
-                    lock_park(ecc, frame)
-                    break
-                ecc[0] = True
-                occupancy = cmd_chan[frame[6]][frame[8]][2]
-                frame[0] = _P_ECCREL
-                heappush(events, (now + occupancy, seq, frame))
-                seq += 1
-                break
-            if pc == _P_ECCREL:
-                ecc = eccs[frame[3]]
-                ecc[0] = False
-                lock_fire(ecc)
-                phase = cmd_chan[frame[6]][frame[8]]
-                ecc_busy[frame[3]] += phase[2]
-                remainder = phase[1] - phase[2]
-                if remainder > 0:
-                    frame[0] = _P_ECCDRAIN
-                    heappush(events, (now + remainder, seq, frame))
-                    seq += 1
-                    break
-                frame[8] += 1
-                pc = _P_SECTION
-                continue
-            if pc == _P_ECCDRAIN:
-                frame[8] += 1
-                pc = _P_SECTION
-                continue
-            raise SimulationError(f"fast batch: invalid state {pc}")
-
-    engine.now_s = now
-    return now
+    limit = len(commands) if window is None else window
+    for command in commands:
+        while core.in_flight >= limit:
+            yield core.completed
+        core.enqueue(command, submit_s=core.engine.now_s)
+        yield arrival_s
 
 
 class SchedulerCore:
@@ -940,6 +518,15 @@ class SchedulerCore:
     fires once per completion, and synchronous ``on_finish`` callbacks
     (called after the fire) let a session route completions without a
     reaper process of its own.
+
+    ``flat=True`` swaps the resident generator workers for the flat
+    dispatch core: one plain-list frame per (die, plane) living directly
+    on the engine's event list, advanced by the burst handler the core
+    attaches via :meth:`SimEngine.attach_flat`.  The external surface
+    (``enqueue`` / ``completed`` / ``on_finish`` / busy accounting) and
+    every observable timestamp are identical; only the interpretation
+    machinery differs.  :attr:`fast_commands` / :attr:`fallback_commands`
+    count which path each admitted command took.
     """
 
     def __init__(
@@ -947,6 +534,7 @@ class SchedulerCore:
         engine: SimEngine,
         topology: SsdTopology,
         pipeline: PipelineConfig | None = None,
+        flat: bool = False,
     ):
         self.engine = engine
         self.topology = topology
@@ -961,20 +549,52 @@ class SchedulerCore:
         self.completed = engine.signal()
         self.on_finish: list = []
         self.in_flight = 0
-        self._buses = [_Lock(engine) for _ in range(topology.channels)]
-        self._engines = [_Lock(engine) for _ in range(topology.channels)]
-        self._caches = [
-            [_Lock(engine) for _ in range(self.planes)]
-            for _ in range(topology.dies)
-        ]
-        self._queues: list[list[deque[DieCommand]]] = [
-            [deque() for _ in range(self.planes)]
-            for _ in range(topology.dies)
-        ]
-        self._work = [
-            [engine.signal(daemon=True) for _ in range(self.planes)]
-            for _ in range(topology.dies)
-        ]
+        self.flat = flat
+        #: Commands dispatched by the flat core vs the generator workers
+        #: (a per-core lifetime tally; a core is all-flat or all-generator,
+        #: so one of the two stays zero).
+        self.fast_commands = 0
+        self.fallback_commands = 0
+        if flat:
+            channels = topology.channels
+            self._flat_buses = [[False, [], None, 0] for _ in range(channels)]
+            self._flat_eccs = [[False, [], None, 0] for _ in range(channels)]
+            self._flat_caches = [
+                [[False, [], None, 0] for _ in range(self.planes)]
+                for _ in range(topology.dies)
+            ]
+            self._frames = [
+                [
+                    [
+                        _P_POP, die, slot, topology.channel_of(die),
+                        deque(), False, None, 0, 0, None,
+                        (), (), 0.0, False, False,
+                        self._flat_buses[topology.channel_of(die)],
+                        self._flat_eccs[topology.channel_of(die)],
+                        self._flat_caches[die][slot],
+                        0, 0,
+                    ]
+                    for slot in range(self.planes)
+                ]
+                for die in range(topology.dies)
+            ]
+            self._admit: list | None = None
+            engine.attach_flat(self._flat_burst)
+        else:
+            self._buses = [_Lock(engine) for _ in range(topology.channels)]
+            self._engines = [_Lock(engine) for _ in range(topology.channels)]
+            self._caches = [
+                [_Lock(engine) for _ in range(self.planes)]
+                for _ in range(topology.dies)
+            ]
+            self._queues: list[list[deque[DieCommand]]] = [
+                [deque() for _ in range(self.planes)]
+                for _ in range(topology.dies)
+            ]
+            self._work = [
+                [engine.signal(daemon=True) for _ in range(self.planes)]
+                for _ in range(topology.dies)
+            ]
         #: In-flight bookkeeping: tag -> (admit_s, submit_s).  One dict
         #: (one hash per enqueue / one per finish) also doubles as the
         #: live-tag set for duplicate detection.
@@ -984,10 +604,23 @@ class SchedulerCore:
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn the resident dispatch workers ((die, plane) order)."""
+        """Start the resident dispatchers ((die, plane) order).
+
+        Generator mode spawns one worker coroutine per (die, plane);
+        flat mode schedules each frame's start event at the current
+        instant in the same order, so the two paths allocate identical
+        start-up sequence numbers — each frame's first run pops queued
+        work or parks idle, exactly like a worker's first resume.
+        """
         if self._started:
             raise SimulationError("scheduler core already started")
         self._started = True
+        if self.flat:
+            now = self.engine.now_s
+            for die_frames in self._frames:
+                for frame in die_frames:
+                    self.engine.schedule_at(now, frame)
+            return
         for die in range(self.topology.dies):
             for plane in range(self.planes):
                 self.engine.spawn(self._worker(die, plane))
@@ -1007,6 +640,18 @@ class SchedulerCore:
         queues stay parked — their wake would be a no-op event (resume,
         find nothing, re-park) and cannot be observed by the batch.
         """
+        if self.flat:
+            engine = self.engine
+            push = engine._queue.push
+            now = engine.now_s
+            for die_frames in self._frames:
+                for frame in die_frames:
+                    if frame[4] and frame[5]:
+                        frame[5] = False
+                        seq = engine._seq
+                        engine._seq = seq + 1
+                        push((now, seq, frame))
+            return
         for die_queues, die_signals in zip(self._queues, self._work):
             for queue, signal in zip(die_queues, die_signals):
                 if queue:
@@ -1053,9 +698,58 @@ class SchedulerCore:
         self.in_flight += 1
         self._meta[command.tag] = (self.engine.now_s, submit_s)
         slot = command.plane % self.planes
+        if self.flat:
+            self.fast_commands += 1
+            frame = self._frames[command.die][slot]
+            frame[4].append(command)
+            if wake and frame[5]:
+                # The frame is parked idle: schedule its wake at the
+                # current instant.  Mirrors the daemon work signal's
+                # fire-on-parked-worker — same single sequence number,
+                # and a no-op (non-parked) fire allocates none.
+                frame[5] = False
+                engine = self.engine
+                seq = engine._seq
+                engine._seq = seq + 1
+                engine._queue.push((engine.now_s, seq, frame))
+            return
+        self.fallback_commands += 1
         self._queues[command.die][slot].append(command)
         if wake:
             self._work[command.die][slot].fire()
+
+    def submit_stream(
+        self,
+        commands: list[DieCommand],
+        window: int | None = None,
+        arrival_s: float = 0.0,
+    ) -> None:
+        """Install an open-loop arrival stream (see :func:`open_admission`).
+
+        On a generator core this spawns the :func:`open_admission`
+        process; on a flat core it installs the equivalent admission
+        frame, which is advanced inside the burst handler — no
+        generator resume, no ``Signal`` park/fire per arrival, same
+        schedule bit-for-bit.  A flat core runs one stream at a time
+        (streams may be installed back to back once the previous one
+        has fully admitted); the generator form may be spawned freely.
+        """
+        if not self.flat:
+            self.engine.spawn(
+                open_admission(self, commands, window, arrival_s)
+            )
+            return
+        admit = self._admit
+        if admit is not None and admit[1] < admit[3]:
+            raise SimulationError(
+                "flat cores admit one stream at a time: the previous "
+                "submit_stream is still admitting"
+            )
+        n = len(commands)
+        limit = n if window is None else window
+        frame = [_P_ADMIT, 0, list(commands), n, limit, False, arrival_s]
+        self._admit = frame
+        self.engine.schedule_at(self.engine.now_s, frame)
 
     # -- internals ---------------------------------------------------------------
 
@@ -1228,6 +922,705 @@ class SchedulerCore:
                     self.die_busy_s[die] += duration
             self._finish(command, die, channel)
 
+    # -- flat dispatch -----------------------------------------------------------
+
+    def _flat_burst(self, event, until_s):
+        """Advance flat frames; the engine's list-event handler.
+
+        Runs the state machine for ``event``'s frame, then keeps running
+        consecutive flat events with all hot state bound as locals — one
+        handler call can retire thousands of events without touching the
+        engine loop.  Returns ``(leftover, count)`` where ``leftover``
+        is the first event the burst must hand back (a generator event,
+        or any event beyond ``until_s``) and ``count`` is the number of
+        flat events consumed.
+
+        The body is `_worker` / `_channel_section` / `_read_drain` /
+        `_finish` / :func:`open_admission` transliterated onto integer
+        program counters; see the layout comments above
+        :func:`_flat_lock_park`.  The engine's sequence counter,
+        deadlock counter and clock live in locals (``seq`` / ``parked``
+        / ``now``) and are written back only around calls that re-enter
+        engine machinery — a ``completed.fire()`` with real generator
+        waiters, the ``on_finish`` callbacks — and at burst exit.
+
+        Two queue-elision paths keep bit-exactness while skipping the
+        event list, both resting on the same invariant: sequence
+        numbers are allocated in strictly increasing order, so events
+        already queued at the current instant always order before
+        anything allocated now, and relative order among deferred
+        allocations is their allocation order.
+
+        * ``nxt_t`` — a timed self-transition (the last allocation of
+          its turn).  If it is strictly earlier than every queued event
+          it is the unique global minimum — by time alone, before
+          tie-breaks — and runs inline without a push/pop round-trip.
+        * ``dws`` — same-instant wakes (lock handoffs, drain spawns,
+          admission wakes).  They are FIFO in allocation order and
+          order after every queued event at ``now`` (all of which hold
+          smaller sequence numbers), so they drain inline once the
+          queue's head moves strictly past ``now``.  The deque is
+          flushed into the real queue before any external call or
+          burst exit, so code outside this method never observes it.
+
+        Every turn — queued, deferred or inline — bumps ``count``, so
+        ``events_processed`` stays identical to the generator path's.
+        """
+        engine = self.engine
+        queue = engine._queue
+        pop = queue.pop
+        push = queue.push
+        heap = getattr(queue, "_heap", None)
+        if heap is None:  # calendar backend: peek/push/pop via the head cell
+            chead = queue._head
+            corder = queue._order
+            cbuckets = queue._buckets
+            cinv = queue._inv_width
+            cheappush = heappush
+            cheappop = heappop
+        die_busy = self.die_busy_s
+        channel_busy = self.channel_busy_s
+        ecc_busy = self.ecc_busy_s
+        split = _split_plan_fast
+        memo_get = _split_memo.get
+        lock_park = _flat_lock_park
+        meta = self._meta
+        meta_pop = meta.pop
+        completions_append = self.completions.append
+        completion_cls = CommandCompletion
+        tuple_new = tuple.__new__
+        completed = self.completed
+        completed_waiters = completed._waiters
+        on_finish = self.on_finish
+        frames = self._frames
+        planes = self.planes
+        dies = self.topology.dies
+        cache_mode = self.pipeline.cache_read
+        pipelined_ecc = self.pipeline.pipelined_ecc
+        READ = CommandKind.READ
+        PROGRAM = CommandKind.PROGRAM
+        P_POP = _P_POP
+        P_ARRAY = _P_ARRAY
+        P_CACHEQ = _P_CACHEQ
+        P_TRCBSY = _P_TRCBSY
+        P_SECTION = _P_SECTION
+        P_BUSQ = _P_BUSQ
+        P_BUSREL = _P_BUSREL
+        P_ECCQ = _P_ECCQ
+        P_ECCREL = _P_ECCREL
+        P_ECCDRAIN = _P_ECCDRAIN
+        P_ADMIT = _P_ADMIT
+        horizon = inf if until_s is None else until_s
+        seq = engine._seq
+        parked = engine._parked
+        count = 0
+        in_flight = self.in_flight
+        fast_commands = self.fast_commands
+        nxt_t = -1.0
+        dws = deque()
+        dws_append = dws.append
+        dws_popleft = dws.popleft
+        admit_frame = self._admit
+        now, _, frame = event
+        while True:
+            count += 1
+            pc = frame[0]
+            if pc == P_ADMIT:
+                index = frame[1]
+                if index < frame[3]:
+                    if in_flight >= frame[4]:
+                        # Window full: park on the completion wake (a
+                        # re-park allocates nothing, exactly like the
+                        # generator's repeated `yield core.completed`).
+                        frame[5] = True
+                        parked += 1
+                    else:
+                        command = frame[2][index]
+                        die = command.die
+                        tag = command.tag
+                        if 0 <= die < dies and tag not in meta:
+                            # `enqueue(command, submit_s=now)` inlined.
+                            in_flight += 1
+                            fast_commands += 1
+                            meta[tag] = (now, now)
+                            target = frames[die][command.plane % planes]
+                            target[4].append(command)
+                            if target[5]:
+                                target[5] = False
+                                dws_append(target)
+                        else:
+                            while dws:
+                                push((now, seq, dws_popleft()))
+                                seq += 1
+                            engine._seq = seq
+                            engine._parked = parked
+                            engine.now_s = now
+                            self.in_flight = in_flight
+                            self.fast_commands = fast_commands
+                            self.enqueue(command, submit_s=now)  # raises
+                        frame[1] = index + 1
+                        # The generator's trailing `yield arrival_s`,
+                        # scheduled after every admit, the last included
+                        # (that resume is where the stream ends).
+                        nxt_t = now + frame[6]
+                # index == length: the stream is done — the generator
+                # raises StopIteration here; the frame goes inert.
+            else:
+                while True:
+                    if pc == P_SECTION:
+                        if not pipelined_ecc:
+                            # Fused section: one bus hold for the summed
+                            # total (taken even for an empty section, as
+                            # the generator's `yield fused_s` does).
+                            bus = frame[15]
+                            if bus[0]:
+                                frame[0] = P_BUSQ
+                                if bus[2] is frame:
+                                    lock_park(bus, frame)
+                                else:
+                                    bus[1].append(frame)
+                                parked += 1
+                                break
+                            bus[0] = True
+                            frame[0] = P_BUSREL
+                            nxt_t = now + frame[12]
+                            break
+                        ops = frame[11]
+                        cursor = frame[8]
+                        if cursor < frame[19]:
+                            is_channel, duration, occupancy = ops[cursor]
+                            if is_channel:
+                                bus = frame[15]
+                                if bus[0]:
+                                    frame[0] = P_BUSQ
+                                    if bus[2] is frame:
+                                        lock_park(bus, frame)
+                                    else:
+                                        bus[1].append(frame)
+                                    parked += 1
+                                    break
+                                bus[0] = True
+                                frame[0] = P_BUSREL
+                                nxt_t = now + duration
+                                break
+                            ecc = frame[16]
+                            if ecc[0]:
+                                frame[0] = P_ECCQ
+                                if ecc[2] is frame:
+                                    lock_park(ecc, frame)
+                                else:
+                                    ecc[1].append(frame)
+                                parked += 1
+                                break
+                            ecc[0] = True
+                            frame[0] = P_ECCREL
+                            nxt_t = now + occupancy
+                            break
+                        # Section exhausted: free a still-held cache
+                        # register (the no-transfer-phase drain exit).
+                        cache = frame[9]
+                        if cache is not None:
+                            cache[0] = False
+                            waiters = cache[1]
+                            if waiters:
+                                head = waiters.pop(0)
+                                cache[2] = head
+                                cache[3] = len(waiters)
+                                dws_append(head)
+                                parked -= 1
+                            frame[9] = None
+                        if frame[14]:  # PROGRAM: array phase follows
+                            array = frame[10]
+                            frame[7] = 0
+                            if array:
+                                frame[0] = P_ARRAY
+                                nxt_t = now + array[0]
+                                break
+                            pc = P_ARRAY
+                            continue
+                        # `_finish` inlined (the read completed).
+                        command = frame[6]
+                        tag = command.tag
+                        rec = meta_pop(tag)
+                        completion = tuple_new(
+                            completion_cls,
+                            (tag, frame[1], frame[3], rec[0], now, rec[1]),
+                        )
+                        completions_append(completion)
+                        in_flight -= 1
+                        if admit_frame is not None and admit_frame[5]:
+                            # A window-parked flat stream wakes exactly
+                            # where `completed.fire()` would have
+                            # allocated its resume.
+                            admit_frame[5] = False
+                            dws_append(admit_frame)
+                            parked -= 1
+                        if completed_waiters:
+                            while dws:
+                                push((now, seq, dws_popleft()))
+                                seq += 1
+                            engine._seq = seq
+                            engine._parked = parked
+                            engine.now_s = now
+                            completed.fire()
+                            seq = engine._seq
+                            parked = engine._parked
+                        if on_finish:
+                            while dws:
+                                push((now, seq, dws_popleft()))
+                                seq += 1
+                            engine._seq = seq
+                            engine._parked = parked
+                            engine.now_s = now
+                            self.in_flight = in_flight
+                            for callback in on_finish:
+                                callback(completion)
+                            seq = engine._seq
+                            parked = engine._parked
+                            in_flight = self.in_flight
+                            admit_frame = self._admit
+                        if frame[4] is None:
+                            break  # drain frames run once
+                        pc = P_POP
+                        continue
+                    elif pc == P_POP:
+                        cqueue = frame[4]
+                        if not cqueue:
+                            frame[0] = P_POP
+                            frame[5] = True  # park idle (daemon: uncounted)
+                            break
+                        command = cqueue.popleft()
+                        plan = command.phases
+                        if plan is None:
+                            plan = command.phase_plan()
+                        entry = memo_get(id(plan))
+                        if entry is not None and entry[0] is plan:
+                            array, ops, fused = entry[1]
+                        else:
+                            array, ops, fused = split(plan)
+                        frame[6] = command
+                        frame[10] = array
+                        frame[11] = ops
+                        frame[12] = fused
+                        frame[18] = len(array)
+                        frame[19] = len(ops)
+                        kind = command.kind
+                        frame[13] = kind is READ
+                        if kind is PROGRAM:
+                            frame[14] = True
+                            frame[9] = None
+                            frame[8] = 0
+                            pc = P_SECTION
+                            continue
+                        frame[14] = False
+                        frame[7] = 0
+                        if array:
+                            frame[0] = P_ARRAY
+                            nxt_t = now + array[0]
+                            break
+                        pc = P_ARRAY  # empty array: straight through
+                        continue
+                    elif pc == P_ARRAY:
+                        array = frame[10]
+                        cursor = frame[7]
+                        if cursor < frame[18]:
+                            die_busy[frame[1]] += array[cursor]
+                            cursor += 1
+                            frame[7] = cursor
+                            if cursor < frame[18]:
+                                frame[0] = P_ARRAY
+                                nxt_t = now + array[cursor]
+                                break
+                        # Array phases done.
+                        if not frame[13]:  # PROGRAM after section, or ERASE
+                            # `_finish` inlined (worker frames only:
+                            # drains never run array phases).
+                            command = frame[6]
+                            tag = command.tag
+                            rec = meta_pop(tag)
+                            completion = tuple_new(
+                                completion_cls,
+                                (tag, frame[1], frame[3], rec[0], now, rec[1]),
+                            )
+                            completions_append(completion)
+                            in_flight -= 1
+                            if admit_frame is not None and admit_frame[5]:
+                                admit_frame[5] = False
+                                dws_append(admit_frame)
+                                parked -= 1
+                            if completed_waiters:
+                                while dws:
+                                    push((now, seq, dws_popleft()))
+                                    seq += 1
+                                engine._seq = seq
+                                engine._parked = parked
+                                engine.now_s = now
+                                completed.fire()
+                                seq = engine._seq
+                                parked = engine._parked
+                            if on_finish:
+                                while dws:
+                                    push((now, seq, dws_popleft()))
+                                    seq += 1
+                                engine._seq = seq
+                                engine._parked = parked
+                                engine.now_s = now
+                                self.in_flight = in_flight
+                                for callback in on_finish:
+                                    callback(completion)
+                                seq = engine._seq
+                                parked = engine._parked
+                                in_flight = self.in_flight
+                                admit_frame = self._admit
+                            pc = P_POP
+                            continue
+                        ops = frame[11]
+                        if cache_mode and ops:
+                            cache = frame[17]
+                            if cache[0]:
+                                frame[0] = P_CACHEQ
+                                if cache[2] is frame:
+                                    lock_park(cache, frame)
+                                else:
+                                    cache[1].append(frame)
+                                parked += 1
+                                break
+                            cache[0] = True
+                            # acquired without waiting (no yield, no seq)
+                            trcbsy = frame[6].cache_busy_s
+                            if trcbsy > 0.0:
+                                frame[0] = P_TRCBSY
+                                nxt_t = now + trcbsy
+                                break
+                            # zero handoff: spawn the drain and move on
+                            drain = [
+                                P_SECTION, frame[1], frame[2], frame[3],
+                                None, False, frame[6], 0, 0, cache,
+                                frame[10], frame[11], frame[12], True,
+                                False, frame[15], frame[16], None,
+                                frame[18], frame[19],
+                            ]
+                            dws_append(drain)
+                            pc = P_POP
+                            continue
+                        frame[9] = None
+                        frame[8] = 0
+                        pc = P_SECTION
+                        continue
+                    elif pc == P_BUSREL:
+                        bus = frame[15]
+                        bus[0] = False
+                        waiters = bus[1]
+                        if waiters:
+                            head = waiters.pop(0)
+                            bus[2] = head
+                            bus[3] = len(waiters)
+                            dws_append(head)
+                            parked -= 1
+                        if not pipelined_ecc:
+                            channel_busy[frame[3]] += frame[12]
+                            cache = frame[9]
+                            if cache is not None:
+                                cache[0] = False
+                                cwaiters = cache[1]
+                                if cwaiters:
+                                    head = cwaiters.pop(0)
+                                    cache[2] = head
+                                    cache[3] = len(cwaiters)
+                                    dws_append(head)
+                                    parked -= 1
+                                frame[9] = None
+                            # Fused section complete.
+                            if frame[14]:
+                                array = frame[10]
+                                frame[7] = 0
+                                if array:
+                                    frame[0] = P_ARRAY
+                                    nxt_t = now + array[0]
+                                    break
+                                pc = P_ARRAY
+                                continue
+                            # `_finish` inlined (fused read done).
+                            command = frame[6]
+                            tag = command.tag
+                            rec = meta_pop(tag)
+                            completion = tuple_new(
+                                completion_cls,
+                                (tag, frame[1], frame[3], rec[0], now, rec[1]),
+                            )
+                            completions_append(completion)
+                            in_flight -= 1
+                            if admit_frame is not None and admit_frame[5]:
+                                admit_frame[5] = False
+                                dws_append(admit_frame)
+                                parked -= 1
+                            if completed_waiters:
+                                while dws:
+                                    push((now, seq, dws_popleft()))
+                                    seq += 1
+                                engine._seq = seq
+                                engine._parked = parked
+                                engine.now_s = now
+                                completed.fire()
+                                seq = engine._seq
+                                parked = engine._parked
+                            if on_finish:
+                                while dws:
+                                    push((now, seq, dws_popleft()))
+                                    seq += 1
+                                engine._seq = seq
+                                engine._parked = parked
+                                engine.now_s = now
+                                self.in_flight = in_flight
+                                for callback in on_finish:
+                                    callback(completion)
+                                seq = engine._seq
+                                parked = engine._parked
+                                in_flight = self.in_flight
+                                admit_frame = self._admit
+                            if frame[4] is None:
+                                break
+                            pc = P_POP
+                            continue
+                        channel_busy[frame[3]] += frame[11][frame[8]][1]
+                        cache = frame[9]
+                        if cache is not None:
+                            cache[0] = False
+                            cwaiters = cache[1]
+                            if cwaiters:
+                                head = cwaiters.pop(0)
+                                cache[2] = head
+                                cache[3] = len(cwaiters)
+                                dws_append(head)
+                                parked -= 1
+                            frame[9] = None
+                        frame[8] += 1
+                        pc = P_SECTION
+                        continue
+                    elif pc == P_ECCREL:
+                        ecc = frame[16]
+                        ecc[0] = False
+                        waiters = ecc[1]
+                        if waiters:
+                            head = waiters.pop(0)
+                            ecc[2] = head
+                            ecc[3] = len(waiters)
+                            dws_append(head)
+                            parked -= 1
+                        phase = frame[11][frame[8]]
+                        ecc_busy[frame[3]] += phase[2]
+                        remainder = phase[1] - phase[2]
+                        if remainder > 0:
+                            frame[0] = P_ECCDRAIN
+                            nxt_t = now + remainder
+                            break
+                        frame[8] += 1
+                        pc = P_SECTION
+                        continue
+                    elif pc == P_BUSQ:
+                        bus = frame[15]
+                        if bus[0]:
+                            if bus[2] is frame:
+                                lock_park(bus, frame)
+                            else:
+                                bus[1].append(frame)
+                            parked += 1
+                            break
+                        bus[0] = True
+                        if not pipelined_ecc:
+                            duration = frame[12]
+                        else:
+                            duration = frame[11][frame[8]][1]
+                        frame[0] = P_BUSREL
+                        nxt_t = now + duration
+                        break
+                    elif pc == P_ECCDRAIN:
+                        frame[8] += 1
+                        pc = P_SECTION
+                        continue
+                    elif pc == P_TRCBSY:
+                        die_busy[frame[1]] += frame[6].cache_busy_s
+                        drain = [
+                            P_SECTION, frame[1], frame[2], frame[3],
+                            None, False, frame[6], 0, 0, frame[17],
+                            frame[10], frame[11], frame[12], True,
+                            False, frame[15], frame[16], None,
+                            frame[18], frame[19],
+                        ]
+                        dws_append(drain)
+                        pc = P_POP
+                        continue
+                    elif pc == P_CACHEQ:
+                        cache = frame[17]
+                        if cache[0]:
+                            if cache[2] is frame:
+                                lock_park(cache, frame)
+                            else:
+                                cache[1].append(frame)
+                            parked += 1
+                            break
+                        cache[0] = True
+                        trcbsy = frame[6].cache_busy_s
+                        if trcbsy > 0.0:
+                            frame[0] = P_TRCBSY
+                            nxt_t = now + trcbsy
+                            break
+                        drain = [
+                            P_SECTION, frame[1], frame[2], frame[3],
+                            None, False, frame[6], 0, 0, cache,
+                            frame[10], frame[11], frame[12], True,
+                            False, frame[15], frame[16], None,
+                            frame[18], frame[19],
+                        ]
+                        dws_append(drain)
+                        pc = P_POP
+                        continue
+                    elif pc == P_ECCQ:
+                        ecc = frame[16]
+                        if ecc[0]:
+                            if ecc[2] is frame:
+                                lock_park(ecc, frame)
+                            else:
+                                ecc[1].append(frame)
+                            parked += 1
+                            break
+                        ecc[0] = True
+                        frame[0] = P_ECCREL
+                        nxt_t = now + frame[11][frame[8]][2]
+                        break
+                    else:
+                        while dws:
+                            push((now, seq, dws_popleft()))
+                            seq += 1
+                        engine._seq = seq
+                        engine._parked = parked
+                        engine.now_s = now
+                        self.in_flight = in_flight
+                        self.fast_commands = fast_commands
+                        raise SimulationError(
+                            f"flat dispatch: invalid state {pc}"
+                        )
+            # ---- tail: pick the next turn's (now, frame) ----
+            # Resolve the deferred timed self-transition first: it was
+            # the turn's last allocation, so its sequence number is
+            # larger than any deferred wake's or queued event's at the
+            # same time — append/push keeps exact order, and the inline
+            # run is only taken when it is the strict global minimum.
+            if nxt_t >= 0.0:
+                t = nxt_t
+                nxt_t = -1.0
+                if dws:
+                    if t == now:
+                        dws_append(frame)
+                    elif heap is not None:
+                        push((t, seq, frame))
+                        seq += 1
+                    else:
+                        index = int(t * cinv)
+                        if index == chead[0]:
+                            cheappush(chead[1], (t, seq, frame))
+                        else:
+                            # index > head: t >= now and now's bucket
+                            # is never behind the head cell in-burst.
+                            bucket = cbuckets.get(index)
+                            if bucket is None:
+                                cbuckets[index] = [(t, seq, frame)]
+                                cheappush(corder, index)
+                            else:
+                                cheappush(bucket, (t, seq, frame))
+                        seq += 1
+                else:
+                    if heap is not None:
+                        m = heap[0][0] if heap else inf
+                    else:
+                        hb = chead[1]
+                        if hb:
+                            m = hb[0][0]
+                        elif corder:
+                            m = cbuckets[corder[0]][0][0]
+                        else:
+                            m = inf
+                    if t < m:
+                        seq += 1
+                        if t > horizon:
+                            engine._seq = seq
+                            engine._parked = parked
+                            engine.now_s = now
+                            self.in_flight = in_flight
+                            self.fast_commands = fast_commands
+                            return (t, seq - 1, frame), count
+                        now = t  # frame unchanged: rerun it inline
+                        continue
+                    if heap is not None:
+                        push((t, seq, frame))
+                    else:
+                        index = int(t * cinv)
+                        if index == chead[0]:
+                            cheappush(chead[1], (t, seq, frame))
+                        else:
+                            bucket = cbuckets.get(index)
+                            if bucket is None:
+                                cbuckets[index] = [(t, seq, frame)]
+                                cheappush(corder, index)
+                            else:
+                                cheappush(bucket, (t, seq, frame))
+                    seq += 1
+            # Deferred same-instant wakes drain inline once the queue
+            # head is strictly past `now`; a queued event still at
+            # `now` holds a smaller sequence number and goes first.
+            if dws:
+                if heap is not None:
+                    m = heap[0][0] if heap else inf
+                else:
+                    hb = chead[1]
+                    if hb:
+                        m = hb[0][0]
+                    elif corder:
+                        m = cbuckets[corder[0]][0][0]
+                    else:
+                        m = inf
+                if m > now:
+                    frame = dws_popleft()
+                    continue
+            if heap is None:
+                # Inline calendar pop: the steady-state case is a
+                # non-empty head bucket, one C heappop away.
+                bucket = chead[1]
+                if not bucket:
+                    if not corder:
+                        engine._seq = seq
+                        engine._parked = parked
+                        engine.now_s = now
+                        self.in_flight = in_flight
+                        self.fast_commands = fast_commands
+                        return None, count
+                    index = cheappop(corder)
+                    bucket = cbuckets.pop(index)
+                    chead[0] = index
+                    chead[1] = bucket
+                event = cheappop(bucket)
+            else:
+                try:
+                    event = pop()
+                except IndexError:
+                    engine._seq = seq
+                    engine._parked = parked
+                    engine.now_s = now
+                    self.in_flight = in_flight
+                    self.fast_commands = fast_commands
+                    return None, count
+            if type(event[2]) is not list or event[0] > horizon:
+                while dws:
+                    push((now, seq, dws_popleft()))
+                    seq += 1
+                engine._seq = seq
+                engine._parked = parked
+                engine.now_s = now
+                self.in_flight = in_flight
+                self.fast_commands = fast_commands
+                return event, count
+            now, _, frame = event
+
 
 class CommandScheduler:
     """Dispatches die commands over the topology on one DES run."""
@@ -1253,24 +1646,21 @@ class CommandScheduler:
         ``queue_depth`` bounds how many commands are in flight at once
         (``None`` admits everything immediately), per-plane service is
         FIFO, and buses / ECC engines arbitrate among their dies in
-        wake-up order.  Homogeneous (single-kind) batches take the
-        batched stripe-reservation fast path — bit-exact with the
-        generator machinery; ``fast_batch=False`` at construction forces
-        the generator path (the equivalence oracle).  For a persistent
+        wake-up order.  By default the core runs the flat dispatch
+        machinery (mixed kinds included) — bit-exact with the generator
+        workers; ``fast_batch=False`` at construction forces the
+        generator path (the equivalence oracle).  For a persistent
         queue that accepts submissions while earlier commands are in
         flight, use :class:`~repro.ssd.session.SsdSession` instead.
         """
         validate_batch(self.topology, commands, queue_depth)
         engine = SimEngine()
-        core = SchedulerCore(engine, self.topology, self.pipeline)
-        if self.fast_batch and _fast_eligible(commands):
-            makespan = _run_fast_batch(
-                core, commands, queue_depth, resident=False
-            )
-        else:
-            engine.spawn(closed_admission(core, commands, queue_depth))
-            core.start()
-            makespan = engine.run()
+        core = SchedulerCore(
+            engine, self.topology, self.pipeline, flat=self.fast_batch
+        )
+        engine.spawn(closed_admission(core, commands, queue_depth))
+        core.start()
+        makespan = engine.run()
         if len(core.completions) != len(commands):
             raise SimulationError(
                 f"scheduler completed {len(core.completions)} of "

@@ -49,8 +49,6 @@ from repro.ssd.scheduler import (
     DieCommand,
     ScheduleResult,
     SchedulerCore,
-    _fast_eligible,
-    _run_fast_batch,
     closed_admission,
     validate_batch,
 )
@@ -122,6 +120,26 @@ class _IoRecord:
     submit_s: float
 
 
+@dataclass(frozen=True)
+class FastPathStats:
+    """Which dispatch machinery the session's commands went through.
+
+    ``fast`` counts commands dispatched by the flat (coroutine-free)
+    core, ``fallback`` those run by the generator workers.  A session is
+    all-flat or all-generator (``fast_batch`` at construction), so one
+    side is always zero — benchmarks assert ``fast > 0`` to prove the
+    flat core actually engaged rather than silently falling back.
+    """
+
+    fast: int
+    fallback: int
+
+    @property
+    def total(self) -> int:
+        """All commands dispatched by the session's core."""
+        return self.fast + self.fallback
+
+
 class SsdSession:
     """A persistent submission/completion queue pair over one SSD.
 
@@ -157,9 +175,12 @@ class SsdSession:
         self.engine = engine or SimEngine()
         self.queue_depth = queue_depth
         self.fast_batch = fast_batch
-        self.core = SchedulerCore(self.engine, ssd.topology, ssd.pipeline)
+        self.core = SchedulerCore(
+            self.engine, ssd.topology, ssd.pipeline, flat=fast_batch
+        )
         self.core.start()
-        # Park the resident workers on their wake-up signals so the
+        # Park the resident dispatchers (generator workers on their
+        # wake-up signals, flat frames on their idle flags) so the
         # engine is idle (drained) before the first submission.
         self.engine.run()
         self.core.on_finish.append(self._on_command_finish)
@@ -184,6 +205,14 @@ class SsdSession:
     def backlog(self) -> int:
         """Submitted commands still waiting for the in-flight window."""
         return len(self._backlog)
+
+    @property
+    def fast_path_stats(self) -> FastPathStats:
+        """Lifetime fast-vs-fallback dispatch counts for this session."""
+        return FastPathStats(
+            fast=self.core.fast_commands,
+            fallback=self.core.fallback_commands,
+        )
 
     def submit(
         self, io: IoCommand, ftl: "DieStripedFtl | None" = None
@@ -275,19 +304,10 @@ class SsdSession:
         self.engine.rebase()
         self.core.reset_accounting()
         self.core.completions.clear()
-        if self.fast_batch and _fast_eligible(commands):
-            # Homogeneous batch: batched stripe reservation, bit-exact
-            # with the resident generator workers (who stay parked).
-            makespan = _run_fast_batch(
-                self.core, commands, queue_depth, resident=True
-            )
-            if not self.engine.idle:  # events scheduled by callbacks
-                makespan = self.engine.run()
-        else:
-            self.engine.spawn(closed_admission(
-                self.core, commands, queue_depth, wake_workers=True
-            ))
-            makespan = self.engine.run()
+        self.engine.spawn(closed_admission(
+            self.core, commands, queue_depth, wake_workers=True
+        ))
+        makespan = self.engine.run()
         completions = list(self.core.completions)
         if len(completions) != len(commands):
             raise SimulationError(
