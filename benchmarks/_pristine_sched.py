@@ -1,4 +1,17 @@
-"""DES-driven SSD command scheduler over a phase/resource model.
+"""Frozen pre-observability replica of ``repro.ssd.scheduler``.
+
+A verbatim copy of the scheduler as it stood before the telemetry layer
+added its (guarded) trace hooks, kept so ``bench_observability.py`` can
+measure the *uninstrumented* baseline in the same process — the honest
+denominator for the disabled-instrumentation overhead gate.  The same
+pattern as ``_legacy_sim.py``: never edit this file to track the live
+scheduler; it exists precisely to stay behind.
+
+The original module docstring follows.
+
+----
+
+DES-driven SSD command scheduler over a phase/resource model.
 
 Commands are no longer two opaque scalars: each :class:`DieCommand`
 carries (or derives) an explicit sequence of
@@ -60,7 +73,6 @@ from typing import NamedTuple
 
 from repro.errors import SimulationError
 from repro.nand.timing import CommandPhase, PhaseResource
-from repro.obs.trace import TRACK_BUS, TRACK_ECC, TRACK_PLANE, TRACK_QUEUE
 from repro.sim.engine import Process, SimEngine
 from repro.ssd.topology import SsdTopology
 
@@ -536,7 +548,6 @@ class SchedulerCore:
         topology: SsdTopology,
         pipeline: PipelineConfig | None = None,
         flat: bool = False,
-        recorder=None,
     ):
         self.engine = engine
         self.topology = topology
@@ -552,15 +563,6 @@ class SchedulerCore:
         self.on_finish: list = []
         self.in_flight = 0
         self.flat = flat
-        #: Optional :class:`~repro.obs.trace.TraceRecorder`.  Every
-        #: trace hook sits behind a ``recorder is None`` check on a
-        #: local, and recording changes no event ordering, sequence
-        #: allocation or float arithmetic — traced runs are
-        #: bit-identical to untraced ones (the span intervals are read
-        #: off the same accounting the busy accumulators already do).
-        self.recorder = recorder
-        if recorder is not None:
-            recorder.attach(self)
         #: Commands dispatched by the flat core vs the generator workers
         #: (a per-core lifetime tally; a core is all-flat or all-generator,
         #: so one of the two stays zero).
@@ -795,17 +797,9 @@ class SchedulerCore:
         ops: tuple[tuple[bool, float, float], ...],
         fused_s: float,
         channel: int,
-        command: DieCommand,
     ) -> Process:
         """Run a command's channel/ECC section (no cache register)."""
         bus = self._buses[channel]
-        rec = self.recorder
-        span = None if rec is None else rec._spans.append
-        if span is not None:
-            kind = command.kind
-            kc = 0 if kind is CommandKind.READ else (
-                1 if kind is CommandKind.PROGRAM else 2
-            )
         if not self.pipeline.pipelined_ecc:
             # Paper-faithful fused section: transfer + encode/decode
             # occupy the bus as one non-pipelined unit (the structural
@@ -817,10 +811,6 @@ class SchedulerCore:
             bus.busy = False
             bus.freed.fire()
             self.channel_busy_s[channel] += fused_s
-            if span is not None:
-                now = self.engine.now_s
-                span((TRACK_BUS, channel, 0,
-                      now - fused_s, now, command.tag, kc))
             return
         ecc = self._engines[channel]
         for is_channel, duration, occupancy in ops:
@@ -832,10 +822,6 @@ class SchedulerCore:
                 bus.busy = False
                 bus.freed.fire()
                 self.channel_busy_s[channel] += duration
-                if span is not None:
-                    now = self.engine.now_s
-                    span((TRACK_BUS, channel, 0,
-                          now - duration, now, command.tag, kc))
             else:  # ECC: held for the initiation interval only.
                 while ecc.busy:
                     yield ecc.freed
@@ -844,10 +830,6 @@ class SchedulerCore:
                 ecc.busy = False
                 ecc.freed.fire()
                 self.ecc_busy_s[channel] += occupancy
-                if span is not None:
-                    now = self.engine.now_s
-                    span((TRACK_ECC, channel, 0,
-                          now - occupancy, now, command.tag, kc))
                 drain = duration - occupancy
                 if drain > 0:
                     yield drain
@@ -868,8 +850,6 @@ class SchedulerCore:
         first bus transfer under pipelined ECC).
         """
         bus = self._buses[channel]
-        rec = self.recorder
-        span = None if rec is None else rec._spans.append
         if not self.pipeline.pipelined_ecc:
             while bus.busy:
                 yield bus.freed
@@ -878,10 +858,6 @@ class SchedulerCore:
             bus.busy = False
             bus.freed.fire()
             self.channel_busy_s[channel] += fused_s
-            if span is not None:
-                now = self.engine.now_s
-                span((TRACK_BUS, channel, 0,
-                      now - fused_s, now, command.tag, 0))
             cache.busy = False
             cache.freed.fire()
             self._finish(command, die, channel)
@@ -897,10 +873,6 @@ class SchedulerCore:
                 bus.busy = False
                 bus.freed.fire()
                 self.channel_busy_s[channel] += duration
-                if span is not None:
-                    now = self.engine.now_s
-                    span((TRACK_BUS, channel, 0,
-                          now - duration, now, command.tag, 0))
                 if held is not None:
                     held.busy = False
                     held.freed.fire()
@@ -913,10 +885,6 @@ class SchedulerCore:
                 ecc.busy = False
                 ecc.freed.fire()
                 self.ecc_busy_s[channel] += occupancy
-                if span is not None:
-                    now = self.engine.now_s
-                    span((TRACK_ECC, channel, 0,
-                          now - occupancy, now, command.tag, 0))
                 drain = duration - occupancy
                 if drain > 0:
                     yield drain
@@ -930,30 +898,16 @@ class SchedulerCore:
         queue = self._queues[die][plane]
         work = self._work[die][plane]
         cache_read = self.pipeline.cache_read
-        rec = self.recorder
-        span = None if rec is None else rec._spans.append
         while True:
             while not queue:
                 yield work
             command = queue.popleft()
-            if span is not None:
-                kind = command.kind
-                kc = 0 if kind is CommandKind.READ else (
-                    1 if kind is CommandKind.PROGRAM else 2
-                )
-                span((TRACK_QUEUE, die, plane,
-                      self._meta[command.tag][0], self.engine.now_s,
-                      command.tag, kc))
             array, ops, fused = _split_plan_fast(command.phase_plan())
             if command.kind is CommandKind.READ:
                 # Sense into the plane's page buffer, then stream out.
                 for duration in array:
                     yield duration
                     self.die_busy_s[die] += duration
-                    if span is not None:
-                        now = self.engine.now_s
-                        span((TRACK_PLANE, die, plane,
-                              now - duration, now, command.tag, 0))
                 if cache_read and ops:
                     # Hand the page to the cache register and sense on.
                     cache = self._caches[die][plane]
@@ -963,35 +917,22 @@ class SchedulerCore:
                     if command.cache_busy_s > 0:  # tRCBSY handoff
                         yield command.cache_busy_s
                         self.die_busy_s[die] += command.cache_busy_s
-                        if span is not None:
-                            now = self.engine.now_s
-                            span((TRACK_PLANE, die, plane,
-                                  now - command.cache_busy_s, now,
-                                  command.tag, 0))
                     self.engine.spawn(self._read_drain(
                         command, die, channel, cache, ops, fused
                     ))
                     continue  # completion happens in the drain
-                yield from self._channel_section(ops, fused, channel, command)
+                yield from self._channel_section(ops, fused, channel)
             elif command.kind is CommandKind.PROGRAM:
                 # Encode + stream in (bus frees for siblings), then
                 # busy the plane with the ISPP.
-                yield from self._channel_section(ops, fused, channel, command)
+                yield from self._channel_section(ops, fused, channel)
                 for duration in array:
                     yield duration
                     self.die_busy_s[die] += duration
-                    if span is not None:
-                        now = self.engine.now_s
-                        span((TRACK_PLANE, die, plane,
-                              now - duration, now, command.tag, 1))
             else:  # ERASE: array-only, no data on the bus.
                 for duration in array:
                     yield duration
                     self.die_busy_s[die] += duration
-                    if span is not None:
-                        now = self.engine.now_s
-                        span((TRACK_PLANE, die, plane,
-                              now - duration, now, command.tag, 2))
             self._finish(command, die, channel)
 
     # -- flat dispatch -----------------------------------------------------------
@@ -1093,11 +1034,6 @@ class SchedulerCore:
         dws_append = dws.append
         dws_popleft = dws.popleft
         admit_frame = self._admit
-        recorder = self.recorder
-        # Span hooks ride the same accounting points as the busy
-        # accumulators; `rspan is None` on a local keeps the disabled
-        # path free of attribute loads.
-        rspan = None if recorder is None else recorder._spans.append
         now, _, frame = event
         while True:
             count += 1
@@ -1250,13 +1186,11 @@ class SchedulerCore:
                             engine._parked = parked
                             engine.now_s = now
                             self.in_flight = in_flight
-                            self.fast_commands = fast_commands
                             for callback in on_finish:
                                 callback(completion)
                             seq = engine._seq
                             parked = engine._parked
                             in_flight = self.in_flight
-                            fast_commands = self.fast_commands
                             admit_frame = self._admit
                         if frame[4] is None:
                             break  # drain frames run once
@@ -1284,11 +1218,6 @@ class SchedulerCore:
                         frame[18] = len(array)
                         frame[19] = len(ops)
                         kind = command.kind
-                        if rspan is not None:
-                            rspan((3, frame[1], frame[2],
-                                   meta[command.tag][0], now, command.tag,
-                                   0 if kind is READ else
-                                   (1 if kind is PROGRAM else 2)))
                         frame[13] = kind is READ
                         if kind is PROGRAM:
                             frame[14] = True
@@ -1309,12 +1238,6 @@ class SchedulerCore:
                         cursor = frame[7]
                         if cursor < frame[18]:
                             die_busy[frame[1]] += array[cursor]
-                            if rspan is not None:
-                                rspan((0, frame[1], frame[2],
-                                       now - array[cursor], now,
-                                       frame[6].tag,
-                                       0 if frame[13] else
-                                       (1 if frame[14] else 2)))
                             cursor += 1
                             frame[7] = cursor
                             if cursor < frame[18]:
@@ -1356,13 +1279,11 @@ class SchedulerCore:
                                 engine._parked = parked
                                 engine.now_s = now
                                 self.in_flight = in_flight
-                                self.fast_commands = fast_commands
                                 for callback in on_finish:
                                     callback(completion)
                                 seq = engine._seq
                                 parked = engine._parked
                                 in_flight = self.in_flight
-                                fast_commands = self.fast_commands
                                 admit_frame = self._admit
                             pc = P_POP
                             continue
@@ -1411,11 +1332,6 @@ class SchedulerCore:
                             parked -= 1
                         if not pipelined_ecc:
                             channel_busy[frame[3]] += frame[12]
-                            if rspan is not None:
-                                rspan((1, frame[3], 0, now - frame[12],
-                                       now, frame[6].tag,
-                                       0 if frame[13] else
-                                       (1 if frame[14] else 2)))
                             cache = frame[9]
                             if cache is not None:
                                 cache[0] = False
@@ -1469,25 +1385,17 @@ class SchedulerCore:
                                 engine._parked = parked
                                 engine.now_s = now
                                 self.in_flight = in_flight
-                                self.fast_commands = fast_commands
                                 for callback in on_finish:
                                     callback(completion)
                                 seq = engine._seq
                                 parked = engine._parked
                                 in_flight = self.in_flight
-                                fast_commands = self.fast_commands
                                 admit_frame = self._admit
                             if frame[4] is None:
                                 break
                             pc = P_POP
                             continue
                         channel_busy[frame[3]] += frame[11][frame[8]][1]
-                        if rspan is not None:
-                            duration = frame[11][frame[8]][1]
-                            rspan((1, frame[3], 0, now - duration, now,
-                                   frame[6].tag,
-                                   0 if frame[13] else
-                                   (1 if frame[14] else 2)))
                         cache = frame[9]
                         if cache is not None:
                             cache[0] = False
@@ -1514,11 +1422,6 @@ class SchedulerCore:
                             parked -= 1
                         phase = frame[11][frame[8]]
                         ecc_busy[frame[3]] += phase[2]
-                        if rspan is not None:
-                            rspan((2, frame[3], 0, now - phase[2], now,
-                                   frame[6].tag,
-                                   0 if frame[13] else
-                                   (1 if frame[14] else 2)))
                         remainder = phase[1] - phase[2]
                         if remainder > 0:
                             frame[0] = P_ECCDRAIN
@@ -1550,10 +1453,6 @@ class SchedulerCore:
                         continue
                     elif pc == P_TRCBSY:
                         die_busy[frame[1]] += frame[6].cache_busy_s
-                        if rspan is not None:
-                            rspan((0, frame[1], frame[2],
-                                   now - frame[6].cache_busy_s, now,
-                                   frame[6].tag, 0))
                         drain = [
                             P_SECTION, frame[1], frame[2], frame[3],
                             None, False, frame[6], 0, 0, frame[17],
@@ -1744,12 +1643,10 @@ class CommandScheduler:
         topology: SsdTopology,
         pipeline: PipelineConfig | None = None,
         fast_batch: bool = True,
-        recorder=None,
     ):
         self.topology = topology
         self.pipeline = pipeline or PipelineConfig()
         self.fast_batch = fast_batch
-        self.recorder = recorder
 
     def run(
         self,
@@ -1772,8 +1669,7 @@ class CommandScheduler:
         validate_batch(self.topology, commands, queue_depth)
         engine = SimEngine()
         core = SchedulerCore(
-            engine, self.topology, self.pipeline, flat=self.fast_batch,
-            recorder=self.recorder,
+            engine, self.topology, self.pipeline, flat=self.fast_batch
         )
         engine.spawn(closed_admission(core, commands, queue_depth))
         core.start()

@@ -897,6 +897,19 @@ class ExperimentSuite:
             if baseline_read is None:
                 baseline_read = result.read_mb_s
             tails = result.latency_percentiles()
+            # Scheduler-level accounting surfaced per run: which
+            # dispatch machinery ran the commands, and the mean busy
+            # fraction of the dies and channel buses over the run.
+            die_util = (
+                sum(result.die_busy_s)
+                / (topology.dies * result.elapsed_s)
+                if result.elapsed_s else 0.0
+            )
+            bus_util = (
+                sum(result.channel_busy_s)
+                / (topology.channels * result.elapsed_s)
+                if result.elapsed_s else 0.0
+            )
             rows.append([
                 topology.describe(), topology.dies, workload.queue_depth,
                 result.read_mb_s, result.write_mb_s,
@@ -906,11 +919,15 @@ class ExperimentSuite:
                 tails["read_p99_s"] * 1e6,
                 tails["queue_p95_s"] * 1e6,
                 tails["service_p95_s"] * 1e6,
+                result.fast_commands,
+                die_util,
+                bus_util,
             ])
         table = format_table(
             ["topology", "dies", "QD", "read MB/s", "write MB/s",
              "read speedup", "read p50 [us]", "read p95 [us]",
-             "read p99 [us]", "queue p95 [us]", "service p95 [us]"],
+             "read p99 [us]", "queue p95 [us]", "service p95 [us]",
+             "fast cmds", "die util", "bus util"],
             rows,
         )
         return ExperimentResult(
@@ -1085,6 +1102,11 @@ class ExperimentSuite:
                 ),
             )
             tails = result.latency_percentiles()
+            die_util = (
+                sum(result.die_busy_s)
+                / (len(result.die_busy_s) * result.elapsed_s)
+                if result.elapsed_s and result.die_busy_s else 0.0
+            )
             rows.append([
                 fraction, offered, result.read_mb_s,
                 tails["read_p50_s"] * 1e6,
@@ -1092,11 +1114,13 @@ class ExperimentSuite:
                 tails["read_p99_s"] * 1e6,
                 tails["queue_p95_s"] * 1e6,
                 tails["service_p95_s"] * 1e6,
+                result.fast_commands,
+                die_util,
             ])
         table = format_table(
             ["offered/sat", "offered ops/s", "read MB/s", "read p50 [us]",
              "read p95 [us]", "read p99 [us]", "queue p95 [us]",
-             "service p95 [us]"],
+             "service p95 [us]", "fast cmds", "die util"],
             rows,
         )
         return ExperimentResult(
@@ -1111,6 +1135,124 @@ class ExperimentSuite:
                 "the latency tail is pure host-side queueing while read "
                 "MB/s flat-lines at capacity — the saturation curve the "
                 "batch-drain host model cannot produce"
+            ),
+        )
+
+    def run_system_observe(self) -> ExperimentResult:
+        """Device telemetry snapshot: tracing, utilization, SMART counters.
+
+        One mixed open-loop stream runs on a 1ch x 4die full-pipeline
+        SSD through a recorder-carrying
+        :class:`~repro.ssd.session.SsdSession`.  The report has three
+        sections: the phase-trace reconciliation (per-resource span
+        totals vs the scheduler's own busy accumulators — equal to
+        float tolerance by construction), the time-windowed utilization
+        series the spans roll up into, and the SMART-style counter
+        registry ``SsdSession.metrics()`` assembles from every layer
+        (media ops, corrected bits, GC, wear, dispatch path).
+        """
+        from repro.nand.geometry import NandGeometry
+        from repro.obs import TraceRecorder
+        from repro.sim.host import (
+            OpenLoopWorkload, preread_lpns, run_open_loop_workload,
+        )
+        from repro.ssd import (
+            DieStripedFtl, PipelineConfig, SsdDevice, SsdTopology,
+        )
+        from repro.ssd.session import SsdSession
+        from repro.workloads.traces import (
+            TraceOp, TraceOpKind, fixed_rate_arrivals,
+        )
+
+        rng = np.random.default_rng(2012)
+        ops: list[TraceOp] = []
+        for index in range(96):
+            ops.append(TraceOp(TraceOpKind.READ, 0, index % 32))
+            if (index + 1) % 6 == 0:
+                ops.append(TraceOp(
+                    TraceOpKind.WRITE, 1, index % 16, rng.bytes(4096)
+                ))
+        preread = preread_lpns(ops)
+        topology = SsdTopology(
+            channels=1,
+            dies_per_channel=4,
+            geometry=NandGeometry(blocks=8, pages_per_block=16),
+        )
+        ssd = SsdDevice(
+            topology, policy=self.policy, seed=2012,
+            pipeline=PipelineConfig.full(),
+        )
+        for controller in ssd.controllers:
+            controller.device.array._wear[:] = 100_000
+        ssd.set_mode(OperatingMode.BASELINE, pe_reference=1e5)
+        ftl = DieStripedFtl(ssd, plane_interleave=True)
+        ftl.write_many([(lpn, rng.bytes(4096)) for lpn in preread])
+        recorder = TraceRecorder()
+        session = SsdSession(ftl, recorder=recorder)
+        result = run_open_loop_workload(
+            ftl,
+            OpenLoopWorkload(
+                "observe", fixed_rate_arrivals(ops, 40_000), queue_depth=16
+            ),
+            session=session,
+        )
+        totals = recorder.busy_totals()
+        recon_rows = []
+        for resource, spans, accumulators in (
+            ("die", totals["die"], result.die_busy_s),
+            ("channel", totals["channel"], result.channel_busy_s),
+            ("ecc", totals["ecc"], result.ecc_busy_s),
+        ):
+            for index, (span_s, busy_s) in enumerate(
+                zip(spans, accumulators)
+            ):
+                recon_rows.append([
+                    f"{resource} {index}", busy_s * 1e6, span_s * 1e6,
+                    abs(span_s - busy_s) * 1e9,
+                    busy_s / result.elapsed_s if result.elapsed_s else 0.0,
+                ])
+        recon_table = format_table(
+            ["resource", "accumulator [us]", "trace spans [us]",
+             "|delta| [ns]", "utilization"],
+            recon_rows,
+        )
+        series = recorder.utilization(result.elapsed_s / 8 or 1e-3)
+        util_rows = [
+            [
+                f"window {index}",
+                *(f"{row[index]:.2f}" for row in series.die),
+                f"{series.queue_depth[index]:.1f}",
+            ]
+            for index in range(series.windows)
+        ]
+        util_table = format_table(
+            ["", *(f"die {die}" for die in range(len(series.die))), "QD"],
+            util_rows,
+        )
+        metrics = session.metrics()
+        table = (
+            recon_table
+            + "\n\nutilization per window (busy fraction):\n" + util_table
+            + "\n\nSMART counters:\n" + metrics.render()
+        )
+        return ExperimentResult(
+            exp_id="sys_observe",
+            title="Device telemetry (phase trace + utilization + SMART)",
+            table=table,
+            data={
+                "reconciliation": recon_rows,
+                "busy_totals": totals,
+                "spans": len(recorder),
+                "counters": metrics.as_dict(),
+                "fast_commands": result.fast_commands,
+            },
+            notes=(
+                "per-resource span totals reconcile with the scheduler's "
+                "busy accumulators to float tolerance; the windowed view "
+                "shows utilization ramping with the arrival process; the "
+                "SMART registry is the pull-based health snapshot every "
+                "layer populates (export a Perfetto timeline with "
+                "TraceRecorder.export_chrome_trace)"
             ),
         )
 
@@ -1177,7 +1319,8 @@ class ExperimentSuite:
             self.run_ablation_tworound, self.run_ablation_pareto,
             self.run_ablation_retention, self.run_ablation_partition,
             self.run_system_des, self.run_system_services, self.run_system_ssd,
-            self.run_system_pipeline, self.run_uber_mc,
+            self.run_system_pipeline, self.run_system_observe,
+            self.run_uber_mc,
         ]
         return {result.exp_id: result for result in (r() for r in runners)}
 

@@ -44,6 +44,8 @@ def _runners(suite: ExperimentSuite) -> dict[str, tuple[str, callable]]:
                          suite.run_system_pipeline),
         "sys_openloop": ("open-loop arrival sweep (session queue pair)",
                          suite.run_system_openloop),
+        "sys_observe": ("device telemetry (trace + utilization + SMART)",
+                        suite.run_system_observe),
         "uber_mc": ("Monte-Carlo UBER sweep (process pool)", suite.run_uber_mc),
     }
 

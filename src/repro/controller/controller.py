@@ -242,6 +242,21 @@ class NandController:
 
     # -- telemetry -----------------------------------------------------------------
 
+    def populate_counters(self, registry) -> None:
+        """Add this die's codec-path counters to a SMART registry.
+
+        Scalars accumulate across dies; the wrapped device contributes
+        its media counters in the same pass.  Observed RBER is left to
+        the assembler (it must be recomputed from the device-wide
+        corrected/processed sums, not averaged per die).
+        """
+        obs = self.codec.observation()
+        registry.add("ecc_words_decoded", obs.words_decoded, "codewords")
+        registry.add("ecc_corrected_bits", obs.bits_corrected, "bits")
+        registry.add("ecc_decode_failures", obs.words_failed, "codewords")
+        registry.add("ecc_bits_processed", obs.bits_processed, "bits")
+        self.device.populate_counters(registry)
+
     def status(self) -> dict[str, int | str]:
         """Controller status snapshot (registers + mode)."""
         return {

@@ -158,6 +158,10 @@ class NandFlashDevice:
         # The read-path RBER pairs it with the block's *current* wear.
         self._meta_algorithm = np.full(self.geometry.pages, _NO_META, dtype=np.int8)
         self._timing_cache: dict[tuple[IsppAlgorithm, int], float] = {}
+        #: Lifetime media-operation tallies (SMART counters).
+        self.page_reads = 0
+        self.page_programs = 0
+        self.block_erases = 0
 
     # -- configuration (the physical-layer knob) --------------------------------
 
@@ -182,6 +186,7 @@ class NandFlashDevice:
         identical to a batch of one.
         """
         self.array.program_page(block, page, data)
+        self.page_programs += 1
         flat = self.geometry.page_address(block, page)
         self._meta_algorithm[flat] = _ALG_CODE[self._algorithm]
         return OperationReport(
@@ -211,6 +216,7 @@ class NandFlashDevice:
             return []
         blocks, flats = self._flat_addresses(addresses)
         self.array.program_pages(flats, datas)
+        self.page_programs += len(addresses)
         wear = self.array.wear_batch(blocks)
         self._meta_algorithm[flats] = _ALG_CODE[self._algorithm]
         latencies = self._program_times(self._algorithm, wear)
@@ -228,6 +234,7 @@ class NandFlashDevice:
         dispatch overhead.  Values match a batch of one to the last bit
         of float arithmetic.
         """
+        self.page_reads += 1
         flat = self.geometry.page_address(block, page)
         code = int(self._meta_algorithm[flat])
         rber = 0.0
@@ -264,6 +271,7 @@ class NandFlashDevice:
                     algorithm_codes=np.zeros(0, dtype=np.int8),
                 ),
             )
+        self.page_reads += len(addresses)
         blocks, flats = self._flat_addresses(addresses)
         codes = self._meta_algorithm[flats]
         programmed = codes != _NO_META
@@ -295,9 +303,25 @@ class NandFlashDevice:
     def erase_block(self, block: int) -> OperationReport:
         """Erase a block (wear +1)."""
         self.array.erase_block(block)
+        self.block_erases += 1
         start = block * self.geometry.pages_per_block
         self._meta_algorithm[start:start + self.geometry.pages_per_block] = _NO_META
         return OperationReport(latency_s=self.timing.erase_time_s())
+
+    # -- telemetry -----------------------------------------------------------------
+
+    def populate_counters(self, registry) -> None:
+        """Add this die's media counters to a SMART registry snapshot.
+
+        Scalars accumulate across dies; per-die values append in die
+        order (the device is called once per die by
+        ``SsdSession.metrics``).
+        """
+        registry.add("media_page_reads", self.page_reads, "pages")
+        registry.add("media_page_programs", self.page_programs, "pages")
+        registry.add("media_block_erases", self.block_erases, "blocks")
+        registry.append("die_max_wear", int(self.array.max_wear()),
+                        "P/E cycles")
 
     # -- timing --------------------------------------------------------------------
 

@@ -1,0 +1,128 @@
+"""SMART-style device health counter registry.
+
+A :class:`CounterRegistry` is an ordered set of named counters in the
+spirit of ATA SMART attributes: a numeric attribute id, a name, a raw
+value (int, float, or a per-die vector) and a unit.  The registry
+itself is dumb storage; the device layers populate it —
+``NandFlashDevice.populate_counters`` (media operation counts, wear),
+``NandController.populate_counters`` (the BCH codec path: corrected
+bits, decode failures, observed RBER),
+``DieStripedFtl.populate_counters`` (host ops, GC migrations, write
+amplification) and ``SsdSession.metrics`` (queue-pair and dispatch
+counters), which assembles the device-wide snapshot.
+
+Counters are *pull-based* snapshots of accounting the layers already
+keep, so leaving the registry unread costs the hot paths nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Counter", "CounterRegistry"]
+
+
+@dataclass(frozen=True)
+class Counter:
+    """One SMART-style attribute: id, name, raw value, unit.
+
+    ``value`` may be a scalar or a per-die list; vector counters render
+    as min/mean/max with the raw vector kept in :meth:`as_tuple`.
+    """
+
+    attr_id: int
+    name: str
+    value: int | float | list
+    unit: str = ""
+
+    def as_tuple(self) -> tuple:
+        return (self.attr_id, self.name, self.value, self.unit)
+
+
+class CounterRegistry:
+    """Ordered name → :class:`Counter` map with a SMART-style report."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._next_id = 1
+
+    def set(
+        self,
+        name: str,
+        value: int | float | list,
+        unit: str = "",
+        attr_id: int | None = None,
+    ) -> Counter:
+        """Install or overwrite one counter (ids stick on overwrite)."""
+        existing = self._counters.get(name)
+        if attr_id is None:
+            attr_id = existing.attr_id if existing else self._next_id
+        counter = Counter(attr_id, name, value, unit)
+        self._counters[name] = counter
+        if attr_id >= self._next_id:  # overwrites reuse their id: no bump
+            self._next_id = attr_id + 1
+        return counter
+
+    def add(self, name: str, delta: int | float, unit: str = "") -> Counter:
+        """Accumulate into a scalar counter (creating it at zero)."""
+        existing = self._counters.get(name)
+        base = existing.value if existing else 0
+        return self.set(name, base + delta, unit or
+                        (existing.unit if existing else ""))
+
+    def append(
+        self, name: str, value: int | float, unit: str = ""
+    ) -> Counter:
+        """Append one element to a vector counter (creating it empty).
+
+        The per-die idiom: each die's layer appends its own value and
+        the registry ends up with one entry per die, in die order.
+        """
+        existing = self._counters.get(name)
+        vector = list(existing.value) if existing else []
+        vector.append(value)
+        return self.set(name, vector, unit or
+                        (existing.unit if existing else ""))
+
+    def get(self, name: str) -> int | float | list:
+        """The raw value of one counter (KeyError when absent)."""
+        return self._counters[name].value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __iter__(self):
+        return iter(self._counters.values())
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def as_dict(self) -> dict[str, int | float | list]:
+        """Name → raw value, insertion order."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def rows(self) -> list[list]:
+        """Report rows: [id, name, value, unit] with vectors summarised."""
+        rows = []
+        for counter in self._counters.values():
+            value = counter.value
+            if isinstance(value, list):
+                if value:
+                    value = (
+                        f"min {min(value):g} / "
+                        f"mean {sum(value) / len(value):g} / "
+                        f"max {max(value):g}"
+                    )
+                else:
+                    value = "-"
+            rows.append([counter.attr_id, counter.name, value, counter.unit])
+        return rows
+
+    def render(self) -> str:
+        """SMART-style fixed-width table of every counter."""
+        lines = [f"{'ID':>4} {'ATTRIBUTE':<28} {'VALUE':>24} UNIT"]
+        for attr_id, name, value, unit in self.rows():
+            if isinstance(value, float):
+                value = f"{value:.6g}"
+            lines.append(f"{attr_id:>4} {name:<28} {str(value):>24} {unit}")
+        return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Streaming log-bucket histograms (HDR-style, fixed memory).
+
+The exact-percentile :class:`~repro.sim.stats.LatencyStats` retains
+every sample, which is fine for thousand-op traces and hopeless for
+million-op open-loop sweeps.  :class:`LogBucketHistogram` trades a
+bounded relative error for O(1) memory: values land in geometrically
+spaced buckets (``buckets_per_decade`` per factor of ten), percentiles
+walk the bucket counts nearest-rank and answer with the bucket's
+geometric midpoint.
+
+Error bound
+-----------
+
+A bucket spans a value ratio of ``r = 10 ** (1 / buckets_per_decade)``
+and the midpoint sits at most ``sqrt(r)`` away (in ratio) from any
+value in the bucket.  Nearest-rank percentiles over the bucket counts
+select exactly the bucket containing the rank-th smallest sample, so
+every reported percentile ``q̂`` satisfies ``q / sqrt(r) <= q̂ <=
+q * sqrt(r)`` against the exact nearest-rank percentile ``q`` — with
+the default 64 buckets per decade, a relative error of at most ~1.8 %
+(:attr:`LogBucketHistogram.relative_error`).  Two documented
+exceptions: values below ``min_value`` count into an underflow bucket
+reported as 0.0 (an *absolute* error below ``min_value`` — exact
+zeros, e.g. uncontended queue waits, are reported exactly), and values
+at or above ``max_value`` clamp into the top bucket.  Reported
+midpoints are additionally clamped to the observed min/max, which only
+tightens the bound.
+"""
+
+from __future__ import annotations
+
+import math
+from math import ceil, inf, log10
+
+__all__ = ["LogBucketHistogram", "StreamingLatencyStats"]
+
+
+class LogBucketHistogram:
+    """Fixed-memory log-bucket histogram over positive values.
+
+    The default range (1 ns to 10 000 s at 64 buckets per decade) is
+    sized for simulated latencies; it costs 832 integer buckets
+    regardless of how many values are observed.
+    """
+
+    __slots__ = (
+        "min_value", "max_value", "buckets_per_decade",
+        "_counts", "_buckets", "_log_min", "_underflow",
+        "count", "total", "min", "max",
+    )
+
+    def __init__(
+        self,
+        min_value: float = 1e-9,
+        max_value: float = 1e4,
+        buckets_per_decade: int = 64,
+    ):
+        if min_value <= 0 or max_value <= min_value:
+            raise ValueError("need 0 < min_value < max_value")
+        if buckets_per_decade < 1:
+            raise ValueError("need at least one bucket per decade")
+        self.min_value = min_value
+        self.max_value = max_value
+        self.buckets_per_decade = buckets_per_decade
+        self._log_min = log10(min_value)
+        self._buckets = ceil(
+            (log10(max_value) - self._log_min) * buckets_per_decade
+        )
+        self._counts = [0] * self._buckets
+        self._underflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = inf
+        self.max = 0.0
+
+    @property
+    def bucket_ratio(self) -> float:
+        """Value ratio spanned by one bucket."""
+        return 10.0 ** (1.0 / self.buckets_per_decade)
+
+    @property
+    def relative_error(self) -> float:
+        """Worst-case relative percentile error (``sqrt(ratio) - 1``)."""
+        return math.sqrt(self.bucket_ratio) - 1.0
+
+    def observe(self, value: float) -> None:
+        """Count one value (clamping outside the configured range)."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value < self.min_value:
+            self._underflow += 1
+            return
+        index = int((log10(value) - self._log_min) * self.buckets_per_decade)
+        if index >= self._buckets:
+            index = self._buckets - 1
+        self._counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of the observed values."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the bucket counts.
+
+        ``fraction`` is in [0, 1]; returns 0.0 before any observation.
+        The answer is the geometric midpoint of the bucket holding the
+        rank-th smallest sample, clamped to the observed min/max (see
+        the module docstring for the error bound).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(
+                f"percentile fraction must be in [0, 1], got {fraction}"
+            )
+        if self.count == 0:
+            return 0.0
+        rank = max(1, ceil(fraction * self.count))
+        if rank <= self._underflow:
+            # Sub-min_value values are reported as 0.0 (absolute error
+            # below min_value; exact for genuine zeros).
+            return 0.0
+        seen = self._underflow
+        per_decade = self.buckets_per_decade
+        for index, bucket_count in enumerate(self._counts):
+            if not bucket_count:
+                continue
+            seen += bucket_count
+            if seen >= rank:
+                mid = 10.0 ** (self._log_min + (index + 0.5) / per_decade)
+                return min(max(mid, self.min), self.max)
+        return self.max  # pragma: no cover - counts always sum to count
+
+    def counts(self) -> list[int]:
+        """Bucket counts (underflow excluded), index order."""
+        return list(self._counts)
+
+
+class StreamingLatencyStats:
+    """Drop-in :class:`~repro.sim.stats.LatencyStats` with fixed memory.
+
+    Same reporting surface (``count`` / ``mean_s`` / ``stdev_s`` /
+    ``min_s`` / ``max_s`` / ``percentile`` / ``p50_s`` / ``p95_s`` /
+    ``p99_s``) but percentiles come from a :class:`LogBucketHistogram`
+    instead of retained samples — the default collector for open-loop
+    runs, where sample lists would grow with the trace.  ``min_s`` is
+    0.0 before any observation (matching the fixed exact collector).
+    """
+
+    __slots__ = ("histogram", "count", "total_s", "total_sq")
+
+    def __init__(self, histogram: LogBucketHistogram | None = None):
+        self.histogram = histogram or LogBucketHistogram()
+        self.count = 0
+        self.total_s = 0.0
+        self.total_sq = 0.0
+
+    def observe(self, latency_s: float) -> None:
+        """Record one operation latency."""
+        self.count += 1
+        self.total_s += latency_s
+        self.total_sq += latency_s * latency_s
+        self.histogram.observe(latency_s)
+
+    @property
+    def min_s(self) -> float:
+        """Smallest observed latency (exact; 0.0 with no samples)."""
+        return self.histogram.min if self.count else 0.0
+
+    @property
+    def max_s(self) -> float:
+        """Largest observed latency (exact)."""
+        return self.histogram.max
+
+    @property
+    def mean_s(self) -> float:
+        """Mean latency (exact)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    @property
+    def stdev_s(self) -> float:
+        """Population standard deviation (exact)."""
+        if self.count < 2:
+            return 0.0
+        variance = self.total_sq / self.count - self.mean_s**2
+        return math.sqrt(max(0.0, variance))
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile (bucketed; see the error bound)."""
+        return self.histogram.percentile(fraction)
+
+    @property
+    def p50_s(self) -> float:
+        """Median latency."""
+        return self.percentile(0.50)
+
+    @property
+    def p95_s(self) -> float:
+        """95th-percentile latency."""
+        return self.percentile(0.95)
+
+    @property
+    def p99_s(self) -> float:
+        """99th-percentile latency."""
+        return self.percentile(0.99)

@@ -89,7 +89,17 @@ class WorkloadResult:
     ``queue_latency`` and ``service_latency`` decompose each operation's
     end-to-end time where the runner can see it (the SSD runners): the
     submit→dispatch wait in the host queue versus the dispatch→complete
-    time on the device.
+    time on the device.  The latency collectors are exact
+    :class:`~repro.sim.stats.LatencyStats` for the closed-loop runners
+    and streaming histograms
+    (:class:`~repro.obs.histogram.StreamingLatencyStats`) by default for
+    the open-loop runner — same reporting surface either way.
+
+    The SSD runners also surface the scheduler's own accounting:
+    ``fast_commands`` / ``fallback_commands`` say which dispatch
+    machinery the run's commands went through (flat core vs generator
+    workers), and ``die_busy_s`` / ``channel_busy_s`` / ``ecc_busy_s``
+    are the per-resource busy-time totals attributable to this run.
     """
 
     name: str
@@ -99,6 +109,11 @@ class WorkloadResult:
     corrected_bits: int = 0
     queue_latency: LatencyStats = field(default_factory=LatencyStats)
     service_latency: LatencyStats = field(default_factory=LatencyStats)
+    fast_commands: int = 0
+    fallback_commands: int = 0
+    die_busy_s: list[float] = field(default_factory=list)
+    channel_busy_s: list[float] = field(default_factory=list)
+    ecc_busy_s: list[float] = field(default_factory=list)
 
     @property
     def read_mb_s(self) -> float:
@@ -350,12 +365,25 @@ def _ssd_process(
             # The group's wall time is the scheduler's makespan — dies
             # overlap and channels arbitrate, so it is far less than the
             # serial sum of the observed per-op latencies.
-            elapsed = ftl.last_schedule.makespan_s
-            for completion in ftl.last_schedule.completions:
+            schedule = ftl.last_schedule
+            elapsed = schedule.makespan_s
+            for completion in schedule.completions:
                 # Closed loop, the submit->dispatch wait is exactly the
                 # queue-depth admission delay within the batch.
                 result.queue_latency.observe(completion.queue_s)
                 result.service_latency.observe(completion.latency_s)
+            # Per-batch resource accounting sums into the run's totals
+            # (execute() resets the core's accumulators every batch).
+            if not result.die_busy_s:
+                result.die_busy_s = [0.0] * len(schedule.die_busy_s)
+                result.channel_busy_s = [0.0] * len(schedule.channel_busy_s)
+                result.ecc_busy_s = [0.0] * len(schedule.ecc_busy_s)
+            for index, busy in enumerate(schedule.die_busy_s):
+                result.die_busy_s[index] += busy
+            for index, busy in enumerate(schedule.channel_busy_s):
+                result.channel_busy_s[index] += busy
+            for index, busy in enumerate(schedule.ecc_busy_s):
+                result.ecc_busy_s[index] += busy
         result.corrected_bits = ftl.stats.corrected_bits
         yield elapsed + len(group) * workload.think_time_s
 
@@ -391,9 +419,14 @@ def run_ssd_workload(
     result = WorkloadResult(
         name=workload.name, elapsed_s=0.0, stats=ThroughputStats()
     )
+    core = ftl.session.core
+    fast_before = core.fast_commands
+    fallback_before = core.fallback_commands
     engine = SimEngine()
     engine.spawn(_ssd_process(ftl, workload, result))
     result.elapsed_s = engine.run()
+    result.fast_commands = core.fast_commands - fast_before
+    result.fallback_commands = core.fallback_commands - fallback_before
     return result
 
 
@@ -423,6 +456,8 @@ def run_open_loop_workload(
     ftl: "DieStripedFtl",
     workload: OpenLoopWorkload,
     session: "SsdSession | None" = None,
+    exact_latencies: bool = False,
+    recorder=None,
 ) -> WorkloadResult:
     """Stream an arrival-stamped trace through the SSD's queue pair.
 
@@ -434,6 +469,15 @@ def run_open_loop_workload(
     end-to-end latency percentiles whose queueing component
     (``queue_p*`` keys, submit→dispatch) is separated from device
     service time (``service_p*`` keys, dispatch→complete).
+
+    Latencies stream into fixed-memory log-bucket histograms
+    (:class:`~repro.obs.histogram.StreamingLatencyStats`) and
+    completions are consumed as they land, so memory stays O(1) in the
+    trace length; ``exact_latencies=True`` opts back into retained
+    samples and exact percentiles.  ``recorder`` attaches a
+    :class:`~repro.obs.trace.TraceRecorder` when the run constructs its
+    own private session (pass a recorder-carrying session explicitly to
+    trace a shared queue pair).
 
     ERASE ops are host-side discards (trims) applied at their arrival
     instant.  The result's ``elapsed_s`` is the time of the last
@@ -447,12 +491,20 @@ def run_open_loop_workload(
     only.
     """
     from repro.errors import SimulationError
+    from repro.obs.histogram import StreamingLatencyStats
     from repro.ssd.session import IoCommand, SsdSession
 
     if session is None:
         # A private session starts with a fresh clock already.
-        session = SsdSession(ftl, queue_depth=workload.queue_depth)
+        session = SsdSession(
+            ftl, queue_depth=workload.queue_depth, recorder=recorder
+        )
     else:
+        if recorder is not None:
+            raise SimulationError(
+                "pass the recorder to the shared session at construction, "
+                "not to the runner (cores attach recorders once)"
+            )
         if (
             session.in_flight
             or session.backlog
@@ -467,12 +519,52 @@ def run_open_loop_workload(
     engine = session.engine
     names = _LpnNamespace()
     page_bytes = ftl.geometry.page_data_bytes
+    core = session.core
+    fast_before = core.fast_commands
+    fallback_before = core.fallback_commands
+    die_before = list(core.die_busy_s)
+    channel_before = list(core.channel_busy_s)
+    ecc_before = list(core.ecc_busy_s)
+    if exact_latencies:
+        result = WorkloadResult(
+            name=workload.name, elapsed_s=0.0, stats=ThroughputStats()
+        )
+    else:
+        result = WorkloadResult(
+            name=workload.name,
+            elapsed_s=0.0,
+            stats=ThroughputStats(
+                read_latency=StreamingLatencyStats(),
+                write_latency=StreamingLatencyStats(),
+            ),
+            queue_latency=StreamingLatencyStats(),
+            service_latency=StreamingLatencyStats(),
+        )
+
+    def observe(completion) -> None:
+        # Last *completion*, not last engine event: an I/O-free tail of
+        # the arrival process (e.g. a late-stamped ERASE) must not
+        # deflate the completed rate.
+        if completion.done_s > result.elapsed_s:
+            result.elapsed_s = completion.done_s
+        if completion.kind is TraceOpKind.READ:
+            result.stats.observe_read(page_bytes, completion.latency_s)
+        else:
+            result.stats.observe_write(page_bytes, completion.latency_s)
+        result.queue_latency.observe(completion.queue_s)
+        result.service_latency.observe(completion.service_s)
 
     def arrivals() -> Process:
         for op in workload.operations:
             wait = op.issue_s - engine.now_s
             if wait > 0:
                 yield wait
+            # Consume the completion queue at every arrival instant so
+            # the session's IoCompletion list never grows with the
+            # trace (pure list swaps — no engine events, so the command
+            # timeline is untouched).
+            for completion in session.take_completions():
+                observe(completion)
             if op.kind is TraceOpKind.ERASE:
                 names.discard_block(ftl, op.block)
                 continue
@@ -489,21 +581,19 @@ def run_open_loop_workload(
         session.drain()
     finally:
         session.queue_depth = restore_depth
-    completions = session.take_completions()
-    result = WorkloadResult(
-        name=workload.name,
-        # Last *completion*, not last engine event: an I/O-free tail of
-        # the arrival process (e.g. a late-stamped ERASE) must not
-        # deflate the completed rate.
-        elapsed_s=max((c.done_s for c in completions), default=0.0),
-        stats=ThroughputStats(),
-    )
-    for completion in completions:
-        if completion.kind is TraceOpKind.READ:
-            result.stats.observe_read(page_bytes, completion.latency_s)
-        else:
-            result.stats.observe_write(page_bytes, completion.latency_s)
-        result.queue_latency.observe(completion.queue_s)
-        result.service_latency.observe(completion.service_s)
+    for completion in session.take_completions():
+        observe(completion)
     result.corrected_bits = ftl.stats.corrected_bits
+    result.fast_commands = core.fast_commands - fast_before
+    result.fallback_commands = core.fallback_commands - fallback_before
+    result.die_busy_s = [
+        busy - before for busy, before in zip(core.die_busy_s, die_before)
+    ]
+    result.channel_busy_s = [
+        busy - before
+        for busy, before in zip(core.channel_busy_s, channel_before)
+    ]
+    result.ecc_busy_s = [
+        busy - before for busy, before in zip(core.ecc_busy_s, ecc_before)
+    ]
     return result

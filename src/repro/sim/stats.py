@@ -21,7 +21,7 @@ class LatencyStats:
     count: int = 0
     total_s: float = 0.0
     total_sq: float = 0.0
-    min_s: float = math.inf
+    _min_s: float = field(default=math.inf, repr=False)
     max_s: float = 0.0
     samples: list[float] = field(default_factory=list, repr=False)
     _sorted: list[float] | None = field(
@@ -33,10 +33,21 @@ class LatencyStats:
         self.count += 1
         self.total_s += latency_s
         self.total_sq += latency_s * latency_s
-        self.min_s = min(self.min_s, latency_s)
+        if latency_s < self._min_s:
+            self._min_s = latency_s
         self.max_s = max(self.max_s, latency_s)
         self.samples.append(latency_s)
         self._sorted = None
+
+    @property
+    def min_s(self) -> float:
+        """Smallest observed latency (0.0 with no samples).
+
+        A property rather than the raw running-minimum field so an
+        empty collector reports 0.0 instead of leaking ``math.inf``
+        into report tables and percentile dicts.
+        """
+        return self._min_s if self.count else 0.0
 
     @property
     def mean_s(self) -> float:

@@ -55,6 +55,7 @@ from repro.ssd.scheduler import (
 from repro.workloads.traces import TraceOpKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (striped uses session)
+    from repro.obs.counters import CounterRegistry
     from repro.ssd.device import SsdDevice
     from repro.ssd.striped import DieStripedFtl
 
@@ -163,6 +164,7 @@ class SsdSession:
         engine: SimEngine | None = None,
         queue_depth: int | None = None,
         fast_batch: bool = True,
+        recorder=None,
     ):
         if ssd is None:
             if ftl is None:
@@ -175,8 +177,12 @@ class SsdSession:
         self.engine = engine or SimEngine()
         self.queue_depth = queue_depth
         self.fast_batch = fast_batch
+        #: Optional :class:`~repro.obs.trace.TraceRecorder`; spans cover
+        #: every command this session dispatches (see ``repro.obs``).
+        self.recorder = recorder
         self.core = SchedulerCore(
-            self.engine, ssd.topology, ssd.pipeline, flat=fast_batch
+            self.engine, ssd.topology, ssd.pipeline, flat=fast_batch,
+            recorder=recorder,
         )
         self.core.start()
         # Park the resident dispatchers (generator workers on their
@@ -321,6 +327,46 @@ class SsdSession:
             channel_busy_s=list(self.core.channel_busy_s),
             ecc_busy_s=list(self.core.ecc_busy_s),
         )
+
+    # -- telemetry -----------------------------------------------------------------
+
+    def metrics(self, registry=None) -> "CounterRegistry":
+        """SMART-style counter snapshot of the whole device stack.
+
+        Pulls every layer's lifetime accounting into one
+        :class:`~repro.obs.counters.CounterRegistry`: media operation
+        counts and per-die wear from each
+        :class:`~repro.nand.device.NandFlashDevice`, corrected bits /
+        decode failures / observed RBER from the BCH codec path, host
+        ops, GC migrations and write amplification from the routed FTL,
+        and the session's own queue-pair and dispatch-path counters.
+        Pass an existing ``registry`` to merge (scalars accumulate).
+        """
+        from repro.obs.counters import CounterRegistry
+
+        if registry is None:
+            registry = CounterRegistry()
+        for controller in self.ssd.controllers:
+            controller.populate_counters(registry)
+        bits = registry.get("ecc_bits_processed")
+        if bits:
+            registry.set(
+                "ecc_observed_rber",
+                registry.get("ecc_corrected_bits") / bits,
+            )
+        if self.ftl is not None:
+            self.ftl.populate_counters(registry)
+        registry.set("session_submissions", self._next_tag, "ios")
+        registry.set("session_in_flight", self.core.in_flight, "ios")
+        registry.set("session_backlog", len(self._backlog), "ios")
+        fast = self.fast_path_stats
+        registry.set("dispatch_fast_commands", fast.fast, "commands")
+        registry.set("dispatch_fallback_commands", fast.fallback,
+                     "commands")
+        registry.set("die_busy_s", list(self.core.die_busy_s), "s")
+        registry.set("channel_busy_s", list(self.core.channel_busy_s), "s")
+        registry.set("ecc_busy_s", list(self.core.ecc_busy_s), "s")
+        return registry
 
     # -- internals -----------------------------------------------------------------
 

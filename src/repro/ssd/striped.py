@@ -275,6 +275,31 @@ class DieStripedFtl:
             total.migration_time_s += shard.gc.stats.migration_time_s
         return total
 
+    def populate_counters(self, registry) -> None:
+        """Add host-op, GC and write-amplification counters to a registry.
+
+        Write amplification here is the logical page ratio
+        ``(host writes + GC migrations) / host writes`` — the FTL-level
+        view; the media-level view falls out of the device's
+        ``media_page_programs`` counter.
+        """
+        stats = self.stats
+        gc = self.gc_stats
+        registry.add("host_reads", stats.host_reads, "pages")
+        registry.add("host_writes", stats.host_writes, "pages")
+        registry.add("host_trims", stats.trims, "ops")
+        registry.add("gc_collections", gc.collections, "runs")
+        registry.add("gc_pages_migrated", gc.pages_migrated, "pages")
+        registry.add("gc_blocks_erased", gc.blocks_erased, "blocks")
+        host_writes = registry.get("host_writes")
+        if host_writes:
+            registry.set(
+                "write_amplification",
+                (host_writes + registry.get("gc_pages_migrated"))
+                / host_writes,
+                "x",
+            )
+
     # -- internals -------------------------------------------------------------------
 
     def _group(self, routes: list[StripedLocation]) -> dict[int, list[int]]:

@@ -1,0 +1,141 @@
+"""Streaming log-bucket histogram tests.
+
+The load-bearing property: every percentile the histogram reports is
+within its documented relative error bound of the exact nearest-rank
+percentile computed from retained samples (``LatencyStats``), across
+distributions, sample counts and bucket resolutions.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.obs import LogBucketHistogram, StreamingLatencyStats
+from repro.sim.stats import LatencyStats
+
+FRACTIONS = (0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0)
+
+
+def _distributions(seed: int = 11):
+    """Named sample sets spanning the latency range."""
+    rng = random.Random(seed)
+    return {
+        "uniform-us": [rng.uniform(1e-6, 1e-3) for _ in range(5000)],
+        "lognormal": [
+            math.exp(rng.gauss(math.log(100e-6), 1.5)) for _ in range(5000)
+        ],
+        "bimodal": (
+            [rng.uniform(20e-6, 40e-6) for _ in range(2500)]
+            + [rng.uniform(2e-3, 5e-3) for _ in range(2500)]
+        ),
+        "heavy-tail": [
+            50e-6 / max(1e-9, rng.random()) ** 0.7 for _ in range(3000)
+        ],
+        "tiny": [rng.uniform(1e-6, 1e-3) for _ in range(7)],
+    }
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("buckets_per_decade", [16, 64, 128])
+    def test_percentiles_within_documented_bound(self, buckets_per_decade):
+        for name, samples in _distributions().items():
+            histogram = LogBucketHistogram(
+                buckets_per_decade=buckets_per_decade
+            )
+            exact = LatencyStats()
+            for value in samples:
+                histogram.observe(value)
+                exact.observe(value)
+            bound = histogram.relative_error
+            for fraction in FRACTIONS:
+                got = histogram.percentile(fraction)
+                want = exact.percentile(fraction)
+                assert got == pytest.approx(want, rel=bound), (
+                    f"{name}: p{fraction:.0%} off by more than "
+                    f"{bound:.3%} at {buckets_per_decade}/decade"
+                )
+
+    def test_relative_error_formula(self):
+        histogram = LogBucketHistogram(buckets_per_decade=64)
+        ratio = 10.0 ** (1.0 / 64)
+        assert histogram.bucket_ratio == pytest.approx(ratio)
+        assert histogram.relative_error == pytest.approx(
+            math.sqrt(ratio) - 1.0
+        )
+        assert histogram.relative_error < 0.019  # the advertised ~1.8 %
+
+    def test_fixed_memory(self):
+        histogram = LogBucketHistogram()
+        before = len(histogram.counts())
+        for value in range(1, 20_000):
+            histogram.observe(value * 1e-7)
+        assert len(histogram.counts()) == before
+        assert histogram.count == 19_999
+
+
+class TestEdges:
+    def test_empty(self):
+        histogram = LogBucketHistogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        for fraction in FRACTIONS:
+            assert histogram.percentile(fraction) == 0.0
+
+    def test_underflow_reports_zero(self):
+        histogram = LogBucketHistogram(min_value=1e-9)
+        for _ in range(10):
+            histogram.observe(0.0)  # uncontended queue waits
+        histogram.observe(1e-3)
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.percentile(1.0) == pytest.approx(1e-3, rel=0.02)
+
+    def test_overflow_clamps_into_top_bucket(self):
+        histogram = LogBucketHistogram(max_value=1.0)
+        histogram.observe(50.0)  # beyond the range
+        assert histogram.count == 1
+        # Midpoint clamping to the observed max keeps the report exact.
+        assert histogram.percentile(1.0) == 50.0
+
+    def test_midpoint_clamped_to_observed_extremes(self):
+        histogram = LogBucketHistogram()
+        histogram.observe(100e-6)
+        assert histogram.percentile(0.0) == 100e-6
+        assert histogram.percentile(1.0) == 100e-6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogBucketHistogram(min_value=0.0)
+        with pytest.raises(ValueError):
+            LogBucketHistogram(min_value=1.0, max_value=0.5)
+        with pytest.raises(ValueError):
+            LogBucketHistogram(buckets_per_decade=0)
+        with pytest.raises(ValueError):
+            LogBucketHistogram().percentile(1.5)
+
+
+class TestStreamingLatencyStats:
+    def test_drop_in_surface_matches_exact_collector(self):
+        samples = _distributions()["uniform-us"]
+        streaming = StreamingLatencyStats()
+        exact = LatencyStats()
+        for value in samples:
+            streaming.observe(value)
+            exact.observe(value)
+        assert streaming.count == exact.count
+        assert streaming.mean_s == pytest.approx(exact.mean_s)
+        assert streaming.stdev_s == pytest.approx(exact.stdev_s, rel=1e-6)
+        assert streaming.min_s == exact.min_s  # extremes stay exact
+        assert streaming.max_s == exact.max_s
+        bound = streaming.histogram.relative_error
+        for name in ("p50_s", "p95_s", "p99_s"):
+            assert getattr(streaming, name) == pytest.approx(
+                getattr(exact, name), rel=bound
+            )
+
+    def test_empty_matches_exact_collector(self):
+        streaming = StreamingLatencyStats()
+        exact = LatencyStats()
+        for name in ("count", "mean_s", "stdev_s", "min_s", "max_s",
+                     "p50_s", "p95_s", "p99_s"):
+            assert getattr(streaming, name) == getattr(exact, name)

@@ -20,6 +20,8 @@ class TestLatencyStats:
         stats = LatencyStats()
         assert stats.mean_s == 0.0
         assert stats.stdev_s == 0.0
+        assert stats.min_s == 0.0  # not the math.inf sentinel
+        assert stats.max_s == 0.0
 
 
 class TestThroughputStats:

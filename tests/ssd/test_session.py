@@ -337,7 +337,8 @@ class TestOpenLoopSession:
                 rate_ops_s=20_000,
             )
             result = run_open_loop_workload(
-                ftl, OpenLoopWorkload("det", trace, queue_depth=4)
+                ftl, OpenLoopWorkload("det", trace, queue_depth=4),
+                exact_latencies=True,
             )
             return (
                 result.elapsed_s,
@@ -399,7 +400,8 @@ class TestOpenLoopSession:
         private_ftl = _build()
         private_ftl.write_many([(lpn, bytes(4096)) for lpn in range(8)])
         private = run_open_loop_workload(
-            private_ftl, OpenLoopWorkload("p", trace(), queue_depth=2)
+            private_ftl, OpenLoopWorkload("p", trace(), queue_depth=2),
+            exact_latencies=True,
         )
 
         shared_ftl = _build()
@@ -410,6 +412,7 @@ class TestOpenLoopSession:
             shared_ftl,
             OpenLoopWorkload("s", trace(), queue_depth=2),
             session=session,
+            exact_latencies=True,
         )
         assert shared.elapsed_s == private.elapsed_s
         assert (
