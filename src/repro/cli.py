@@ -46,6 +46,8 @@ def _runners(suite: ExperimentSuite) -> dict[str, tuple[str, callable]]:
                          suite.run_system_openloop),
         "sys_observe": ("device telemetry (trace + utilization + SMART)",
                         suite.run_system_observe),
+        "sys_sustained": ("sustained-write steady state (session GC modes)",
+                          suite.run_system_sustained),
         "uber_mc": ("Monte-Carlo UBER sweep (process pool)", suite.run_uber_mc),
     }
 

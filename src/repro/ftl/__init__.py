@@ -17,7 +17,7 @@ of :class:`repro.controller.NandController`:
 
 from repro.ftl.mapping import LogicalMap, PhysicalLocation
 from repro.ftl.wear import WearAwareAllocator
-from repro.ftl.gc import GarbageCollector, GcStats
+from repro.ftl.gc import GarbageCollector, GcConfig, GcMigration, GcStats
 from repro.ftl.ftl import FlashTranslationLayer, FtlStats
 from repro.ftl.service import (
     DifferentiatedStorage,
@@ -30,6 +30,8 @@ __all__ = [
     "PhysicalLocation",
     "WearAwareAllocator",
     "GarbageCollector",
+    "GcConfig",
+    "GcMigration",
     "GcStats",
     "FlashTranslationLayer",
     "FtlStats",

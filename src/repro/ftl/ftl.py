@@ -8,6 +8,17 @@ provision per batch; the scalar ``read``/``write`` are wrappers over them.
 One FTL instance manages one block partition, so several FTLs with
 different cross-layer configurations can share a device — the substrate of
 the differentiated-service layer.
+
+Garbage collection here is the *foreground* path: ``_provision`` runs
+:meth:`~repro.ftl.gc.GarbageCollector.collect` synchronously when a
+write batch needs pages.  When the partition belongs to a die-striped
+SSD with a scheduled-GC session, the session layers *background*
+collection on top — watermark- and idle-triggered
+:meth:`~repro.ftl.gc.GarbageCollector.collect_block` calls whose
+migration time replays on the device timeline (see
+:class:`~repro.ftl.gc.GcConfig` and
+:class:`~repro.ssd.session.SsdSession`); the foreground path then only
+fires when background GC falls behind the write rate.
 """
 
 from __future__ import annotations
@@ -41,10 +52,12 @@ class FtlStats:
 
 
 class FlashTranslationLayer:
-    """Logical block device over a partition of a NAND controller."""
+    """Logical block device over a partition of a NAND controller.
 
-    #: Collect garbage when free pages drop below this many blocks' worth.
-    GC_LOW_WATER_BLOCKS = 1
+    Free-block watermarks for background collection live in
+    :class:`~repro.ftl.gc.GcConfig` (owned by the scheduling session);
+    the FTL itself only collects on demand in ``_provision``.
+    """
 
     def __init__(
         self,

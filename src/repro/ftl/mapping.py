@@ -36,6 +36,13 @@ class LogicalMap:
         self._owner: dict[PhysicalLocation, int] = {}  # physical -> LPN
         self._valid_count: dict[int, int] = {b: 0 for b in blocks}
         self._stale: set[PhysicalLocation] = set()
+        self._stale_count: dict[int, int] = {b: 0 for b in blocks}
+        # Monotonic write clock: bumped on every bind, with the last
+        # bind time remembered per block — the age signal behind the
+        # cost-benefit GC victim policy (old blocks hold cold data
+        # whose migration pays off for longer).
+        self._tick = 0
+        self._block_mtime: dict[int, int] = {b: 0 for b in blocks}
 
     # -- queries ---------------------------------------------------------------
 
@@ -58,9 +65,20 @@ class LogicalMap:
         return self._valid_count[block]
 
     def stale_pages(self, block: int) -> int:
-        """Stale (invalidated) pages in a block."""
+        """Stale (invalidated) pages in a block (O(1) counter)."""
         self._check_block(block)
-        return sum(1 for loc in self._stale if loc.block == block)
+        return self._stale_count[block]
+
+    def block_age(self, block: int) -> int:
+        """Binds since the block last accepted one (cold-data signal).
+
+        Measured on the map's monotonic write clock: 0 for the block
+        that took the most recent bind, growing by one per bind
+        elsewhere.  Blocks that never accepted a bind read as maximally
+        old, which is what a victim policy wants for them.
+        """
+        self._check_block(block)
+        return self._tick - self._block_mtime[block]
 
     def mapped_lpns(self) -> list[int]:
         """All currently-mapped logical pages."""
@@ -83,6 +101,8 @@ class LogicalMap:
         self._l2p[lpn] = location
         self._owner[location] = lpn
         self._valid_count[location.block] += 1
+        self._tick += 1
+        self._block_mtime[location.block] = self._tick
 
     def unbind(self, lpn: int) -> PhysicalLocation:
         """Remove a logical page (trim); returns the stale location."""
@@ -106,12 +126,14 @@ class LogicalMap:
                 del self._owner[location]
                 del self._l2p[lpn]
         self._stale = {loc for loc in self._stale if loc.block != block}
+        self._stale_count[block] = 0
         self._valid_count[block] = 0
         return orphans
 
     def _invalidate(self, location: PhysicalLocation) -> None:
         self._owner.pop(location, None)
         self._stale.add(location)
+        self._stale_count[location.block] += 1
         self._valid_count[location.block] -= 1
 
     def _check_block(self, block: int) -> None:

@@ -65,6 +65,20 @@ class WearAwareAllocator:
         return sorted(self._free_blocks)
 
     @property
+    def free_block_count(self) -> int:
+        """How many fully-erased blocks remain (O(1) watermark probe).
+
+        Background GC compares this against its low/high free-block
+        watermarks on every completion, so it must not sort the pool
+        the way :attr:`free_blocks` does.
+        """
+        return len(self._free_blocks)
+
+    def is_free(self, block: int) -> bool:
+        """Whether a block sits in the free pool (O(1))."""
+        return block in self._free_blocks
+
+    @property
     def open_block(self) -> int | None:
         """The block that most recently accepted an append."""
         current = self._open[self._last_slot]

@@ -51,8 +51,11 @@ TRACK_BUS = 1
 TRACK_ECC = 2
 TRACK_QUEUE = 3
 
-#: Command-kind codes (tuple slot 6).
-KIND_NAMES = ("read", "program", "erase")
+#: Command-kind codes (tuple slot 6).  GC-origin commands carry the
+#: same three kinds offset by 3, so Perfetto can colour collection
+#: traffic apart from host traffic on the same plane/bus/ECC rows.
+KIND_NAMES = ("read", "program", "erase",
+              "gc-read", "gc-program", "gc-erase")
 
 _TRACK_NAMES = ("plane", "bus", "ecc", "queue")
 

@@ -458,6 +458,7 @@ def run_open_loop_workload(
     session: "SsdSession | None" = None,
     exact_latencies: bool = False,
     recorder=None,
+    on_completion=None,
 ) -> WorkloadResult:
     """Stream an arrival-stamped trace through the SSD's queue pair.
 
@@ -489,6 +490,11 @@ def run_open_loop_workload(
     — ``issue_s`` timestamps are absolute, so its clock is re-based to
     zero for the run; a workload ``queue_depth`` applies for this run
     only.
+
+    ``on_completion`` is an optional per-IoCompletion callback invoked
+    as each completion is consumed (completion order) — the hook the
+    sustained-write benchmark uses to window throughput over time
+    without retaining every completion.
     """
     from repro.errors import SimulationError
     from repro.obs.histogram import StreamingLatencyStats
@@ -553,6 +559,8 @@ def run_open_loop_workload(
             result.stats.observe_write(page_bytes, completion.latency_s)
         result.queue_latency.observe(completion.queue_s)
         result.service_latency.observe(completion.service_s)
+        if on_completion is not None:
+            on_completion(completion)
 
     def arrivals() -> Process:
         for op in workload.operations:

@@ -43,6 +43,7 @@ from repro.ssd.device import DiePageAddress, SsdDevice
 from repro.ssd.scheduler import (
     CommandCompletion,
     CommandKind,
+    CommandOrigin,
     CommandScheduler,
     DieCommand,
     PipelineConfig,
@@ -50,6 +51,7 @@ from repro.ssd.scheduler import (
     SchedulerCore,
 )
 from repro.ssd.session import (
+    GC_MODES,
     FastPathStats,
     IoCommand,
     IoCompletion,
@@ -64,9 +66,11 @@ from repro.ssd.topology import (
 )
 
 __all__ = [
+    "GC_MODES",
     "ChannelTimingParams",
     "CommandCompletion",
     "CommandKind",
+    "CommandOrigin",
     "CommandScheduler",
     "DieAddress",
     "DieCommand",

@@ -73,6 +73,21 @@ class CommandKind(enum.Enum):
     ERASE = "erase"
 
 
+class CommandOrigin(enum.Enum):
+    """Who issued a command — its scheduling priority class.
+
+    ``HOST`` commands carry host I/O; ``GC`` commands are garbage
+    collection's migration reads/programs and victim erases placed on
+    the same timeline.  A core constructed with ``host_priority=True``
+    lets a queued host command jump queued GC work on its plane (GC
+    stays strictly background); origins also split the trace-span kind
+    space, so Perfetto shows GC-vs-host plane contention directly.
+    """
+
+    HOST = "host"
+    GC = "gc"
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """Which overlaps the command pipeline may exploit.
@@ -85,6 +100,12 @@ class PipelineConfig:
     cache_read: bool = False
     multi_plane: bool = False
     pipelined_ecc: bool = False
+    #: Tiered read-ahead: give each plane's cache register a second
+    #: buffer, so a plane may sense two pages ahead of the bus across
+    #: sequential same-plane reads (requires ``cache_read``).  Opt-in
+    #: — deliberately *not* part of :meth:`full`, whose timelines are
+    #: equivalence-locked across the benchmark trajectory.
+    read_ahead: bool = False
 
     @classmethod
     def serial(cls) -> "PipelineConfig":
@@ -93,7 +114,7 @@ class PipelineConfig:
 
     @classmethod
     def full(cls) -> "PipelineConfig":
-        """Every modelled overlap enabled."""
+        """Every modelled overlap enabled (read-ahead stays opt-in)."""
         return cls(cache_read=True, multi_plane=True, pipelined_ecc=True)
 
     def describe(self) -> str:
@@ -104,6 +125,7 @@ class PipelineConfig:
                 ("cache", self.cache_read),
                 ("mplane", self.multi_plane),
                 ("ecc", self.pipelined_ecc),
+                ("ra", self.read_ahead),
             )
             if on
         ]
@@ -133,6 +155,10 @@ class DieCommand:
     plane: int = 0
     phases: tuple[CommandPhase, ...] | None = None
     cache_busy_s: float = 0.0
+    #: Priority class (see :class:`CommandOrigin`): GC-origin commands
+    #: yield to queued host work on a ``host_priority`` core and emit
+    #: ``gc-*`` trace-span kinds.
+    origin: CommandOrigin = CommandOrigin.HOST
 
     def __post_init__(self) -> None:
         if self.die_s < 0 or self.channel_s < 0:
@@ -151,6 +177,7 @@ class DieCommand:
         phases: tuple[CommandPhase, ...],
         plane: int = 0,
         cache_busy_s: float = 0.0,
+        origin: CommandOrigin = CommandOrigin.HOST,
     ) -> "DieCommand":
         """Build a command from an explicit phase sequence.
 
@@ -168,6 +195,7 @@ class DieCommand:
         return cls(
             kind=kind, die=die, tag=tag, die_s=die_s, channel_s=channel_s,
             plane=plane, phases=tuple(phases), cache_busy_s=cache_busy_s,
+            origin=origin,
         )
 
     def phase_plan(self) -> tuple[CommandPhase, ...]:
@@ -272,6 +300,13 @@ class _Lock:
     all of them (see the engine module's determinism contract) — so
     releasing a contended bus no longer schedules a no-op wake-up for
     every other queued worker.
+
+    ``busy`` is a boolean for buses and ECC engines; cache-register
+    locks treat it as a small occupancy count (``False == 0``), so a
+    double-buffered register under ``PipelineConfig.read_ahead`` holds
+    two pages.  At capacity 1 the counting discipline (``+= 1`` /
+    ``-= 1``, wait while ``busy >= cap``) is value-for-value identical
+    to the boolean one — the equivalence lock for read-ahead off.
     """
 
     __slots__ = ("busy", "freed")
@@ -441,6 +476,8 @@ _P_ADMIT = 10     # admission frame: admit the next command of a stream
 # [10] array durations  [11] section ops (is_channel, duration,
 # occupancy)  [12] fused section total  [13] is-read  [14] is-program
 # [15] channel bus lock  [16] channel ECC lock  [17] plane cache lock
+# [18] len(array)  [19] len(ops)  [20] span kind code (KIND_NAMES
+# index, +3 for GC-origin commands; refreshed per pop)
 #
 # Admission frame layout (an open-loop arrival process, flattened):
 # [0] pc (_P_ADMIT)  [1] next command index  [2] command list  [3] list
@@ -537,6 +574,7 @@ class SchedulerCore:
         pipeline: PipelineConfig | None = None,
         flat: bool = False,
         recorder=None,
+        host_priority: bool = False,
     ):
         self.engine = engine
         self.topology = topology
@@ -551,6 +589,14 @@ class SchedulerCore:
         self.completed = engine.signal()
         self.on_finish: list = []
         self.in_flight = 0
+        #: Per-die enqueued-but-incomplete command counts.  A die with
+        #: zero is idle (no queued or executing work on any plane) —
+        #: the admission-frame idleness signal background GC keys off.
+        self.die_inflight = [0] * topology.dies
+        #: When set, a plane's pop prefers the first queued HOST-origin
+        #: command over queued GC work (see :class:`CommandOrigin`).
+        #: Off by default — pure FIFO pop, the historical order.
+        self.host_priority = host_priority
         self.flat = flat
         #: Optional :class:`~repro.obs.trace.TraceRecorder`.  Every
         #: trace hook sits behind a ``recorder is None`` check on a
@@ -583,7 +629,7 @@ class SchedulerCore:
                         self._flat_buses[topology.channel_of(die)],
                         self._flat_eccs[topology.channel_of(die)],
                         self._flat_caches[die][slot],
-                        0, 0,
+                        0, 0, 0,
                     ]
                     for slot in range(self.planes)
                 ]
@@ -707,6 +753,7 @@ class SchedulerCore:
                 "unique among in-flight commands"
             )
         self.in_flight += 1
+        self.die_inflight[command.die] += 1
         self._meta[command.tag] = (self.engine.now_s, submit_s)
         slot = command.plane % self.planes
         if self.flat:
@@ -777,6 +824,7 @@ class SchedulerCore:
         )
         self.completions.append(completion)
         self.in_flight -= 1
+        self.die_inflight[die] -= 1
         self.completed.fire()
         for callback in self.on_finish:
             callback(completion)
@@ -796,16 +844,16 @@ class SchedulerCore:
         fused_s: float,
         channel: int,
         command: DieCommand,
+        kc: int = 0,
     ) -> Process:
-        """Run a command's channel/ECC section (no cache register)."""
+        """Run a command's channel/ECC section (no cache register).
+
+        ``kc`` is the span kind code the worker computed at pop (the
+        :data:`~repro.obs.trace.KIND_NAMES` index, +3 for GC origin).
+        """
         bus = self._buses[channel]
         rec = self.recorder
         span = None if rec is None else rec._spans.append
-        if span is not None:
-            kind = command.kind
-            kc = 0 if kind is CommandKind.READ else (
-                1 if kind is CommandKind.PROGRAM else 2
-            )
         if not self.pipeline.pipelined_ecc:
             # Paper-faithful fused section: transfer + encode/decode
             # occupy the bus as one non-pipelined unit (the structural
@@ -860,12 +908,15 @@ class SchedulerCore:
         cache: _Lock,
         ops: tuple[tuple[bool, float, float], ...],
         fused_s: float,
+        kc: int = 0,
     ) -> Process:
         """Stream a cached page out and complete its command.
 
         Identical to `_channel_section` except the cache register is
         freed the moment the data leaves it (fused section done, or
-        first bus transfer under pipelined ECC).
+        first bus transfer under pipelined ECC).  Cache releases use
+        the counting discipline (see :class:`_Lock`) so a
+        double-buffered register frees one slot at a time.
         """
         bus = self._buses[channel]
         rec = self.recorder
@@ -881,8 +932,8 @@ class SchedulerCore:
             if span is not None:
                 now = self.engine.now_s
                 span((TRACK_BUS, channel, 0,
-                      now - fused_s, now, command.tag, 0))
-            cache.busy = False
+                      now - fused_s, now, command.tag, kc))
+            cache.busy -= 1
             cache.freed.fire()
             self._finish(command, die, channel)
             return
@@ -900,9 +951,9 @@ class SchedulerCore:
                 if span is not None:
                     now = self.engine.now_s
                     span((TRACK_BUS, channel, 0,
-                          now - duration, now, command.tag, 0))
+                          now - duration, now, command.tag, kc))
                 if held is not None:
-                    held.busy = False
+                    held.busy -= 1
                     held.freed.fire()
                     held = None
             else:
@@ -916,12 +967,12 @@ class SchedulerCore:
                 if span is not None:
                     now = self.engine.now_s
                     span((TRACK_ECC, channel, 0,
-                          now - occupancy, now, command.tag, 0))
+                          now - occupancy, now, command.tag, kc))
                 drain = duration - occupancy
                 if drain > 0:
                     yield drain
         if held is not None:  # no transfer phase: free on exit
-            held.busy = False
+            held.busy -= 1
             held.freed.fire()
         self._finish(command, die, channel)
 
@@ -930,22 +981,37 @@ class SchedulerCore:
         queue = self._queues[die][plane]
         work = self._work[die][plane]
         cache_read = self.pipeline.cache_read
+        cache_cap = 2 if (cache_read and self.pipeline.read_ahead) else 1
+        host_prio = self.host_priority
+        gc_origin = CommandOrigin.GC
         rec = self.recorder
         span = None if rec is None else rec._spans.append
         while True:
             while not queue:
                 yield work
             command = queue.popleft()
+            if host_prio and command.origin is gc_origin:
+                # Host-priority pop: a queued host command jumps the
+                # GC work ahead of it; the GC command keeps its place
+                # at the head for the next pop.
+                for index, candidate in enumerate(queue):
+                    if candidate.origin is not gc_origin:
+                        del queue[index]
+                        queue.appendleft(command)
+                        command = candidate
+                        break
+            kind = command.kind
+            kc = 0 if kind is CommandKind.READ else (
+                1 if kind is CommandKind.PROGRAM else 2
+            )
+            if command.origin is gc_origin:
+                kc += 3
             if span is not None:
-                kind = command.kind
-                kc = 0 if kind is CommandKind.READ else (
-                    1 if kind is CommandKind.PROGRAM else 2
-                )
                 span((TRACK_QUEUE, die, plane,
                       self._meta[command.tag][0], self.engine.now_s,
                       command.tag, kc))
             array, ops, fused = _split_plan_fast(command.phase_plan())
-            if command.kind is CommandKind.READ:
+            if kind is CommandKind.READ:
                 # Sense into the plane's page buffer, then stream out.
                 for duration in array:
                     yield duration
@@ -953,13 +1019,13 @@ class SchedulerCore:
                     if span is not None:
                         now = self.engine.now_s
                         span((TRACK_PLANE, die, plane,
-                              now - duration, now, command.tag, 0))
+                              now - duration, now, command.tag, kc))
                 if cache_read and ops:
                     # Hand the page to the cache register and sense on.
                     cache = self._caches[die][plane]
-                    while cache.busy:
+                    while cache.busy >= cache_cap:
                         yield cache.freed
-                    cache.busy = True
+                    cache.busy += 1
                     if command.cache_busy_s > 0:  # tRCBSY handoff
                         yield command.cache_busy_s
                         self.die_busy_s[die] += command.cache_busy_s
@@ -967,23 +1033,27 @@ class SchedulerCore:
                             now = self.engine.now_s
                             span((TRACK_PLANE, die, plane,
                                   now - command.cache_busy_s, now,
-                                  command.tag, 0))
+                                  command.tag, kc))
                     self.engine.spawn(self._read_drain(
-                        command, die, channel, cache, ops, fused
+                        command, die, channel, cache, ops, fused, kc
                     ))
                     continue  # completion happens in the drain
-                yield from self._channel_section(ops, fused, channel, command)
-            elif command.kind is CommandKind.PROGRAM:
+                yield from self._channel_section(
+                    ops, fused, channel, command, kc
+                )
+            elif kind is CommandKind.PROGRAM:
                 # Encode + stream in (bus frees for siblings), then
                 # busy the plane with the ISPP.
-                yield from self._channel_section(ops, fused, channel, command)
+                yield from self._channel_section(
+                    ops, fused, channel, command, kc
+                )
                 for duration in array:
                     yield duration
                     self.die_busy_s[die] += duration
                     if span is not None:
                         now = self.engine.now_s
                         span((TRACK_PLANE, die, plane,
-                              now - duration, now, command.tag, 1))
+                              now - duration, now, command.tag, kc))
             else:  # ERASE: array-only, no data on the bus.
                 for duration in array:
                     yield duration
@@ -991,7 +1061,7 @@ class SchedulerCore:
                     if span is not None:
                         now = self.engine.now_s
                         span((TRACK_PLANE, die, plane,
-                              now - duration, now, command.tag, 2))
+                              now - duration, now, command.tag, kc))
             self._finish(command, die, channel)
 
     # -- flat dispatch -----------------------------------------------------------
@@ -1068,9 +1138,13 @@ class SchedulerCore:
         planes = self.planes
         dies = self.topology.dies
         cache_mode = self.pipeline.cache_read
+        cache_cap = 2 if (cache_mode and self.pipeline.read_ahead) else 1
         pipelined_ecc = self.pipeline.pipelined_ecc
+        host_prio = self.host_priority
+        die_inflight = self.die_inflight
         READ = CommandKind.READ
         PROGRAM = CommandKind.PROGRAM
+        GC_ORIGIN = CommandOrigin.GC
         P_POP = _P_POP
         P_ARRAY = _P_ARRAY
         P_CACHEQ = _P_CACHEQ
@@ -1118,6 +1192,7 @@ class SchedulerCore:
                         if 0 <= die < dies and tag not in meta:
                             # `enqueue(command, submit_s=now)` inlined.
                             in_flight += 1
+                            die_inflight[die] += 1
                             fast_commands += 1
                             meta[tag] = (now, now)
                             target = frames[die][command.plane % planes]
@@ -1197,7 +1272,7 @@ class SchedulerCore:
                         # register (the no-transfer-phase drain exit).
                         cache = frame[9]
                         if cache is not None:
-                            cache[0] = False
+                            cache[0] = cache[0] - 1
                             waiters = cache[1]
                             if waiters:
                                 head = waiters.pop(0)
@@ -1225,6 +1300,7 @@ class SchedulerCore:
                         )
                         completions_append(completion)
                         in_flight -= 1
+                        die_inflight[frame[1]] -= 1
                         if admit_frame is not None and admit_frame[5]:
                             # A window-parked flat stream wakes exactly
                             # where `completed.fire()` would have
@@ -1269,6 +1345,16 @@ class SchedulerCore:
                             frame[5] = True  # park idle (daemon: uncounted)
                             break
                         command = cqueue.popleft()
+                        if host_prio and command.origin is GC_ORIGIN:
+                            # Host-priority pop: promote the first queued
+                            # host command past GC work; the GC command
+                            # returns to the head for the next pop.
+                            for index, candidate in enumerate(cqueue):
+                                if candidate.origin is not GC_ORIGIN:
+                                    del cqueue[index]
+                                    cqueue.appendleft(command)
+                                    command = candidate
+                                    break
                         plan = command.phases
                         if plan is None:
                             plan = command.phase_plan()
@@ -1284,11 +1370,16 @@ class SchedulerCore:
                         frame[18] = len(array)
                         frame[19] = len(ops)
                         kind = command.kind
+                        kc = 0 if kind is READ else (
+                            1 if kind is PROGRAM else 2
+                        )
+                        if command.origin is GC_ORIGIN:
+                            kc += 3
+                        frame[20] = kc
                         if rspan is not None:
                             rspan((3, frame[1], frame[2],
                                    meta[command.tag][0], now, command.tag,
-                                   0 if kind is READ else
-                                   (1 if kind is PROGRAM else 2)))
+                                   kc))
                         frame[13] = kind is READ
                         if kind is PROGRAM:
                             frame[14] = True
@@ -1312,9 +1403,7 @@ class SchedulerCore:
                             if rspan is not None:
                                 rspan((0, frame[1], frame[2],
                                        now - array[cursor], now,
-                                       frame[6].tag,
-                                       0 if frame[13] else
-                                       (1 if frame[14] else 2)))
+                                       frame[6].tag, frame[20]))
                             cursor += 1
                             frame[7] = cursor
                             if cursor < frame[18]:
@@ -1334,6 +1423,7 @@ class SchedulerCore:
                             )
                             completions_append(completion)
                             in_flight -= 1
+                            die_inflight[frame[1]] -= 1
                             if admit_frame is not None and admit_frame[5]:
                                 admit_frame[5] = False
                                 dws_append(admit_frame)
@@ -1369,7 +1459,7 @@ class SchedulerCore:
                         ops = frame[11]
                         if cache_mode and ops:
                             cache = frame[17]
-                            if cache[0]:
+                            if cache[0] >= cache_cap:
                                 frame[0] = P_CACHEQ
                                 if cache[2] is frame:
                                     lock_park(cache, frame)
@@ -1377,7 +1467,7 @@ class SchedulerCore:
                                     cache[1].append(frame)
                                 parked += 1
                                 break
-                            cache[0] = True
+                            cache[0] = cache[0] + 1
                             # acquired without waiting (no yield, no seq)
                             trcbsy = frame[6].cache_busy_s
                             if trcbsy > 0.0:
@@ -1390,7 +1480,7 @@ class SchedulerCore:
                                 None, False, frame[6], 0, 0, cache,
                                 frame[10], frame[11], frame[12], True,
                                 False, frame[15], frame[16], None,
-                                frame[18], frame[19],
+                                frame[18], frame[19], frame[20],
                             ]
                             dws_append(drain)
                             pc = P_POP
@@ -1413,12 +1503,10 @@ class SchedulerCore:
                             channel_busy[frame[3]] += frame[12]
                             if rspan is not None:
                                 rspan((1, frame[3], 0, now - frame[12],
-                                       now, frame[6].tag,
-                                       0 if frame[13] else
-                                       (1 if frame[14] else 2)))
+                                       now, frame[6].tag, frame[20]))
                             cache = frame[9]
                             if cache is not None:
-                                cache[0] = False
+                                cache[0] = cache[0] - 1
                                 cwaiters = cache[1]
                                 if cwaiters:
                                     head = cwaiters.pop(0)
@@ -1447,6 +1535,7 @@ class SchedulerCore:
                             )
                             completions_append(completion)
                             in_flight -= 1
+                            die_inflight[frame[1]] -= 1
                             if admit_frame is not None and admit_frame[5]:
                                 admit_frame[5] = False
                                 dws_append(admit_frame)
@@ -1485,12 +1574,10 @@ class SchedulerCore:
                         if rspan is not None:
                             duration = frame[11][frame[8]][1]
                             rspan((1, frame[3], 0, now - duration, now,
-                                   frame[6].tag,
-                                   0 if frame[13] else
-                                   (1 if frame[14] else 2)))
+                                   frame[6].tag, frame[20]))
                         cache = frame[9]
                         if cache is not None:
-                            cache[0] = False
+                            cache[0] = cache[0] - 1
                             cwaiters = cache[1]
                             if cwaiters:
                                 head = cwaiters.pop(0)
@@ -1516,9 +1603,7 @@ class SchedulerCore:
                         ecc_busy[frame[3]] += phase[2]
                         if rspan is not None:
                             rspan((2, frame[3], 0, now - phase[2], now,
-                                   frame[6].tag,
-                                   0 if frame[13] else
-                                   (1 if frame[14] else 2)))
+                                   frame[6].tag, frame[20]))
                         remainder = phase[1] - phase[2]
                         if remainder > 0:
                             frame[0] = P_ECCDRAIN
@@ -1553,27 +1638,27 @@ class SchedulerCore:
                         if rspan is not None:
                             rspan((0, frame[1], frame[2],
                                    now - frame[6].cache_busy_s, now,
-                                   frame[6].tag, 0))
+                                   frame[6].tag, frame[20]))
                         drain = [
                             P_SECTION, frame[1], frame[2], frame[3],
                             None, False, frame[6], 0, 0, frame[17],
                             frame[10], frame[11], frame[12], True,
                             False, frame[15], frame[16], None,
-                            frame[18], frame[19],
+                            frame[18], frame[19], frame[20],
                         ]
                         dws_append(drain)
                         pc = P_POP
                         continue
                     elif pc == P_CACHEQ:
                         cache = frame[17]
-                        if cache[0]:
+                        if cache[0] >= cache_cap:
                             if cache[2] is frame:
                                 lock_park(cache, frame)
                             else:
                                 cache[1].append(frame)
                             parked += 1
                             break
-                        cache[0] = True
+                        cache[0] = cache[0] + 1
                         trcbsy = frame[6].cache_busy_s
                         if trcbsy > 0.0:
                             frame[0] = P_TRCBSY
@@ -1584,7 +1669,7 @@ class SchedulerCore:
                             None, False, frame[6], 0, 0, cache,
                             frame[10], frame[11], frame[12], True,
                             False, frame[15], frame[16], None,
-                            frame[18], frame[19],
+                            frame[18], frame[19], frame[20],
                         ]
                         dws_append(drain)
                         pc = P_POP

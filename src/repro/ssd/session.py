@@ -35,15 +35,33 @@ run-to-drain scheduler.  ``DieStripedFtl.read_many``/``write_many``
 route through it, which is what lets every namespace of a
 :class:`~repro.ftl.service.DifferentiatedStorage` share one device-wide
 queue.
+
+Garbage collection and the timeline — three session modes:
+
+* ``gc_mode="sync"`` (default): collections run synchronously inside
+  the FTL data path, off the timeline, exactly as before — the locked
+  bit-exact baseline.
+* ``"foreground"``: every collection a submission triggers is replayed
+  as GC-origin die commands on the timeline, and the host window is
+  frozen while GC commands are in flight — the classic
+  write-cliff-with-stalls device, and the synchronous-GC baseline for
+  the sustained-write benchmark.
+* ``"background"``: collections are additionally triggered by per-die
+  free-block watermarks and idle dies (see
+  :class:`~repro.ftl.gc.GcConfig`), GC commands *overlap* host I/O —
+  they never consume the host queue-depth window, and the per-plane
+  dispatch pop gives host commands priority over queued GC work.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.ftl.gc import GcConfig, GcMigration
 from repro.sim.engine import SimEngine
 from repro.ssd.scheduler import (
     DieCommand,
@@ -53,6 +71,9 @@ from repro.ssd.scheduler import (
     validate_batch,
 )
 from repro.workloads.traces import TraceOpKind
+
+#: Valid ``SsdSession(gc_mode=...)`` values.
+GC_MODES = ("sync", "foreground", "background")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (striped uses session)
     from repro.obs.counters import CounterRegistry
@@ -154,6 +175,15 @@ class SsdSession:
     overflow waits in the session's submission backlog.  ``ftl`` is the
     default router for logical I/O — :meth:`submit` accepts an explicit
     ``ftl=`` for multi-namespace use.
+
+    ``gc_mode`` selects how collections meet the timeline (see the
+    module docstring); ``gc_config`` tunes the victim policy and the
+    background watermarks.  In the scheduled modes (``"foreground"`` /
+    ``"background"``) submissions beyond the admission window stay
+    *unstaged* in the backlog — their data path runs at dispatch time,
+    so GC triggers spread over the run instead of front-loading at
+    submit; ``"sync"`` keeps the historical stage-at-submit flow
+    bit-exactly.
     """
 
     def __init__(
@@ -165,6 +195,8 @@ class SsdSession:
         queue_depth: int | None = None,
         fast_batch: bool = True,
         recorder=None,
+        gc_mode: str = "sync",
+        gc_config: GcConfig | None = None,
     ):
         if ssd is None:
             if ftl is None:
@@ -172,17 +204,24 @@ class SsdSession:
             ssd = ftl.ssd
         if queue_depth is not None and queue_depth < 1:
             raise SimulationError("queue depth must be >= 1")
+        if gc_mode not in GC_MODES:
+            raise SimulationError(
+                f"gc_mode must be one of {GC_MODES}, not {gc_mode!r}"
+            )
         self.ftl = ftl
         self.ssd = ssd
         self.engine = engine or SimEngine()
         self.queue_depth = queue_depth
         self.fast_batch = fast_batch
+        self.gc_mode = gc_mode
+        self.gc_config = gc_config if gc_config is not None else GcConfig()
         #: Optional :class:`~repro.obs.trace.TraceRecorder`; spans cover
         #: every command this session dispatches (see ``repro.obs``).
         self.recorder = recorder
         self.core = SchedulerCore(
             self.engine, ssd.topology, ssd.pipeline, flat=fast_batch,
             recorder=recorder,
+            host_priority=(gc_mode == "background"),
         )
         self.core.start()
         # Park the resident dispatchers (generator workers on their
@@ -197,8 +236,23 @@ class SsdSession:
         #: Completion queue (append-only, completion order).
         self.completions: list[IoCompletion] = []
         self._io: dict[int, _IoRecord] = {}
-        self._backlog: deque[tuple[DieCommand, float]] = deque()
+        # sync mode: (command, submit_s); scheduled modes: the unstaged
+        # (ftl, io, tag, submit_s) — see the class docstring.
+        self._backlog: deque[tuple] = deque()
         self._next_tag = 0
+        # Scheduled-GC state: tag -> (shard GcStats, die) for in-flight
+        # GC commands, per-die in-flight counts, per-die watermark
+        # hysteresis flags, and the capture gate that routes sink calls
+        # onto the timeline (only while a submission stages or a
+        # background collection runs — never inside execute()).
+        self._gc_tags: dict[int, tuple] = {}
+        self._gc_inflight = 0
+        self._gc_die_inflight = [0] * ssd.topology.dies
+        self._gc_active = [False] * ssd.topology.dies
+        self._gc_capture = False
+        self._gc_ftls: list = []
+        if gc_mode != "sync" and ftl is not None:
+            self._install_gc(ftl)
 
     # -- open-loop submission stream ---------------------------------------------
 
@@ -237,6 +291,8 @@ class SsdSession:
             raise SimulationError(
                 "session has no FTL: pass one at construction or per submit"
             )
+        if self.gc_mode != "sync":
+            return self._submit_scheduled(io, ftl)
         tag = self._next_tag
         self._next_tag += 1
         submit_s = self.engine.now_s
@@ -359,6 +415,16 @@ class SsdSession:
         registry.set("session_submissions", self._next_tag, "ios")
         registry.set("session_in_flight", self.core.in_flight, "ios")
         registry.set("session_backlog", len(self._backlog), "ios")
+        registry.set("session_gc_mode", self.gc_mode)
+        if self.gc_mode != "sync":
+            registry.set(
+                "session_gc_in_flight", self._gc_inflight, "commands"
+            )
+            registry.set(
+                "session_gc_active_dies",
+                sum(1 for flag in self._gc_active if flag),
+                "dies",
+            )
         fast = self.fast_path_stats
         registry.set("dispatch_fast_commands", fast.fast, "commands")
         registry.set("dispatch_fallback_commands", fast.fallback,
@@ -371,22 +437,207 @@ class SsdSession:
     # -- internals -----------------------------------------------------------------
 
     def _on_command_finish(self, completion) -> None:
-        record = self._io.pop(completion.tag, None)
-        if record is not None:
-            self.completions.append(IoCompletion(
-                tag=completion.tag,
-                kind=record.kind,
-                lpn=record.lpn,
-                data=record.data,
-                submit_s=record.submit_s,
-                dispatch_s=completion.admit_s,
-                done_s=completion.done_s,
-            ))
-            self.completion.fire()
-        # Top the in-flight window back up from the submission backlog.
-        while self._backlog and (
-            self.queue_depth is None
-            or self.core.in_flight < self.queue_depth
-        ):
-            command, submit_s = self._backlog.popleft()
+        gc_entry = self._gc_tags.pop(completion.tag, None)
+        if gc_entry is not None:
+            # A GC-origin command retired: charge its resource busy
+            # time (sum of phase durations, precomputed at staging) to
+            # the owning shard's scheduled-GC accounting.
+            stats, die, busy_s = gc_entry
+            stats.scheduled_busy_s += busy_s
+            self._gc_inflight -= 1
+            self._gc_die_inflight[die] -= 1
+        else:
+            record = self._io.pop(completion.tag, None)
+            if record is not None:
+                self.completions.append(IoCompletion(
+                    tag=completion.tag,
+                    kind=record.kind,
+                    lpn=record.lpn,
+                    data=record.data,
+                    submit_s=record.submit_s,
+                    dispatch_s=completion.admit_s,
+                    done_s=completion.done_s,
+                ))
+                self.completion.fire()
+        if self.gc_mode == "sync":
+            # Top the in-flight window back up from the submission
+            # backlog (staged commands, historical flow — bit-exact).
+            while self._backlog and (
+                self.queue_depth is None
+                or self.core.in_flight < self.queue_depth
+            ):
+                command, submit_s = self._backlog.popleft()
+                self.core.enqueue(command, submit_s=submit_s)
+            return
+        # Scheduled modes: stage-and-dispatch backlogged submissions as
+        # the window opens.  Foreground mode freezes the host stream
+        # while GC commands are in flight (the write-cliff stall);
+        # background GC never counts against the host window.
+        while self._backlog:
+            if self.gc_mode == "foreground" and self._gc_inflight:
+                break
+            if (
+                self.queue_depth is not None
+                and self.core.in_flight - self._gc_inflight
+                >= self.queue_depth
+            ):
+                break
+            ftl, io, tag, submit_s = self._backlog.popleft()
+            self._dispatch_io(ftl, io, tag, submit_s)
+        if self.gc_mode == "background":
+            self._maybe_background_collect()
+
+    # -- scheduled-GC machinery ------------------------------------------------------
+
+    def _submit_scheduled(self, io: IoCommand, ftl: "DieStripedFtl") -> int:
+        """Post one I/O in a scheduled-GC mode (deferred staging).
+
+        The data path does *not* run here when the admission window is
+        closed — the submission waits unstaged so any collection it
+        triggers lands on the timeline at dispatch time, interleaved
+        with the stream, rather than front-loaded at submit.
+        """
+        if io.kind is not TraceOpKind.READ and io.kind is not TraceOpKind.WRITE:
+            raise SimulationError(
+                f"sessions carry reads and writes only, not {io.kind}"
+            )
+        self._install_gc(ftl)
+        tag = self._next_tag
+        self._next_tag += 1
+        submit_s = self.engine.now_s
+        # Placeholder record so the tag is visible to host bookkeeping
+        # before staging; _dispatch_io replaces it with the data.
+        self._io[tag] = _IoRecord(io.kind, io.lpn, None, submit_s)
+        if self._admit_room():
+            self._dispatch_io(ftl, io, tag, submit_s)
+        else:
+            self._backlog.append((ftl, io, tag, submit_s))
+        return tag
+
+    def _admit_room(self) -> bool:
+        """Whether a fresh submission may dispatch right now.
+
+        A non-empty backlog always wins (FIFO); foreground mode closes
+        the window while GC is in flight; otherwise GC commands are
+        subtracted so background collection never eats host depth.
+        """
+        if self._backlog:
+            return False
+        if self.gc_mode == "foreground" and self._gc_inflight:
+            return False
+        if self.queue_depth is None:
+            return True
+        return self.core.in_flight - self._gc_inflight < self.queue_depth
+
+    def _dispatch_io(
+        self, ftl: "DieStripedFtl", io: IoCommand, tag: int, submit_s: float
+    ) -> None:
+        """Stage one submission's data path and enqueue its command.
+
+        Runs with GC capture on, so any collection ``_provision``
+        triggers is replayed as GC-origin commands enqueued *before*
+        the host command that needed the space.
+        """
+        self._gc_capture = True
+        try:
+            if io.kind is TraceOpKind.READ:
+                datas, commands = ftl.stage_reads([io.lpn], tags=(tag,))
+                data = datas[0]
+            else:
+                commands = ftl.stage_writes(
+                    [(io.lpn, io.data)], tags=(tag,)
+                )
+                data = None
+        finally:
+            self._gc_capture = False
+        self._io[tag] = _IoRecord(io.kind, io.lpn, data, submit_s)
+        self.core.enqueue(commands[0], submit_s=submit_s)
+
+    def _install_gc(self, ftl: "DieStripedFtl") -> None:
+        """Point every shard's collector at this session's timeline."""
+        for installed in self._gc_ftls:
+            if installed is ftl:
+                return
+        self._gc_ftls.append(ftl)
+        for die, shard in enumerate(ftl.shards):
+            shard.gc.policy = self.gc_config.policy
+            shard.gc.sink = partial(self._on_gc_migration, ftl, die)
+
+    def _on_gc_migration(
+        self, ftl: "DieStripedFtl", die: int, migration: GcMigration
+    ) -> bool:
+        """Shard-collector sink: replay a migration on the timeline.
+
+        Returns False (sync accounting) outside a capture window — a
+        closed ``execute()`` batch or direct FTL use stays untouched.
+        """
+        if not self._gc_capture:
+            return False
+        count = len(migration.reads) + len(migration.writes) + 1
+        tags = range(self._next_tag, self._next_tag + count)
+        commands = ftl.gc_commands(die, migration, tags)
+        self._next_tag += count
+        stats = ftl.shards[die].gc.stats
+        submit_s = self.engine.now_s
+        for command in commands:
+            busy_s = sum(
+                phase.duration_s for phase in command.phase_plan()
+            )
+            self._gc_tags[command.tag] = (stats, die, busy_s)
+            self._gc_inflight += 1
+            self._gc_die_inflight[die] += 1
             self.core.enqueue(command, submit_s=submit_s)
+        return True
+
+    def _maybe_background_collect(self) -> None:
+        """Watermark- and idle-triggered collection, one pass per die.
+
+        Hysteresis: a die turns *active* when its free-block pool drops
+        to the low watermark and stays active until the pool refills to
+        the high one — no thrash at the boundary.  An idle die (no
+        commands in flight) may additionally collect eagerly below the
+        high watermark when ``idle_collect`` is on.  At most one
+        collection is in flight per die.
+        """
+        config = self.gc_config
+        active = self._gc_active
+        die_gc = self._gc_die_inflight
+        die_host = self.core.die_inflight
+        for ftl in self._gc_ftls:
+            eligible = []
+            for die, shard in enumerate(ftl.shards):
+                free = shard.allocator.free_block_count
+                if free <= config.low_water_blocks:
+                    active[die] = True
+                elif free >= config.high_water_blocks:
+                    active[die] = False
+                if die_gc[die]:
+                    continue  # one collection in flight per die
+                if active[die] or (
+                    config.idle_collect
+                    and free < config.high_water_blocks
+                    and die_host[die] == 0
+                ):
+                    eligible.append(die)
+            if not eligible:
+                continue
+            self._gc_capture = True
+            try:
+                if config.superblock:
+                    stripe = ftl.pick_striped_victim(eligible)
+                    if stripe is None:
+                        continue
+                    for die, victim in zip(eligible, stripe):
+                        gc = ftl.shards[die].gc
+                        if gc.collect_block(victim) is not None:
+                            gc.stats.background_collections += 1
+                else:
+                    for die in eligible:
+                        gc = ftl.shards[die].gc
+                        victim = gc.pick_victim()
+                        if victim is None:
+                            continue
+                        if gc.collect_block(victim) is not None:
+                            gc.stats.background_collections += 1
+            finally:
+                self._gc_capture = False

@@ -47,12 +47,13 @@ from typing import TYPE_CHECKING, Sequence
 from repro.controller.controller import ReadReport, WriteReport
 from repro.errors import ControllerError
 from repro.ftl.ftl import FlashTranslationLayer, FtlStats
-from repro.ftl.gc import GcStats
+from repro.ftl.gc import GcMigration, GcStats
 from repro.nand.ispp import IsppAlgorithm
 from repro.nand.timing import NandTimingModel
 from repro.ssd.device import SsdDevice
 from repro.ssd.scheduler import (
     CommandKind,
+    CommandOrigin,
     DieCommand,
     ScheduleResult,
 )
@@ -273,6 +274,10 @@ class DieStripedFtl:
             total.pages_migrated += shard.gc.stats.pages_migrated
             total.blocks_erased += shard.gc.stats.blocks_erased
             total.migration_time_s += shard.gc.stats.migration_time_s
+            total.background_collections += (
+                shard.gc.stats.background_collections
+            )
+            total.scheduled_busy_s += shard.gc.stats.scheduled_busy_s
         return total
 
     def populate_counters(self, registry) -> None:
@@ -291,6 +296,16 @@ class DieStripedFtl:
         registry.add("gc_collections", gc.collections, "runs")
         registry.add("gc_pages_migrated", gc.pages_migrated, "pages")
         registry.add("gc_blocks_erased", gc.blocks_erased, "blocks")
+        registry.add(
+            "gc_background_collections", gc.background_collections, "runs"
+        )
+        registry.add("gc_scheduled_busy_s", gc.scheduled_busy_s, "s")
+        for shard in self.shards:
+            registry.append(
+                "gc_free_blocks",
+                shard.allocator.free_block_count,
+                "blocks",
+            )
         host_writes = registry.get("host_writes")
         if host_writes:
             registry.set(
@@ -313,7 +328,11 @@ class DieStripedFtl:
         return self.geometry.plane_of_block(report.block)
 
     def _read_command(
-        self, die: int, tag: int, report: ReadReport
+        self,
+        die: int,
+        tag: int,
+        report: ReadReport,
+        origin: CommandOrigin = CommandOrigin.HOST,
     ) -> DieCommand:
         latencies = report.latencies
         codec = self.shards[die].controller.codec
@@ -328,10 +347,15 @@ class DieStripedFtl:
             CommandKind.READ, die, tag, phases,
             plane=self._plane_of(report),
             cache_busy_s=device.timing.cache_busy_s(),
+            origin=origin,
         )
 
     def _program_command(
-        self, die: int, tag: int, report: WriteReport
+        self,
+        die: int,
+        tag: int,
+        report: WriteReport,
+        origin: CommandOrigin = CommandOrigin.HOST,
     ) -> DieCommand:
         latencies = report.latencies
         codec = self.shards[die].controller.codec
@@ -344,7 +368,80 @@ class DieStripedFtl:
         return DieCommand.from_phases(
             CommandKind.PROGRAM, die, tag, phases,
             plane=self._plane_of(report),
+            origin=origin,
         )
+
+    def gc_commands(
+        self, die: int, migration: GcMigration, tags: Sequence[int]
+    ) -> list[DieCommand]:
+        """Replay one shard collection as GC-origin die commands.
+
+        The migration's data path already ran (reads decoded, programs
+        bound, victim erased in the wear model) — what remains is its
+        *time*: every live-page read, every rewrite program, and the
+        victim erase become tagged commands that contend for this die's
+        planes, channel bus and ECC engine on the session timeline.
+        ``tags`` must provide ``len(reads) + len(writes) + 1`` entries.
+        """
+        expected = len(migration.reads) + len(migration.writes) + 1
+        if len(tags) != expected:
+            raise ControllerError(
+                f"gc_commands needs {expected} tags, got {len(tags)}"
+            )
+        gc = CommandOrigin.GC
+        commands: list[DieCommand] = []
+        cursor = 0
+        for report in migration.reads:
+            commands.append(
+                self._read_command(die, tags[cursor], report, origin=gc)
+            )
+            cursor += 1
+        for report in migration.writes:
+            commands.append(
+                self._program_command(die, tags[cursor], report, origin=gc)
+            )
+            cursor += 1
+        erase = NandTimingModel.erase_phases(migration.erase_s)
+        commands.append(DieCommand.from_phases(
+            CommandKind.ERASE, die, tags[cursor], erase,
+            plane=self.geometry.plane_of_block(migration.victim),
+            origin=gc,
+        ))
+        return commands
+
+    def pick_striped_victim(self, dies: Sequence[int]) -> list[int] | None:
+        """Superblock-striped victim: the same block index on every die.
+
+        Scores each candidate block number by summing the shard GC
+        policy's :meth:`~repro.ftl.gc.GarbageCollector.victim_score`
+        across the given dies (shards where the block is open, free or
+        clean contribute nothing), then returns ``[block] * len(dies)``
+        aligned with ``dies`` for the best-scoring stripe — one logical
+        collection that erases the same block everywhere and therefore
+        runs die-parallel on the timeline.  ``None`` when no block is
+        collectable on any die.
+        """
+        if not dies:
+            return None
+        best_key: tuple[float, int, int] | None = None
+        best_block = -1
+        for block in self.blocks:
+            total = 0.0
+            shards_in = 0
+            for die in dies:
+                score = self.shards[die].gc.victim_score(block)
+                if score is not None:
+                    total += score
+                    shards_in += 1
+            if shards_in == 0:
+                continue
+            key = (total, shards_in, -block)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_block = block
+        if best_key is None:
+            return None
+        return [best_block] * len(dies)
 
     def _schedule(
         self,
