@@ -1,8 +1,10 @@
 """Repo-level pytest configuration shared by ``tests/`` and ``benchmarks/``.
 
 Registers the ``slow`` marker (so ``pytest -m "not slow"`` keeps tier-1
-fast while the throughput benchmarks run on demand) and the ``--quick``
-knob that shrinks benchmark batch sizes for smoke runs.
+fast while the throughput benchmarks run on demand), the ``--quick``
+knob that shrinks benchmark batch sizes for smoke runs, and the
+``--sanitize`` switch that arms the runtime DES sanitizer
+(:mod:`repro.sim.sanitizer`) for every engine the tests construct.
 """
 
 from __future__ import annotations
@@ -21,6 +23,12 @@ def pytest_addoption(parser) -> None:
         default=False,
         help="emit a cProfile top-25 cumulative report per benchmark",
     )
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="arm the DES sanitizer on every SimEngine the tests build",
+    )
 
 
 def pytest_configure(config) -> None:
@@ -28,3 +36,11 @@ def pytest_configure(config) -> None:
         "markers",
         "slow: long-running benchmark or sweep; deselect with -m 'not slow'",
     )
+    if config.getoption("--sanitize"):
+        from repro.sim import engine
+
+        # Flip the process-wide default so SimEngine(sanitize=None) —
+        # i.e. every engine a test or helper constructs without an
+        # explicit choice — comes up armed.  Explicit sanitize=False
+        # still wins (the equivalence tests rely on that).
+        engine.SANITIZE_DEFAULT = True

@@ -1,0 +1,122 @@
+"""Determinism lint: project-specific static analysis for the simulator.
+
+The simulator's contract — identical inputs produce bit-identical
+schedules across dispatch paths and event-list backends — is easy to
+break with ordinary Python: an unseeded RNG fallback, a set iteration
+feeding the event list, a wall-clock read, a leaked lock on one branch.
+This package catches those *statically*, complementing the runtime
+:mod:`repro.sim.sanitizer`:
+
+* :mod:`~repro.analysis.lint.rules` — AST rules DET101–DET106 (RNG,
+  wall clock, unordered iteration, timestamp equality, mutable
+  defaults);
+* :mod:`~repro.analysis.lint.cfg` — DET107, the lock-discipline CFG
+  walk over the scheduler's acquire/release/handoff protocol;
+* :mod:`~repro.analysis.lint.baseline` — the committed grandfather
+  file that lets CI fail on *new* violations only.
+
+Run it with ``python -m repro lint [paths ...]``.  Suppress a single
+finding with a trailing ``# lint-ok: DET105`` comment (bare
+``# lint-ok`` suppresses all rules on that line) — suppressions should
+carry a justification, they assert the hazard is understood, not
+absent.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.lint.baseline import (
+    counts_of,
+    diff_against,
+    format_baseline,
+    parse_baseline,
+)
+from repro.analysis.lint.cfg import check_locks
+from repro.analysis.lint.rules import (
+    RULES,
+    Violation,
+    scan,
+    suppressions,
+)
+
+__all__ = [
+    "RULES", "Violation", "lint_source", "lint_file", "lint_paths",
+    "counts_of", "diff_against", "format_baseline", "parse_baseline",
+]
+
+
+def _sim_scope(path: str) -> bool:
+    """Timestamp-equality (DET105) scope: simulation code only.
+
+    Equality assertions on makespans and completion times in ``tests/``
+    and ``benchmarks/`` *are* the bit-exactness contract — asserting
+    them with a tolerance would weaken exactly what they exist to pin.
+    """
+    parts = Path(path).parts
+    if "tests" in parts or "benchmarks" in parts:
+        return False
+    return not Path(path).name.startswith("test_")
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    sim_scope: bool = True,
+) -> list[Violation]:
+    """Lint one source text; returns suppression-filtered violations."""
+    import ast
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code="DET100",
+            message=f"syntax error: {exc.msg}",
+        )]
+    violations = scan(tree, path, sim_scope) + check_locks(tree, path)
+    table = suppressions(source)
+    if table:
+        kept = []
+        for violation in violations:
+            codes = table.get(violation.line, ...)
+            if codes is None:  # bare lint-ok: everything on the line
+                continue
+            if codes is not ... and violation.code in codes:
+                continue
+            kept.append(violation)
+        violations = kept
+    violations.sort()
+    return violations
+
+
+def lint_file(path: str | Path) -> list[Violation]:
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    return lint_source(text, path.as_posix(), sim_scope=_sim_scope(str(path)))
+
+
+def lint_paths(paths) -> list[Violation]:
+    """Lint files and directory trees (``.py`` files, sorted paths)."""
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            candidates = [root]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            files.append(candidate)
+    violations: list[Violation] = []
+    for path in files:
+        violations.extend(lint_file(path))
+    violations.sort()
+    return violations

@@ -1,0 +1,66 @@
+"""Violation baseline: grandfather existing hits, fail on new ones.
+
+The baseline is a committed text file of ``<path> <code> <count>``
+lines (sorted).  A lint run *passes* against it when no (path, code)
+pair exceeds its grandfathered count — so legacy violations don't block
+CI, but any new violation (or an old one moving to a new file) fails
+immediately.  Counts that shrink are reported as stale entries: refresh
+the file with ``python -m repro lint --write-baseline`` so the ratchet
+only ever tightens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+_HEADER = (
+    "# repro lint baseline — grandfathered violations as '<path> <code> "
+    "<count>'.\n"
+    "# Regenerate with: python -m repro lint src tests benchmarks "
+    "--write-baseline\n"
+)
+
+
+def counts_of(violations) -> Counter:
+    """Collapse violations to (path, code) counts."""
+    return Counter((v.path, v.code) for v in violations)
+
+
+def format_baseline(counts: Counter) -> str:
+    lines = [_HEADER.rstrip("\n")]
+    for (path, code), count in sorted(counts.items()):
+        lines.append(f"{path} {code} {count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_baseline(text: str) -> Counter:
+    counts: Counter = Counter()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(f"baseline line {lineno}: expected "
+                             f"'<path> <code> <count>', got {raw!r}")
+        path, code, count = parts
+        counts[(path, code)] = int(count)
+    return counts
+
+
+def diff_against(fresh: Counter, baseline: Counter):
+    """``(new, stale)`` — entries over the baseline, and entries under it.
+
+    ``new`` is the failing set: (path, code, fresh_count, allowed).
+    ``stale`` entries mean the code got cleaner than the file records.
+    """
+    new = []
+    stale = []
+    for key in sorted(set(fresh) | set(baseline)):
+        have = fresh.get(key, 0)
+        allowed = baseline.get(key, 0)
+        if have > allowed:
+            new.append((key[0], key[1], have, allowed))
+        elif have < allowed:
+            stale.append((key[0], key[1], have, allowed))
+    return new, stale

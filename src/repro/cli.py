@@ -9,6 +9,9 @@ Subcommands
     same rows/series the paper's figures report.
 ``status``
     Print the canonical device/code parameters and calibration anchors.
+``lint [paths ...]``
+    Run the determinism lint (see :mod:`repro.analysis.lint`) against
+    the committed baseline; ``--write-baseline`` regenerates it.
 """
 
 from __future__ import annotations
@@ -18,10 +21,9 @@ import sys
 import time
 
 from repro import params as canon
-from repro.analysis.experiments import ExperimentSuite
 
 
-def _runners(suite: ExperimentSuite) -> dict[str, tuple[str, callable]]:
+def _runners(suite) -> dict[str, tuple[str, callable]]:
     return {
         "fig03": ("MLC threshold-voltage distributions", suite.run_fig03),
         "fig04": ("compact-model fit (ISPP staircase)", suite.run_fig04),
@@ -101,6 +103,47 @@ def _cmd_status(suite: ExperimentSuite) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint
+
+    violations = lint.lint_paths(args.paths)
+    fresh = lint.counts_of(violations)
+    if args.write_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            handle.write(lint.format_baseline(fresh))
+        print(f"wrote {args.baseline}: {sum(fresh.values())} grandfathered "
+              f"violation(s) across {len(fresh)} (file, rule) pair(s)")
+        return 0
+    if args.no_baseline:
+        baseline = lint.parse_baseline("")
+    else:
+        try:
+            with open(args.baseline, encoding="utf-8") as handle:
+                baseline = lint.parse_baseline(handle.read())
+        except FileNotFoundError:
+            baseline = lint.parse_baseline("")
+    new, stale = lint.diff_against(fresh, baseline)
+    if new:
+        failing = {(path, code) for path, code, _, _ in new}
+        for violation in violations:
+            if (violation.path, violation.code) in failing:
+                print(violation.render())
+        for path, code, have, allowed in new:
+            print(f"{path}: {code} x{have} exceeds baseline ({allowed} "
+                  "grandfathered)", file=sys.stderr)
+        print(f"lint: {len(new)} (file, rule) pair(s) over baseline",
+              file=sys.stderr)
+        return 1
+    for path, code, have, allowed in stale:
+        print(f"note: stale baseline entry {path} {code} (baseline "
+              f"{allowed}, found {have}) — rerun with --write-baseline",
+              file=sys.stderr)
+    total = sum(fresh.values())
+    grandfathered = f" ({total} grandfathered)" if total else ""
+    print(f"lint: clean{grandfathered}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -114,8 +157,23 @@ def main(argv: list[str] | None = None) -> int:
     run = sub.add_parser("run", help="run experiments by id (or 'all')")
     run.add_argument("experiments", nargs="+")
     sub.add_parser("status", help="print canonical parameters and anchors")
+    lint_p = sub.add_parser(
+        "lint", help="run the determinism lint (DET101-DET107)"
+    )
+    lint_p.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    lint_p.add_argument("--baseline", default="lint-baseline.txt",
+                        help="baseline file (default: lint-baseline.txt)")
+    lint_p.add_argument("--write-baseline", action="store_true",
+                        help="regenerate the baseline from this run")
+    lint_p.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline (report every violation)")
 
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    from repro.analysis.experiments import ExperimentSuite
+
     suite = ExperimentSuite(seed=args.seed)
     if args.command == "list":
         return _cmd_list(suite)

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.errors import NandOperationError
 from repro.nand.geometry import NandGeometry
+from repro.params import DEFAULT_SEED
 
 #: Envelope RBER above which skip-sampling degenerates (candidate count
 #: approaches the bit count); such rates are unphysical for NAND but the
@@ -51,9 +52,10 @@ class NandArray:
     """Logical array contents plus wear and erase-state bookkeeping."""
 
     def __init__(self, geometry: NandGeometry | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 seed: int = DEFAULT_SEED):
         self.geometry = geometry or NandGeometry()
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         pages = self.geometry.pages
         # Zero-page backed: rows are committed lazily by the OS on first
         # touch, so the dense store stays cheap for sparse occupancy.

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.params import DEFAULT_SEED
 
 
 @dataclass(frozen=True)
@@ -38,9 +39,10 @@ class CciModel:
     """Applies interference shifts to a programmed page."""
 
     def __init__(self, params: CciParams | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 seed: int = DEFAULT_SEED):
         self.params = params or CciParams()
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
     def apply(self, vth: np.ndarray, deltas: np.ndarray) -> np.ndarray:
         """VTH after interference.

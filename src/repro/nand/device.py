@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.errors import NandOperationError
 from repro.nand.array import NandArray
+from repro.params import DEFAULT_SEED
 from repro.nand.geometry import NandGeometry
 from repro.nand.ispp import IsppAlgorithm
 from repro.nand.program import PageProgrammer
@@ -144,9 +145,10 @@ class NandFlashDevice:
         timing: NandTimingModel | None = None,
         disturb: ReadDisturbParams | None = None,
         rng: np.random.Generator | None = None,
+        seed: int = DEFAULT_SEED,
     ):
         self.geometry = geometry or NandGeometry()
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.array = NandArray(self.geometry, self.rng)
         self.rber_model = rber_model or LifetimeRberModel()
         self.programmer = programmer or PageProgrammer(rng=self.rng)

@@ -114,12 +114,13 @@ class IsppEngine:
         aging: AgingModel | None = None,
         schedule: IsppSchedule | None = None,
         rng: np.random.Generator | None = None,
+        seed: int = canon.DEFAULT_SEED,
     ):
         self.levels = levels or MlcLevels()
         self.variability = variability or VariabilityParams()
         self.aging = aging or AgingModel()
         self.schedule = schedule or IsppSchedule()
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.sampler = VariabilitySampler(self.variability, self.rng)
 
     def program_page(

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import NandOperationError
+from repro.params import DEFAULT_SEED
 from repro.nand.aging import AgingModel
 from repro.nand.cci import CciModel, CciParams
 from repro.nand.ispp import IsppAlgorithm, IsppEngine, IsppResult, IsppSchedule
@@ -51,9 +52,10 @@ class PageProgrammer:
         cci: CciParams | None = None,
         timing: NandTimingModel | None = None,
         rng: np.random.Generator | None = None,
+        seed: int = DEFAULT_SEED,
     ):
         self.levels = levels or MlcLevels()
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.engine = IsppEngine(
             levels=self.levels,
             variability=variability,

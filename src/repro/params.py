@@ -125,6 +125,12 @@ RATED_PE_CYCLES = 1e5
 #: Extended sweep endpoint used by Fig. 5 (raw RBER trend beyond rating).
 EXTENDED_PE_CYCLES = 1e6
 
+#: Fallback RNG seed for components constructed without an explicit
+#: ``rng``.  Matches the CLI's ``--seed`` default, so ad-hoc component
+#: construction reproduces the experiment suite's streams — nothing in
+#: the stack draws from OS entropy (the DET101 lint rule enforces it).
+DEFAULT_SEED = 2012
+
 
 @dataclass(frozen=True)
 class EccHardwareParams:

@@ -100,9 +100,15 @@ from functools import partial
 from typing import Generator, Union
 
 from repro.errors import SimulationError
+from repro.sim.sanitizer import DesSanitizer
 
 #: A simulation process: a generator yielding delays (seconds) or Signals.
 Process = Generator[Union[float, "Signal"], None, None]
+
+#: Process-wide default for ``SimEngine(sanitize=None)``.  Flipped to
+#: True by ``pytest --sanitize`` (root conftest) so every engine a test
+#: constructs comes up armed without threading a flag through helpers.
+SANITIZE_DEFAULT = False
 
 #: Default calendar bucket width: 64 µs spans a typical co-scheduled
 #: phase cluster (bus transfers, ECC sections) without collapsing the
@@ -324,16 +330,25 @@ class SimEngine:
     ``event_list`` selects the backend: ``"calendar"`` (default) or
     ``"heap"``.  Both produce bit-identical runs (see module docstring);
     heap is kept as the reference for cross-backend equivalence tests.
+
+    ``sanitize`` arms a :class:`~repro.sim.sanitizer.DesSanitizer` on
+    :attr:`sanitizer` (``None`` = follow :data:`SANITIZE_DEFAULT`).  An
+    armed engine validates event-list time monotonicity, and components
+    that find ``engine.sanitizer`` non-None (the SSD scheduler core)
+    arm their own lock/drain/phase checks.  Armed runs are bit-identical
+    to disarmed ones — the sanitizer only observes.
     """
 
     __slots__ = (
-        "_queue", "_seq", "now_s", "events_processed", "_parked", "_flat"
+        "_queue", "_seq", "now_s", "events_processed", "_parked", "_flat",
+        "sanitizer",
     )
 
     def __init__(
         self,
         event_list: str = "calendar",
         bucket_width_s: float = DEFAULT_BUCKET_WIDTH_S,
+        sanitize: bool | None = None,
     ) -> None:
         if event_list == "calendar":
             self._queue: CalendarEventList | HeapEventList = CalendarEventList(
@@ -351,6 +366,9 @@ class SimEngine:
         self.events_processed = 0
         self._parked = 0
         self._flat = None
+        if sanitize is None:
+            sanitize = SANITIZE_DEFAULT
+        self.sanitizer = DesSanitizer() if sanitize else None
 
     def _next_seq(self) -> int:
         seq = self._seq
@@ -433,6 +451,7 @@ class SimEngine:
         queue_pop = queue.pop
         queue_push = queue.push
         flat = self._flat
+        san = self.sanitizer
         processed = 0
         try:
             # Pop-driven loop: draining is detected by the IndexError
@@ -474,6 +493,8 @@ class SimEngine:
                         self.now_s = until_s
                         return until_s
                     process = event[2]
+                if san is not None and time_s < self.now_s:
+                    san.backwards_time(time_s, self.now_s)
                 self.now_s = time_s
                 processed += 1
                 try:

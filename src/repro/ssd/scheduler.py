@@ -316,6 +316,39 @@ class _Lock:
         self.freed = engine.signal(handoff=True)
 
 
+class _CheckedLock:
+    """`_Lock` with sanitizer-validated ``busy`` transitions.
+
+    Constructed instead of `_Lock` when the core's engine carries an
+    armed :class:`~repro.sim.sanitizer.DesSanitizer`.  Scheduling
+    behaviour is identical — same ``busy`` values, same handoff
+    ``freed`` signal, no extra events — so armed generator runs stay
+    bit-exact; the only difference is that an invalid transition
+    (double acquire, double release, counting past ``capacity``) raises
+    :class:`~repro.sim.sanitizer.SanitizerError` at the offending site
+    instead of silently corrupting the schedule.
+    """
+
+    __slots__ = ("_busy", "freed", "_san", "_key", "_capacity")
+
+    def __init__(self, engine: SimEngine, san, key, capacity: int = 1):
+        self._busy = False
+        self.freed = engine.signal(handoff=True)
+        self._san = san
+        self._key = key
+        self._capacity = capacity
+        san.register_lock(key, capacity)
+
+    @property
+    def busy(self):
+        return self._busy
+
+    @busy.setter
+    def busy(self, value):
+        self._san.transition(self._key, self._busy, value, self._capacity)
+        self._busy = value
+
+
 @lru_cache(maxsize=4096)
 def _split_plan(
     plan: tuple[CommandPhase, ...],
@@ -607,6 +640,11 @@ class SchedulerCore:
         self.recorder = recorder
         if recorder is not None:
             recorder.attach(self)
+        #: Armed :class:`~repro.sim.sanitizer.DesSanitizer` inherited
+        #: from the engine, or None.  Same zero-cost-off discipline as
+        #: the recorder: every hook sits behind an ``is None`` check on
+        #: a local, and armed runs stay bit-identical.
+        self._san = getattr(engine, "sanitizer", None)
         #: Commands dispatched by the flat core vs the generator workers
         #: (a per-core lifetime tally; a core is all-flat or all-generator,
         #: so one of the two stays zero).
@@ -637,12 +675,40 @@ class SchedulerCore:
             ]
             self._admit: list | None = None
             engine.attach_flat(self._flat_burst)
-        else:
+        elif self._san is None:
             self._buses = [_Lock(engine) for _ in range(topology.channels)]
             self._engines = [_Lock(engine) for _ in range(topology.channels)]
             self._caches = [
                 [_Lock(engine) for _ in range(self.planes)]
                 for _ in range(topology.dies)
+            ]
+            self._queues = [
+                [deque() for _ in range(self.planes)]
+                for _ in range(topology.dies)
+            ]
+            self._work = [
+                [engine.signal(daemon=True) for _ in range(self.planes)]
+                for _ in range(topology.dies)
+            ]
+        else:
+            san = self._san
+            cache_cap = 2 if (
+                self.pipeline.cache_read and self.pipeline.read_ahead
+            ) else 1
+            self._buses = [
+                _CheckedLock(engine, san, ("bus", ch))
+                for ch in range(topology.channels)
+            ]
+            self._engines = [
+                _CheckedLock(engine, san, ("ecc", ch))
+                for ch in range(topology.channels)
+            ]
+            self._caches = [
+                [
+                    _CheckedLock(engine, san, ("cache", die, slot), cache_cap)
+                    for slot in range(self.planes)
+                ]
+                for die in range(topology.dies)
             ]
             self._queues: list[list[deque[DieCommand]]] = [
                 [deque() for _ in range(self.planes)]
@@ -752,6 +818,8 @@ class SchedulerCore:
                 f"duplicate command tag {command.tag}: tags must be "
                 "unique among in-flight commands"
             )
+        if self._san is not None:
+            self._san.check_command(command)
         self.in_flight += 1
         self.die_inflight[command.die] += 1
         self._meta[command.tag] = (self.engine.now_s, submit_s)
@@ -803,6 +871,12 @@ class SchedulerCore:
                 "flat cores admit one stream at a time: the previous "
                 "submit_stream is still admitting"
             )
+        if self._san is not None:
+            # The flat admission frame inlines enqueue, so phase plans
+            # are validated up front (the generator path checks inside
+            # enqueue itself).
+            for command in commands:
+                self._san.check_command(command)
         n = len(commands)
         limit = n if window is None else window
         frame = [_P_ADMIT, 0, list(commands), n, limit, False, arrival_s]
@@ -1168,10 +1242,18 @@ class SchedulerCore:
         dws_popleft = dws.popleft
         admit_frame = self._admit
         recorder = self.recorder
+        # Sanitizer hooks cover the release arms only: every flat
+        # acquire site is dominated by an explicit `if lock[0]` park
+        # check a few lines above it (the DET107 static walk verifies
+        # the structure), so double-acquires cannot be expressed here,
+        # while a double-release would silently wake a second waiter.
+        san = self._san
         # Span hooks ride the same accounting points as the busy
         # accumulators; `rspan is None` on a local keeps the disabled
         # path free of attribute loads.
         rspan = None if recorder is None else recorder._spans.append
+        if san is not None and event[0] < engine.now_s:
+            san.backwards_time(event[0], engine.now_s)
         now, _, frame = event
         while True:
             count += 1
@@ -1272,6 +1354,10 @@ class SchedulerCore:
                         # register (the no-transfer-phase drain exit).
                         cache = frame[9]
                         if cache is not None:
+                            if san is not None:
+                                san.release_check(
+                                    ("cache", frame[1], frame[2]), cache[0]
+                                )
                             cache[0] = cache[0] - 1
                             waiters = cache[1]
                             if waiters:
@@ -1491,6 +1577,8 @@ class SchedulerCore:
                         continue
                     elif pc == P_BUSREL:
                         bus = frame[15]
+                        if san is not None:
+                            san.release_check(("bus", frame[3]), bus[0])
                         bus[0] = False
                         waiters = bus[1]
                         if waiters:
@@ -1506,6 +1594,11 @@ class SchedulerCore:
                                        now, frame[6].tag, frame[20]))
                             cache = frame[9]
                             if cache is not None:
+                                if san is not None:
+                                    san.release_check(
+                                        ("cache", frame[1], frame[2]),
+                                        cache[0],
+                                    )
                                 cache[0] = cache[0] - 1
                                 cwaiters = cache[1]
                                 if cwaiters:
@@ -1577,6 +1670,10 @@ class SchedulerCore:
                                    frame[6].tag, frame[20]))
                         cache = frame[9]
                         if cache is not None:
+                            if san is not None:
+                                san.release_check(
+                                    ("cache", frame[1], frame[2]), cache[0]
+                                )
                             cache[0] = cache[0] - 1
                             cwaiters = cache[1]
                             if cwaiters:
@@ -1591,6 +1688,8 @@ class SchedulerCore:
                         continue
                     elif pc == P_ECCREL:
                         ecc = frame[16]
+                        if san is not None:
+                            san.release_check(("ecc", frame[3]), ecc[0])
                         ecc[0] = False
                         waiters = ecc[1]
                         if waiters:
@@ -1709,7 +1808,10 @@ class SchedulerCore:
                 t = nxt_t
                 nxt_t = -1.0
                 if dws:
-                    if t == now:
+                    # `t` is `now + 0.0`-class arithmetic from this very
+                    # turn; equality detects the same-instant transition
+                    # the deferred-wake FIFO elides, never a tolerance.
+                    if t == now:  # lint-ok: DET105
                         dws_append(frame)
                     elif heap is not None:
                         push((t, seq, frame))
@@ -1818,6 +1920,13 @@ class SchedulerCore:
                 self.in_flight = in_flight
                 self.fast_commands = fast_commands
                 return event, count
+            if san is not None and event[0] < now:
+                engine._seq = seq
+                engine._parked = parked
+                engine.now_s = now
+                self.in_flight = in_flight
+                self.fast_commands = fast_commands
+                san.backwards_time(event[0], now)
             now, _, frame = event
 
 
@@ -1868,6 +1977,8 @@ class CommandScheduler:
                 f"scheduler completed {len(core.completions)} of "
                 f"{len(commands)} commands"
             )
+        if engine.sanitizer is not None:
+            engine.sanitizer.check_drain(core, makespan)
         return ScheduleResult(
             completions=core.completions,
             makespan_s=makespan,

@@ -332,6 +332,11 @@ class SsdSession:
                 f"session drained with {self.core.in_flight} in flight and "
                 f"{len(self._backlog)} backlogged"
             )
+        if self.engine.sanitizer is not None:
+            # The busy accumulators and the clock both measure "since
+            # the last execute()" (rebase and reset always co-occur),
+            # so conservation holds against the current clock.
+            self.engine.sanitizer.check_drain(self.core, end)
         # IoCompletions were already routed to the session's queue; the
         # core's raw list would otherwise grow without bound.
         self.core.completions.clear()
@@ -376,6 +381,8 @@ class SsdSession:
                 f"session completed {len(completions)} of "
                 f"{len(commands)} commands"
             )
+        if self.engine.sanitizer is not None:
+            self.engine.sanitizer.check_drain(self.core, makespan)
         return ScheduleResult(
             completions=completions,
             makespan_s=makespan,

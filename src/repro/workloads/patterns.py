@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nand.levels import GRAY_MAP
+from repro.params import DEFAULT_SEED
 
 #: Byte filling a page so all cells target one level.
 _LEVEL_BYTES = {}
@@ -35,16 +36,20 @@ def level_pattern_page(level: int, page_bytes: int = 4096) -> bytes:
 
 
 def random_page(page_bytes: int = 4096,
-                rng: np.random.Generator | None = None) -> bytes:
-    """Uniformly random page contents."""
-    rng = rng or np.random.default_rng()
+                rng: np.random.Generator | None = None,
+                seed: int = DEFAULT_SEED) -> bytes:
+    """Uniformly random page contents (pass ``rng`` to share a stream)."""
+    if rng is None:
+        rng = np.random.default_rng(seed)
     return rng.integers(0, 256, page_bytes, dtype=np.uint8).tobytes()
 
 
 def compressible_page(page_bytes: int = 4096, run_length: int = 64,
-                      rng: np.random.Generator | None = None) -> bytes:
+                      rng: np.random.Generator | None = None,
+                      seed: int = DEFAULT_SEED) -> bytes:
     """Run-length-structured data (filesystem-like, for workload variety)."""
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng(seed)
     if run_length < 1:
         raise ConfigurationError("run length must be >= 1")
     runs = int(np.ceil(page_bytes / run_length))

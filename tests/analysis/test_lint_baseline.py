@@ -1,0 +1,58 @@
+"""The committed lint baseline must exactly match a fresh full-tree run.
+
+This is the CI ratchet: a new violation anywhere in ``src``/``tests``/
+``benchmarks`` fails here (the fresh run exceeds the baseline), and a
+*fixed* violation fails too (stale baseline entry) so the grandfathered
+set can only shrink deliberately — never drift.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis import lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "lint-baseline.txt"
+LINT_ROOTS = ("src", "tests", "benchmarks")
+
+
+def _fresh_counts():
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        violations = lint.lint_paths(LINT_ROOTS)
+    finally:
+        os.chdir(cwd)
+    return violations, lint.counts_of(violations)
+
+
+def test_baseline_file_is_committed():
+    assert BASELINE.is_file(), (
+        "lint-baseline.txt missing — regenerate with "
+        "'python -m repro lint src tests benchmarks --write-baseline'"
+    )
+
+
+def test_fresh_run_matches_baseline_exactly():
+    violations, fresh = _fresh_counts()
+    baseline = lint.parse_baseline(BASELINE.read_text(encoding="utf-8"))
+    new, stale = lint.diff_against(fresh, baseline)
+    details = "\n".join(v.render() for v in violations)
+    assert not new, (
+        f"new lint violations over the committed baseline:\n{details}"
+    )
+    assert not stale, (
+        "stale baseline entries (violations were fixed) — refresh with "
+        "'python -m repro lint src tests benchmarks --write-baseline': "
+        f"{stale}"
+    )
+    # Exact match, not just <=: the formatted fresh counts reproduce the
+    # committed file byte-for-byte.
+    assert lint.format_baseline(fresh) == BASELINE.read_text(encoding="utf-8")
+
+
+def test_baseline_roundtrip():
+    _, fresh = _fresh_counts()
+    assert lint.parse_baseline(lint.format_baseline(fresh)) == fresh

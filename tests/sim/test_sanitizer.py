@@ -1,0 +1,332 @@
+"""Runtime DES sanitizer tests: injected violations and bit-exactness.
+
+Two halves.  The violation half deliberately injects each breakage
+class — backwards time, double acquire/release, leaked lock, leaked
+in-flight accounting, negative phase, busy over-accumulation — against
+stub objects or real scheduler cores and asserts the sanitizer raises
+:class:`SanitizerError` *naming the offending resource, tag or
+timestamp*.  The equivalence half proves the acceptance criterion that
+arming the sanitizer changes no observable behaviour: armed and
+disarmed runs produce byte-identical completion timelines across the
+flat/generator and heap/calendar configuration grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.nand.geometry import NandGeometry
+from repro.sim import engine as engine_mod
+from repro.sim.engine import SimEngine
+from repro.sim.sanitizer import DesSanitizer, SanitizerError
+from repro.ssd.scheduler import (
+    CommandKind,
+    DieCommand,
+    PipelineConfig,
+    SchedulerCore,
+    closed_admission,
+)
+from repro.ssd.topology import SsdTopology
+
+
+def _topology(channels: int = 2, dies_per_channel: int = 2) -> SsdTopology:
+    return SsdTopology(
+        channels=channels,
+        dies_per_channel=dies_per_channel,
+        geometry=NandGeometry(blocks=4, pages_per_block=16),
+    )
+
+
+def _mixed_batch(count: int = 24) -> list[DieCommand]:
+    kinds = (CommandKind.READ, CommandKind.PROGRAM, CommandKind.ERASE)
+    commands = []
+    for i in range(count):
+        kind = kinds[i % 3]
+        commands.append(DieCommand(
+            kind=kind,
+            die=i % 4,
+            tag=i,
+            die_s=(100e-6, 600e-6, 2.5e-3)[i % 3],
+            channel_s=(50e-6, 60e-6, 0.0)[i % 3],
+        ))
+    return commands
+
+
+def _run(flat: bool, sanitize: bool, event_list: str = "calendar",
+         pipeline: PipelineConfig | None = None, queue_depth: int | None = 4):
+    """One closed-batch run; returns (makespan, completions, sanitizer)."""
+    engine = SimEngine(event_list=event_list, sanitize=sanitize)
+    core = SchedulerCore(engine, _topology(), pipeline, flat=flat)
+    engine.spawn(closed_admission(core, _mixed_batch(), queue_depth))
+    core.start()
+    makespan = engine.run()
+    if engine.sanitizer is not None:
+        engine.sanitizer.check_drain(core, makespan)
+    return makespan, core.completions, engine.sanitizer
+
+
+# -- arming --------------------------------------------------------------------------
+
+
+class TestArming:
+    def test_default_is_disarmed(self, monkeypatch):
+        # Pin the module default: under ``pytest --sanitize`` it is
+        # flipped process-wide, which is exactly what this test is not
+        # about.
+        monkeypatch.setattr(engine_mod, "SANITIZE_DEFAULT", False)
+        assert SimEngine().sanitizer is None
+
+    def test_sanitize_true_arms(self):
+        assert isinstance(SimEngine(sanitize=True).sanitizer, DesSanitizer)
+
+    def test_module_default_arms_none(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "SANITIZE_DEFAULT", True)
+        assert SimEngine().sanitizer is not None
+        # Explicit False beats the process-wide default — the
+        # equivalence tests below rely on this under ``pytest --sanitize``.
+        assert SimEngine(sanitize=False).sanitizer is None
+
+    def test_armed_run_performs_checks(self):
+        _, _, sanitizer = _run(flat=True, sanitize=True)
+        assert sanitizer.checks > 0
+
+
+# -- backwards time ------------------------------------------------------------------
+
+
+class TestBackwardsTime:
+    def test_event_behind_clock_names_both_timestamps(self):
+        engine = SimEngine(sanitize=True)
+
+        def proc():
+            yield 1.0
+
+        # Corrupt the state by hand: the clock already past an event
+        # still sitting in the list (a healthy event list can never
+        # produce this — pops are (time, seq)-ordered).
+        engine.now_s = 5.0
+        engine._queue.push((2.0, engine._next_seq(), proc()))
+        with pytest.raises(SanitizerError, match="backwards time") as exc:
+            engine.run()
+        assert "2.0" in str(exc.value)
+        assert "5.0" in str(exc.value)
+
+    def test_disarmed_engine_does_not_police_order(self):
+        # The disarmed engine trusts its event list (zero-cost-off);
+        # only the armed one pays for the monotonicity check.
+        engine = SimEngine(sanitize=False)
+
+        def proc():
+            yield 1.0
+
+        engine.now_s = 5.0
+        engine._queue.push((2.0, engine._next_seq(), proc()))
+        engine.run()  # no error
+
+
+# -- lock discipline -----------------------------------------------------------------
+
+
+class TestLockDiscipline:
+    def _core(self) -> SchedulerCore:
+        engine = SimEngine(sanitize=True)
+        return SchedulerCore(engine, _topology(), flat=False)
+
+    def test_double_acquire_names_the_bus(self):
+        core = self._core()
+        core._buses[1].busy = True
+        with pytest.raises(SanitizerError, match=r"double acquire of bus\[1\]"):
+            core._buses[1].busy = True
+
+    def test_double_release_names_the_ecc(self):
+        core = self._core()
+        core._engines[0].busy = True
+        core._engines[0].busy = False
+        with pytest.raises(SanitizerError, match=r"double release of ecc\[0\]"):
+            core._engines[0].busy = False
+
+    def test_release_of_never_held_cache(self):
+        core = self._core()
+        with pytest.raises(
+            SanitizerError, match=r"double release of cache\[1/0\]"
+        ):
+            core._caches[1][0].busy = False
+
+    def test_counting_lock_capacity(self):
+        san = DesSanitizer()
+        key = ("cache", 0, 0)
+        san.register_lock(key, capacity=2)
+        san.transition(key, 0, 1, capacity=2)
+        san.transition(key, 1, 2, capacity=2)
+        with pytest.raises(
+            SanitizerError, match=r"double acquire of cache\[0/0\]"
+        ):
+            san.transition(key, 2, 3, capacity=2)
+
+    def test_counting_lock_rejects_jumps(self):
+        san = DesSanitizer()
+        key = ("cache", 3, 1)
+        san.register_lock(key, capacity=2)
+        with pytest.raises(SanitizerError, match="invalid transition"):
+            san.transition(key, 0, 2, capacity=2)
+
+    def test_flat_release_check_names_the_resource(self):
+        # The flat dispatch core's release arms pass the live busy value;
+        # a free lock at a release site is a double release.
+        san = DesSanitizer()
+        with pytest.raises(SanitizerError, match=r"double release of ecc\[1\]"):
+            san.release_check(("ecc", 1), False)
+
+    def test_flat_release_check_passes_when_held(self):
+        san = DesSanitizer()
+        san.release_check(("bus", 0), True)
+        assert san.checks == 1
+
+
+# -- phase sanity --------------------------------------------------------------------
+
+
+class _StubPhase:
+    def __init__(self, duration_s: float, occupancy_s: float | None = None):
+        self.duration_s = duration_s
+        self.occupancy_s = (
+            duration_s if occupancy_s is None else occupancy_s
+        )
+
+
+class _StubCommand:
+    """Minimal admission-hook target.
+
+    ``DieCommand.__post_init__`` (rightly) rejects negative durations at
+    construction, so forging a broken phase plan needs a stand-in — the
+    sanitizer only reads ``tag`` and ``phase_plan()``.
+    """
+
+    def __init__(self, tag: int, phases):
+        self.tag = tag
+        self.die = 0
+        self.plane = 0
+        self._phases = tuple(phases)
+
+    def phase_plan(self):
+        return self._phases
+
+
+class TestPhaseSanity:
+    def test_negative_duration_names_tag_and_index(self):
+        command = _StubCommand(42, [_StubPhase(1e-4), _StubPhase(-5e-6)])
+        with pytest.raises(SanitizerError, match="command tag 42") as exc:
+            DesSanitizer().check_command(command)
+        assert "phase 1" in str(exc.value)
+        assert "negative duration" in str(exc.value)
+
+    def test_occupancy_exceeding_duration(self):
+        command = _StubCommand(7, [_StubPhase(1e-4, occupancy_s=2e-4)])
+        with pytest.raises(SanitizerError, match="command tag 7") as exc:
+            DesSanitizer().check_command(command)
+        assert "occupancy" in str(exc.value)
+
+    def test_clean_plan_passes(self):
+        command = _StubCommand(0, [_StubPhase(1e-4, occupancy_s=5e-5)])
+        DesSanitizer().check_command(command)
+
+    def test_armed_enqueue_rejects_broken_plan(self):
+        engine = SimEngine(sanitize=True)
+        core = SchedulerCore(engine, _topology(), flat=False)
+        with pytest.raises(SanitizerError, match="command tag 9"):
+            core.enqueue(_StubCommand(9, [_StubPhase(-1e-6)]))
+
+
+# -- drain audit ---------------------------------------------------------------------
+
+
+class TestDrainAudit:
+    def test_leaked_generator_lock_named(self):
+        engine = SimEngine(sanitize=True)
+        core = SchedulerCore(engine, _topology(), flat=False)
+        core._buses[1].busy = True
+        core._caches[2][0].busy = True
+        with pytest.raises(
+            SanitizerError, match=r"leaked lock\(s\) at drain"
+        ) as exc:
+            engine.sanitizer.check_drain(core)
+        assert "bus[1]" in str(exc.value)
+        assert "cache[2/0]" in str(exc.value)
+
+    def test_leaked_flat_lock_named(self):
+        engine = SimEngine(sanitize=True)
+        core = SchedulerCore(engine, _topology(), flat=True)
+        core._flat_eccs[0][0] = True
+        with pytest.raises(SanitizerError, match=r"ecc\[0\]"):
+            engine.sanitizer.check_drain(core)
+
+    def test_in_flight_accounting_mismatch_named(self):
+        engine = SimEngine(sanitize=True)
+        core = SchedulerCore(engine, _topology(), flat=True)
+        core._meta[13] = (0.0, None)
+        with pytest.raises(
+            SanitizerError, match="in-flight accounting mismatch"
+        ) as exc:
+            engine.sanitizer.check_drain(core)
+        assert "count 0 vs 1" in str(exc.value)
+
+    def test_busy_conservation_names_resource(self):
+        engine = SimEngine(sanitize=True)
+        core = SchedulerCore(engine, _topology(), flat=True)
+        core.channel_busy_s[1] = 2.0
+        with pytest.raises(
+            SanitizerError, match="busy conservation violated"
+        ) as exc:
+            engine.sanitizer.check_drain(core, elapsed_s=1.0)
+        assert "channel 1" in str(exc.value)
+
+    def test_busy_within_float_tolerance_passes(self):
+        engine = SimEngine(sanitize=True)
+        core = SchedulerCore(engine, _topology(), flat=True)
+        core.die_busy_s[0] = 1.0 + 1e-13
+        engine.sanitizer.check_drain(core, elapsed_s=1.0)
+
+    def test_quiescent_core_passes(self):
+        engine = SimEngine(sanitize=True)
+        core = SchedulerCore(engine, _topology(), flat=False)
+        engine.sanitizer.check_drain(core, elapsed_s=0.0)
+
+
+# -- bit-exactness of armed runs -----------------------------------------------------
+
+
+PIPELINES = [
+    pytest.param(None, id="default"),
+    pytest.param(
+        PipelineConfig(cache_read=True, multi_plane=True,
+                       pipelined_ecc=True, read_ahead=True),
+        id="cached",
+    ),
+]
+
+
+class TestArmedEquivalence:
+    @pytest.mark.parametrize("pipeline", PIPELINES)
+    @pytest.mark.parametrize("event_list", ["calendar", "heap"])
+    @pytest.mark.parametrize("flat", [False, True],
+                             ids=["generator", "flat"])
+    def test_armed_matches_disarmed_bit_exactly(
+        self, flat, event_list, pipeline,
+    ):
+        base_span, base_done, _ = _run(
+            flat, sanitize=False, event_list=event_list, pipeline=pipeline,
+        )
+        span, done, sanitizer = _run(
+            flat, sanitize=True, event_list=event_list, pipeline=pipeline,
+        )
+        # Exact float equality, not approx: the sanitizer only observes.
+        assert span == base_span
+        assert done == base_done
+        assert sanitizer.checks > 0
+
+    def test_flat_and_generator_agree_while_armed(self):
+        flat_span, flat_done, _ = _run(flat=True, sanitize=True)
+        gen_span, gen_done, _ = _run(flat=False, sanitize=True)
+        assert flat_span == gen_span
+        assert sorted(flat_done) == sorted(gen_done)
